@@ -1,0 +1,77 @@
+//! Error types for the baseline implementations.
+
+use activepy::ActivePyError;
+use alang::LangError;
+use std::fmt;
+
+/// Failures raised while building or running a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// A program failed to parse or evaluate.
+    Lang(LangError),
+    /// The ActivePy execution engine reported a failure.
+    Exec(ActivePyError),
+    /// The offload search could not produce a plan.
+    Search {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl BaselineError {
+    /// Shorthand for a search failure.
+    #[must_use]
+    pub fn search(message: impl Into<String>) -> Self {
+        BaselineError::Search { message: message.into() }
+    }
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Lang(e) => write!(f, "language error: {e}"),
+            BaselineError::Exec(e) => write!(f, "execution error: {e}"),
+            BaselineError::Search { message } => write!(f, "offload search error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Lang(e) => Some(e),
+            BaselineError::Exec(e) => Some(e),
+            BaselineError::Search { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LangError> for BaselineError {
+    fn from(e: LangError) -> Self {
+        BaselineError::Lang(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ActivePyError> for BaselineError {
+    fn from(e: ActivePyError) -> Self {
+        BaselineError::Exec(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: BaselineError = LangError::runtime("x").into();
+        assert!(e.source().is_some());
+        assert!(format!("{}", BaselineError::search("none")).contains("none"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion bench: one static-plan contended run (the Figure 2 kernel).
+use criterion::{criterion_group, criterion_main, Criterion};
+use csd_sim::{ContentionScenario, SystemConfig};
+use isp_baselines::{best_static_plan, run_plan};
+
+fn bench_fig2(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("TPC-H-6").expect("registered");
+    let plan = best_static_plan(&w, &config).expect("plan");
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("static_plan_run_60pct", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_plan(&w, &config, &plan, ContentionScenario::constant(0.6))
+                    .expect("run"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

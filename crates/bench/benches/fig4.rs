@@ -1,0 +1,27 @@
+//! Criterion bench: the full ActivePy pipeline (the Figure 4 kernel).
+use activepy::runtime::ActivePy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use csd_sim::{ContentionScenario, SystemConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("TPC-H-6").expect("registered");
+    let program = w.program().expect("parse");
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("activepy_pipeline_q6", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                ActivePy::new()
+                    .run(&program, &w, &config, ContentionScenario::none())
+                    .expect("pipeline"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: a contended run with migration (the Figure 5 kernel).
+use activepy::runtime::ActivePy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use csd_sim::units::SimTime;
+use csd_sim::{ContentionScenario, SystemConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("TPC-H-6").expect("registered");
+    let program = w.program().expect("parse");
+    let reference = ActivePy::new()
+        .run(&program, &w, &config, ContentionScenario::none())
+        .expect("reference");
+    let t_half = reference.report.time_at_csd_progress(0.5).expect("csd work exists");
+    let scenario = ContentionScenario::at_time(SimTime::from_secs(t_half), 0.1);
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("activepy_migrating_run_q6_10pct", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                ActivePy::new().run(&program, &w, &config, scenario).expect("run"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

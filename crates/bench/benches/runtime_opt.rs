@@ -1,0 +1,28 @@
+//! Criterion bench: interpreting vs the compiled tiers (runtime-opt kernel).
+use alang::ExecTier;
+use criterion::{criterion_group, criterion_main, Criterion};
+use csd_sim::SystemConfig;
+use isp_baselines::run_host_only;
+
+fn bench_runtime_opt(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("TPC-H-1").expect("registered");
+    let mut g = c.benchmark_group("runtime_opt");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (label, tier) in [
+        ("interpreted", ExecTier::Interpreted),
+        ("compiled", ExecTier::Compiled),
+        ("copy_elim", ExecTier::CompiledCopyElim),
+        ("native", ExecTier::Native),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(run_host_only(&w, &config, tier).expect("run")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_opt);
+criterion_main!(benches);

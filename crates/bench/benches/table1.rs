@@ -1,0 +1,18 @@
+//! Criterion bench: Table-I workload materialization (datagen cost).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for w in isp_workloads::table1() {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| std::hint::black_box(w.storage_at(1.0 / 128.0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

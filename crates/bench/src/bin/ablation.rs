@@ -1,0 +1,6 @@
+//! Regenerates the Algorithm-1 design ablation.
+use csd_sim::SystemConfig;
+fn main() {
+    let rows = isp_bench::experiments::ablation::run(&SystemConfig::paper_default());
+    isp_bench::experiments::ablation::print(&rows);
+}

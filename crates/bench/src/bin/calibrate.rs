@@ -1,0 +1,68 @@
+//! Calibration dashboard: prints every headline quantity of the paper next
+//! to its measured value so cost-model constants can be tuned.
+
+use activepy::runtime::ActivePy;
+use alang::ExecTier;
+use csd_sim::{ContentionScenario, SystemConfig};
+use isp_baselines::{best_static_plan, run_c_baseline, run_host_only, run_plan};
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let mut speedups_ap = Vec::new();
+    let mut speedups_pd = Vec::new();
+    let mut ladder = (0.0f64, 0.0f64, 0.0f64); // interp, compiled, elim (ratios)
+    let mut n = 0.0;
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>7} {:>7}  csd-lines",
+        "workload", "C-base", "PD-isp", "PDx", "ActPy", "APx", "py/C", "cy/C", "elim/C"
+    );
+    for w in isp_workloads::table1() {
+        let base = run_c_baseline(&w, &config).expect("baseline").total_secs;
+        let plan = best_static_plan(&w, &config).expect("plan");
+        let pd = run_plan(&w, &config, &plan, ContentionScenario::none())
+            .expect("pd run")
+            .total_secs;
+        let program = w.program().expect("parse");
+        let outcome = ActivePy::new()
+            .run(&program, &w, &config, ContentionScenario::none())
+            .expect("activepy");
+        let ap = outcome.report.total_secs;
+        let interp =
+            run_host_only(&w, &config, ExecTier::Interpreted).expect("interp").total_secs;
+        let comp =
+            run_host_only(&w, &config, ExecTier::Compiled).expect("compiled").total_secs;
+        let elim = run_host_only(&w, &config, ExecTier::CompiledCopyElim)
+            .expect("elim")
+            .total_secs;
+        println!(
+            "{:<14} {:>8.2} {:>8.2} {:>6.2} {:>8.2} {:>6.2} {:>7.3} {:>7.3} {:>7.3}  pd={:?} ap={:?}",
+            w.name(),
+            base,
+            pd,
+            base / pd,
+            ap,
+            base / ap,
+            interp / base,
+            comp / base,
+            elim / base,
+            plan.range,
+            outcome.assignment.csd_lines,
+        );
+        speedups_pd.push(base / pd);
+        speedups_ap.push(base / ap);
+        ladder.0 += interp / base;
+        ladder.1 += comp / base;
+        ladder.2 += elim / base;
+        n += 1.0;
+    }
+    let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!("\ngeomean speedup: programmer-directed {:.3} (paper 1.33), ActivePy {:.3} (paper 1.34)",
+        gm(&speedups_pd), gm(&speedups_ap));
+    println!(
+        "runtime ladder (mean slowdown vs C): interpreted {:.3} (paper 1.41), cython {:.3} (paper 1.20), copy-elim {:.3} (paper ~1.01)",
+        ladder.0 / n,
+        ladder.1 / n,
+        ladder.2 / n
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2.
+use csd_sim::SystemConfig;
+fn main() {
+    let rows = isp_bench::experiments::fig2::run(&SystemConfig::paper_default());
+    isp_bench::experiments::fig2::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4.
+use csd_sim::SystemConfig;
+fn main() {
+    let rows = isp_bench::experiments::fig4::run(&SystemConfig::paper_default());
+    isp_bench::experiments::fig4::print(&rows);
+}

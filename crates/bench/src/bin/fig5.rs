@@ -1,0 +1,6 @@
+//! Regenerates Figure 5.
+use csd_sim::SystemConfig;
+fn main() {
+    let rows = isp_bench::experiments::fig5::run(&SystemConfig::paper_default());
+    isp_bench::experiments::fig5::print(&rows);
+}

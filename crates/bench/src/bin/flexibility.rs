@@ -1,0 +1,6 @@
+//! Regenerates the flexibility experiments (interconnect sweep + GC).
+fn main() {
+    let bw = isp_bench::experiments::flexibility::run_bw_sweep();
+    let gc = isp_bench::experiments::flexibility::run_gc();
+    isp_bench::experiments::flexibility::print(&bw, &gc);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the volume-prediction accuracy results (SV text).
+use csd_sim::SystemConfig;
+fn main() {
+    let report = isp_bench::experiments::prediction::run(&SystemConfig::paper_default());
+    isp_bench::experiments::prediction::print(&report);
+}

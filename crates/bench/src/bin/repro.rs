@@ -1,0 +1,21 @@
+//! Runs every experiment in sequence — the full evaluation of the paper.
+use csd_sim::SystemConfig;
+use isp_bench::experiments as ex;
+fn main() {
+    let config = SystemConfig::paper_default();
+    ex::table1::print(&ex::table1::run());
+    println!();
+    ex::fig2::print(&ex::fig2::run(&config));
+    println!();
+    ex::fig4::print(&ex::fig4::run(&config));
+    println!();
+    ex::fig5::print(&ex::fig5::run(&config));
+    println!();
+    ex::runtime_opt::print(&ex::runtime_opt::run(&config));
+    println!();
+    ex::prediction::print(&ex::prediction::run(&config));
+    println!();
+    ex::ablation::print(&ex::ablation::run(&config));
+    println!();
+    ex::flexibility::print(&ex::flexibility::run_bw_sweep(), &ex::flexibility::run_gc());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the language-runtime optimization ladder (SV text).
+use csd_sim::SystemConfig;
+fn main() {
+    let rows = isp_bench::experiments::runtime_opt::run(&SystemConfig::paper_default());
+    isp_bench::experiments::runtime_opt::print(&rows);
+}

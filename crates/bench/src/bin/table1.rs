@@ -1,0 +1,5 @@
+//! Regenerates Table I.
+fn main() {
+    let rows = isp_bench::experiments::table1::run();
+    isp_bench::experiments::table1::print(&rows);
+}

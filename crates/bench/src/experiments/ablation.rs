@@ -1,0 +1,166 @@
+//! Design ablation: the assignment-algorithm variants behind §III-B.
+//!
+//! Compares four ways of choosing `P_csd` from the same per-line
+//! estimates:
+//!
+//! 1. the greedy loop exactly as printed in Algorithm 1;
+//! 2. the lookahead variant (the prose's "records the assignment that
+//!    yields the shortest execution time");
+//! 3. lookahead plus executor-faithful flip refinement (what the runtime
+//!    uses);
+//! 4. the DP optimum under the adjacency-approximate cost model.
+//!
+//! Each plan is then actually executed, so the table shows measured — not
+//! projected — end-to-end latency.
+
+use activepy::assign::{assign, assign_greedy, assign_optimal, assign_refined, Assignment};
+use activepy::estimate::{estimate_lines, Calibration};
+use activepy::exec::{execute, ExecOptions};
+use activepy::fit::predict_lines;
+use activepy::sampling::{paper_scales, run_sampling};
+use alang::copyelim::eliminable_lines;
+use alang::{CostParams, ExecTier};
+use csd_sim::SystemConfig;
+use serde::Serialize;
+
+/// Measured latency of each assignment variant on one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// Verbatim Algorithm 1 greedy.
+    pub greedy_secs: f64,
+    /// Lookahead variant.
+    pub lookahead_secs: f64,
+    /// Lookahead + flip refinement (ActivePy's default).
+    pub refined_secs: f64,
+    /// DP optimum of the approximate model.
+    pub dp_secs: f64,
+    /// Offloaded line counts per variant, in the same order.
+    pub csd_counts: [usize; 4],
+}
+
+fn measure(
+    w: &isp_workloads::Workload,
+    config: &SystemConfig,
+    assignment: &Assignment,
+    copy_elim: &[bool],
+) -> f64 {
+    let program = w.program().expect("parse");
+    let storage = w.storage_at(1.0);
+    let mut system = config.build();
+    let opts = ExecOptions {
+        tier: ExecTier::CompiledCopyElim,
+        params: CostParams::paper_default(),
+        scenario: csd_sim::ContentionScenario::none(),
+        monitor: None,
+        offload_overheads: true,
+        preempt_at: None,
+    };
+    let placements = assignment.placements(program.len());
+    execute(&program, &storage, &placements, &mut system, &opts, None, copy_elim)
+        .expect("plan executes")
+        .total_secs
+}
+
+/// Runs the ablation over the nine Table-I workloads.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run(config: &SystemConfig) -> Vec<Row> {
+    let params = CostParams::paper_default();
+    let calibration = Calibration::from_counters(config);
+    let bw = config.d2h_bandwidth().as_bytes_per_sec();
+    isp_workloads::table1()
+        .iter()
+        .map(|w| {
+            let program = w.program().expect("parse");
+            let sampling =
+                run_sampling(&program, w, &paper_scales()).expect("sampling runs");
+            let predictions = predict_lines(&sampling.lines).expect("fit succeeds");
+            let copy_elim = eliminable_lines(&program, &sampling.dataset_types);
+            let estimates = estimate_lines(
+                &predictions,
+                ExecTier::CompiledCopyElim,
+                &params,
+                config,
+                &calibration,
+                &copy_elim,
+            );
+            let variants = [
+                assign_greedy(&estimates, bw),
+                assign(&estimates, bw),
+                assign_refined(&program, &estimates, bw),
+                assign_optimal(&estimates, bw),
+            ];
+            let secs: Vec<f64> =
+                variants.iter().map(|a| measure(w, config, a, &copy_elim)).collect();
+            Row {
+                name: w.name().to_owned(),
+                greedy_secs: secs[0],
+                lookahead_secs: secs[1],
+                refined_secs: secs[2],
+                dp_secs: secs[3],
+                csd_counts: [
+                    variants[0].csd_lines.len(),
+                    variants[1].csd_lines.len(),
+                    variants[2].csd_lines.len(),
+                    variants[3].csd_lines.len(),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Prints the ablation table.
+pub fn print(rows: &[Row]) {
+    println!("== Ablation: Algorithm-1 variants (measured end-to-end seconds) ==");
+    println!(
+        "{:<14} {:>9} {:>10} {:>9} {:>9}   offloaded-lines",
+        "workload", "greedy", "lookahead", "refined", "dp-opt"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>8.2}s {:>9.2}s {:>8.2}s {:>8.2}s   {:?}",
+            r.name, r.greedy_secs, r.lookahead_secs, r.refined_secs, r.dp_secs, r.csd_counts
+        );
+    }
+    println!(
+        "(the verbatim greedy cannot cross the scan->filter hump; lookahead recovers it; \
+         refinement repairs stranded lines. The DP column optimizes the adjacency-approximate \
+         cost model exactly — and often loses when executed, showing why the refinement pass \
+         uses the executor-faithful model instead)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_never_loses_to_simpler_variants() {
+        let rows = run(&SystemConfig::paper_default());
+        for r in &rows {
+            assert!(
+                r.refined_secs <= r.greedy_secs * 1.02,
+                "{}: refined {} vs greedy {}",
+                r.name,
+                r.refined_secs,
+                r.greedy_secs
+            );
+            assert!(
+                r.refined_secs <= r.lookahead_secs * 1.02,
+                "{}: refined {} vs lookahead {}",
+                r.name,
+                r.refined_secs,
+                r.lookahead_secs
+            );
+        }
+        // On at least half the workloads the verbatim greedy strands the
+        // pipeline on the host (offloads nothing).
+        let stranded = rows.iter().filter(|r| r.csd_counts[0] == 0).count();
+        assert!(stranded * 2 >= rows.len(), "greedy stranded only {stranded}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 2: a static, C-based ISP platform (Summarizer-style) optimized
+//! for 100 % CSE availability, re-run as the available CSE time shrinks.
+//!
+//! Paper result: the three TPC-H workloads are ≈1.25× faster than the
+//! no-CSD baseline at 100 % availability, but the same fixed offload
+//! *loses* to the baseline once less than ≈60 % of the CSE is available.
+
+use csd_sim::{ContentionScenario, SystemConfig};
+use isp_baselines::{best_static_plan, run_c_baseline, run_plan};
+use serde::Serialize;
+
+/// Availability levels swept (fraction of CSE time available).
+pub const AVAILABILITIES: [f64; 10] =
+    [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+
+/// One workload's sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// Baseline (no-CSD, C) latency in simulated seconds.
+    pub baseline_secs: f64,
+    /// Speedup over the baseline at each availability level, in
+    /// [`AVAILABILITIES`] order.
+    pub speedups: Vec<f64>,
+}
+
+impl Row {
+    /// The availability below which the static plan loses to the baseline
+    /// (linear interpolation between sweep points), if it loses at all.
+    #[must_use]
+    pub fn crossover(&self) -> Option<f64> {
+        for i in 1..AVAILABILITIES.len() {
+            let (s0, s1) = (self.speedups[i - 1], self.speedups[i]);
+            if s0 >= 1.0 && s1 < 1.0 {
+                let (a0, a1) = (AVAILABILITIES[i - 1], AVAILABILITIES[i]);
+                let t = (s0 - 1.0) / (s0 - s1);
+                return Some(a0 + t * (a1 - a0));
+            }
+        }
+        None
+    }
+}
+
+/// Runs the sweep for the paper's three TPC-H workloads.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run (a bug, not an input
+/// condition).
+#[must_use]
+pub fn run(config: &SystemConfig) -> Vec<Row> {
+    ["TPC-H-1", "TPC-H-6", "TPC-H-14"]
+        .iter()
+        .map(|name| {
+            let w = isp_workloads::by_name(name).expect("TPC-H workloads are registered");
+            let baseline = run_c_baseline(&w, config).expect("baseline runs").total_secs;
+            let plan = best_static_plan(&w, config).expect("plan search succeeds");
+            let speedups = AVAILABILITIES
+                .iter()
+                .map(|&avail| {
+                    let scenario = if avail >= 1.0 {
+                        ContentionScenario::none()
+                    } else {
+                        ContentionScenario::constant(avail)
+                    };
+                    let t = run_plan(&w, config, &plan, scenario)
+                        .expect("plan re-runs")
+                        .total_secs;
+                    baseline / t
+                })
+                .collect();
+            Row { name: (*name).to_owned(), baseline_secs: baseline, speedups }
+        })
+        .collect()
+}
+
+/// Prints the sweep in the figure's layout.
+pub fn print(rows: &[Row]) {
+    println!("== Fig 2: static C-ISP speedup vs available CSE time ==");
+    print!("{:<10}", "workload");
+    for a in AVAILABILITIES {
+        print!(" {:>6.0}%", a * 100.0);
+    }
+    println!("  crossover");
+    for r in rows {
+        print!("{:<10}", r.name);
+        for s in &r.speedups {
+            print!(" {s:>6.2}x");
+        }
+        match r.crossover() {
+            Some(c) => println!("  ~{:.0}%", c * 100.0),
+            None => println!("  none"),
+        }
+    }
+    println!(
+        "(paper: ~1.25x at 100%, and the optimized workloads lose below ~60% availability)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let rows = run(&SystemConfig::paper_default());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            // Wins at full availability, in the paper's rough band.
+            assert!(
+                r.speedups[0] > 1.1 && r.speedups[0] < 2.0,
+                "{}: 100% speedup {} out of band",
+                r.name,
+                r.speedups[0]
+            );
+            // Monotone degradation.
+            for w in r.speedups.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "{}: non-monotone {w:?}", r.name);
+            }
+            // Loses hard at 10%.
+            assert!(
+                *r.speedups.last().expect("non-empty") < 0.6,
+                "{}: still {}x at 10%",
+                r.name,
+                r.speedups.last().expect("non-empty")
+            );
+            // Crossover in the paper's 30-70% region.
+            let c = r.crossover().expect("must lose somewhere");
+            assert!(c > 0.25 && c < 0.75, "{}: crossover {c}", r.name);
+        }
+    }
+}

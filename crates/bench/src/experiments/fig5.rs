@@ -1,0 +1,218 @@
+//! Figure 5: all workloads under 50 % and 10 % CSE availability, the
+//! contention arriving "right after each application's ISP tasks make 50 %
+//! of their progress", with and without dynamic task migration.
+//!
+//! Paper results at 10 % availability: ActivePy with migration outperforms
+//! ActivePy without migration by 2.82×; relative to the no-CSD baseline it
+//! suffers only ≈8 % average slowdown, while the migration-less
+//! configuration loses 67 % on average (up to 88 %).
+
+use crate::geomean;
+use activepy::runtime::{ActivePy, ActivePyOptions};
+use csd_sim::units::SimTime;
+use csd_sim::{ContentionScenario, SystemConfig};
+use isp_baselines::run_c_baseline;
+use serde::Serialize;
+
+/// One workload under one availability level.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// Fraction of the CSD available after the stress begins.
+    pub availability: f64,
+    /// No-CSD baseline, seconds.
+    pub baseline_secs: f64,
+    /// ActivePy with migration, seconds.
+    pub with_migration_secs: f64,
+    /// ActivePy without migration, seconds.
+    pub without_migration_secs: f64,
+    /// Whether a migration actually occurred.
+    pub migrated: bool,
+    /// Speedup over baseline with migration.
+    pub with_speedup: f64,
+    /// Speedup over baseline without migration.
+    pub without_speedup: f64,
+}
+
+/// Aggregates for one availability level.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Availability level.
+    pub availability: f64,
+    /// Geomean speedup with migration.
+    pub with_geomean: f64,
+    /// Geomean speedup without migration.
+    pub without_geomean: f64,
+    /// Migration-vs-no-migration advantage.
+    pub migration_advantage: f64,
+    /// Mean performance loss (1 − speedup) without migration.
+    pub mean_loss_without: f64,
+    /// Worst performance loss without migration.
+    pub max_loss_without: f64,
+}
+
+/// Runs one workload under the Figure 5 protocol: an uncontended reference
+/// run fixes the absolute time at which half the CSD work is done, then
+/// the contended runs start the stress at exactly that time.
+fn run_one(
+    w: &isp_workloads::Workload,
+    config: &SystemConfig,
+    availability: f64,
+) -> Row {
+    let program = w.program().expect("registered workloads parse");
+    let baseline = run_c_baseline(w, config).expect("baseline runs").total_secs;
+    let reference = ActivePy::new()
+        .run(&program, w, config, ContentionScenario::none())
+        .expect("reference run");
+    let t_half = reference
+        .report
+        .time_at_csd_progress(0.5)
+        .unwrap_or(reference.report.total_secs * 0.5);
+    let scenario = ContentionScenario::at_time(SimTime::from_secs(t_half), availability);
+    let with_mig = ActivePy::new()
+        .run(&program, w, config, scenario)
+        .expect("migrating run");
+    let without_mig = ActivePy::with_options(ActivePyOptions::default().without_migration())
+        .run(&program, w, config, scenario)
+        .expect("static run");
+    Row {
+        name: w.name().to_owned(),
+        availability,
+        baseline_secs: baseline,
+        with_migration_secs: with_mig.report.total_secs,
+        without_migration_secs: without_mig.report.total_secs,
+        migrated: with_mig.report.migration.is_some(),
+        with_speedup: baseline / with_mig.report.total_secs,
+        without_speedup: baseline / without_mig.report.total_secs,
+    }
+}
+
+/// Runs the full Figure 5 grid (10 workloads × {50 %, 10 %}).
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run(config: &SystemConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for availability in [0.5, 0.1] {
+        for w in isp_workloads::with_sparsemv() {
+            rows.push(run_one(&w, config, availability));
+        }
+    }
+    rows
+}
+
+/// Summarizes one availability level's rows.
+///
+/// # Panics
+///
+/// Panics if `rows` contains no entry at `availability`.
+#[must_use]
+pub fn summarize(rows: &[Row], availability: f64) -> Summary {
+    let level: Vec<&Row> =
+        rows.iter().filter(|r| (r.availability - availability).abs() < 1e-9).collect();
+    assert!(!level.is_empty(), "no rows at availability {availability}");
+    let with: Vec<f64> = level.iter().map(|r| r.with_speedup).collect();
+    let without: Vec<f64> = level.iter().map(|r| r.without_speedup).collect();
+    let losses: Vec<f64> = without.iter().map(|s| 1.0 - s.min(1.0)).collect();
+    Summary {
+        availability,
+        with_geomean: geomean(&with),
+        without_geomean: geomean(&without),
+        migration_advantage: geomean(&with) / geomean(&without),
+        mean_loss_without: crate::mean(&losses),
+        max_loss_without: losses.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// Prints the grid in the figure's layout.
+pub fn print(rows: &[Row]) {
+    println!("== Fig 5: contention at 50% of ISP progress, +/- migration ==");
+    for availability in [0.5, 0.1] {
+        println!("-- {}% CSD available --", availability * 100.0);
+        println!(
+            "{:<14} {:>8} {:>10} {:>7} {:>10} {:>7} {:>9}",
+            "workload", "C-base", "w/mig", "x", "w/o-mig", "x", "migrated"
+        );
+        for r in rows.iter().filter(|r| (r.availability - availability).abs() < 1e-9) {
+            println!(
+                "{:<14} {:>7.2}s {:>9.2}s {:>6.2}x {:>9.2}s {:>6.2}x {:>9}",
+                r.name,
+                r.baseline_secs,
+                r.with_migration_secs,
+                r.with_speedup,
+                r.without_migration_secs,
+                r.without_speedup,
+                if r.migrated { "yes" } else { "no" },
+            );
+        }
+        let s = summarize(rows, availability);
+        println!(
+            "geomean: w/mig {:.2}x, w/o {:.2}x, advantage {:.2}x; loss w/o mig: mean {:.0}%, max {:.0}%",
+            s.with_geomean,
+            s.without_geomean,
+            s.migration_advantage,
+            s.mean_loss_without * 100.0,
+            s.max_loss_without * 100.0
+        );
+    }
+    println!(
+        "(paper @10%: advantage 2.82x, ~8% avg slowdown with migration, 67% avg / 88% max loss without)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_percent_availability_matches_the_paper() {
+        let config = SystemConfig::paper_default();
+        let rows: Vec<Row> = isp_workloads::with_sparsemv()
+            .iter()
+            .map(|w| run_one(w, &config, 0.1))
+            .collect();
+        let s = summarize(&rows, 0.1);
+        // With migration: a modest slowdown vs baseline (paper ~8%).
+        assert!(
+            s.with_geomean > 0.8 && s.with_geomean <= 1.05,
+            "with-migration geomean {} should sit near 0.92",
+            s.with_geomean
+        );
+        // Without: severe losses (paper avg 67%, max 88%).
+        assert!(
+            s.mean_loss_without > 0.5,
+            "mean loss without migration {} too mild",
+            s.mean_loss_without
+        );
+        assert!(s.max_loss_without > 0.7, "max loss {}", s.max_loss_without);
+        // Migration advantage in the paper's 2.82x neighbourhood.
+        assert!(
+            s.migration_advantage > 2.0,
+            "advantage {} too small",
+            s.migration_advantage
+        );
+        // Every workload migrated under 10% availability.
+        assert!(rows.iter().all(|r| r.migrated), "{rows:?}");
+    }
+
+    #[test]
+    fn fifty_percent_availability_migration_still_wins() {
+        let config = SystemConfig::paper_default();
+        let rows: Vec<Row> = isp_workloads::with_sparsemv()
+            .iter()
+            .map(|w| run_one(w, &config, 0.5))
+            .collect();
+        let s = summarize(&rows, 0.5);
+        assert!(
+            s.with_geomean >= s.without_geomean,
+            "migration must not lose on average: {} vs {}",
+            s.with_geomean,
+            s.without_geomean
+        );
+        // The trade-offs are balanced: losses stay moderate.
+        assert!(s.with_geomean > 0.9, "with-migration geomean {}", s.with_geomean);
+    }
+}

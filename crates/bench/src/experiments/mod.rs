@@ -1,0 +1,10 @@
+//! Experiment implementations, one module per table/figure.
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod flexibility;
+pub mod prediction;
+pub mod runtime_opt;
+pub mod table1;

@@ -1,0 +1,74 @@
+//! Table I: the applications, their input data sizes, and their
+//! single-entry-single-exit code regions.
+
+use isp_workloads::Workload;
+use serde::Serialize;
+
+/// One Table-I row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Application name.
+    pub name: String,
+    /// Input size declared in the paper's Table I, GB.
+    pub paper_gb: f64,
+    /// Input size the generators actually produce at scale 1.0, GB.
+    pub generated_gb: f64,
+    /// Number of SESE code regions (program lines).
+    pub sese_regions: usize,
+    /// One-line description.
+    pub description: String,
+}
+
+/// Builds the table from the workload registry.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    isp_workloads::table1()
+        .iter()
+        .map(|w: &Workload| {
+            let program = w.program().expect("registered workloads parse");
+            let generated_gb =
+                w.storage_at(1.0).total_virtual_bytes() as f64 / 1e9;
+            Row {
+                name: w.name().to_owned(),
+                paper_gb: w.table1_gb(),
+                generated_gb,
+                sese_regions: program.len(),
+                description: w.description().to_owned(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the table in the paper's layout.
+pub fn print(rows: &[Row]) {
+    println!("== Table I: applications, input sizes, SESE code regions ==");
+    println!(
+        "{:<14} {:>9} {:>9} {:>6}  description",
+        "name", "paper-GB", "gen-GB", "SESE"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>9.1} {:>9.2} {:>6}  {}",
+            r.name, r.paper_gb, r.generated_gb, r.sese_regions, r.description
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sizes_match_paper_sizes() {
+        for r in run() {
+            assert!(
+                (r.generated_gb - r.paper_gb).abs() / r.paper_gb < 0.05,
+                "{}: {} vs {}",
+                r.name,
+                r.generated_gb,
+                r.paper_gb
+            );
+            assert!(r.sese_regions >= 4, "{} too few regions", r.name);
+        }
+    }
+}

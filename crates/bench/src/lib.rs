@@ -1,0 +1,64 @@
+//! # isp-bench — the experiment harness
+//!
+//! One module per table/figure of the paper; each exposes a `run` function
+//! returning structured results and a `print` helper producing the
+//! paper-style rows. The `src/bin/*` binaries are thin wrappers, and the
+//! Criterion benches in `benches/` time the same machinery.
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `table1` | Table I — applications and input sizes |
+//! | `fig2` | Figure 2 — static C-ISP vs CSE availability |
+//! | `fig4` | Figure 4 — ActivePy vs programmer-directed ISP |
+//! | `fig5` | Figure 5 — contention at 50 % progress, ± migration |
+//! | `runtime_opt` | §V text — the 41 %/20 %/≈0 % language-runtime ladder |
+//! | `prediction` | §V text — volume-prediction accuracy and the CSR outlier |
+//! | `ablation` | design ablation — Algorithm 1 variants |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Geometric mean of a slice of positive ratios.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty slice");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of an empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        let g = geomean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_geomean_panics() {
+        let _ = geomean(&[]);
+    }
+}

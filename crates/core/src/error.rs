@@ -1,0 +1,91 @@
+//! Error types for the ActivePy runtime.
+
+use alang::LangError;
+use std::fmt;
+
+/// Any failure raised by the ActivePy pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActivePyError {
+    /// The program itself failed to parse or execute.
+    Lang(LangError),
+    /// The sampling phase could not produce usable statistics.
+    Sampling {
+        /// Explanation.
+        message: String,
+    },
+    /// Curve fitting failed (e.g. no sample points).
+    Fit {
+        /// Explanation.
+        message: String,
+    },
+    /// The execution engine hit an inconsistency (e.g. assignment length
+    /// mismatch).
+    Exec {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl ActivePyError {
+    /// Shorthand for an execution-engine error.
+    #[must_use]
+    pub fn exec(message: impl Into<String>) -> Self {
+        ActivePyError::Exec { message: message.into() }
+    }
+
+    /// Shorthand for a sampling error.
+    #[must_use]
+    pub fn sampling(message: impl Into<String>) -> Self {
+        ActivePyError::Sampling { message: message.into() }
+    }
+}
+
+impl fmt::Display for ActivePyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivePyError::Lang(e) => write!(f, "language error: {e}"),
+            ActivePyError::Sampling { message } => write!(f, "sampling error: {message}"),
+            ActivePyError::Fit { message } => write!(f, "fit error: {message}"),
+            ActivePyError::Exec { message } => write!(f, "execution error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ActivePyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ActivePyError::Lang(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LangError> for ActivePyError {
+    fn from(e: LangError) -> Self {
+        ActivePyError::Lang(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ActivePyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ActivePyError::sampling("no scales");
+        assert!(format!("{e}").contains("sampling"));
+        let e: ActivePyError = LangError::runtime("boom").into();
+        assert!(format!("{e}").contains("boom"));
+    }
+
+    #[test]
+    fn lang_errors_expose_source() {
+        use std::error::Error;
+        let e: ActivePyError = LangError::runtime("boom").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,1215 @@
+//! The execution engine: runs a partitioned program against the simulated
+//! platform.
+//!
+//! The engine walks the program line by line (the ActivePy task unit),
+//! charging the simulator for compute, storage streaming, interconnect
+//! transfers, queue-pair invocations, and status updates. When a monitor is
+//! installed, every CSD status update is inspected and, on degradation, the
+//! remaining CSD work is re-estimated and migrated back to the host at the
+//! current line boundary (§III-D): live state moves through the shared
+//! address space, host code is regenerated, and execution resumes at the
+//! breakpoint.
+
+use crate::error::{ActivePyError, Result};
+use crate::estimate::LineEstimate;
+use crate::monitor::{Monitor, MonitorConfig, Observation};
+use alang::compile::CompiledProgram;
+use alang::{CostParams, ExecTier, Interpreter, LineCost, Program, Storage};
+use csd_sim::availability::AvailabilityTrace;
+use csd_sim::contention::{ContentionScenario, Trigger};
+use csd_sim::nvme::CommandKind;
+use csd_sim::units::{Bytes, Ops};
+use csd_sim::{Direction, EngineKind, System};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options controlling one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOptions {
+    /// The code tier both partitions run at.
+    pub tier: ExecTier,
+    /// Cost-model constants.
+    pub params: CostParams,
+    /// CSE contention applied during the run.
+    pub scenario: ContentionScenario,
+    /// Monitoring/migration policy; `None` disables migration (the static
+    /// frameworks of Figures 2 and 5).
+    pub monitor: Option<MonitorConfig>,
+    /// Whether to charge queue-pair invocation and status-update overheads
+    /// (on for ISP runs; irrelevant for all-host runs).
+    pub offload_overheads: bool,
+    /// Simulated time at which the CSD must preempt the ISP task for a
+    /// high-priority request (§III-D, case 1): a `Break` command lands in
+    /// the call queue, the status-update code sees it at the next chunk
+    /// boundary, and the task migrates unconditionally.
+    pub preempt_at: Option<f64>,
+}
+
+impl ExecOptions {
+    /// ActivePy's own execution: generated copy-eliminated code, default
+    /// monitoring, no contention.
+    #[must_use]
+    pub fn activepy() -> Self {
+        ExecOptions {
+            tier: ExecTier::CompiledCopyElim,
+            params: CostParams::paper_default(),
+            scenario: ContentionScenario::none(),
+            monitor: Some(MonitorConfig::default()),
+            offload_overheads: true,
+            preempt_at: None,
+        }
+    }
+
+    /// A hand-written C framework: native code, no monitoring.
+    #[must_use]
+    pub fn native_static() -> Self {
+        ExecOptions {
+            tier: ExecTier::Native,
+            params: CostParams::paper_default(),
+            scenario: ContentionScenario::none(),
+            monitor: None,
+            offload_overheads: true,
+            preempt_at: None,
+        }
+    }
+
+    /// Replaces the contention scenario.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ContentionScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Disables task migration.
+    #[must_use]
+    pub fn without_migration(mut self) -> Self {
+        self.monitor = None;
+        self
+    }
+
+    /// Schedules a high-priority preemption at `at_secs`.
+    #[must_use]
+    pub fn with_preemption_at(mut self, at_secs: f64) -> Self {
+        self.preempt_at = Some(at_secs);
+        self
+    }
+}
+
+/// What happened on one line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineOutcome {
+    /// Line index.
+    pub line: usize,
+    /// Engine that executed it.
+    pub engine: EngineKind,
+    /// Start time, seconds.
+    pub start_secs: f64,
+    /// End time, seconds.
+    pub end_secs: f64,
+    /// Measured cost.
+    pub cost: LineCost,
+    /// Bytes moved across the interconnect to stage this line's inputs.
+    pub staged_bytes: u64,
+}
+
+/// Why a migration was initiated (§III-D distinguishes the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationReason {
+    /// The monitor observed degraded throughput and the re-estimate said
+    /// finishing on the host is cheaper.
+    Degraded,
+    /// The device signalled a high-priority request through the command
+    /// pages; the task must vacate immediately.
+    Preempted,
+}
+
+/// A migration that occurred during the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// The CSD line at whose end execution broke.
+    pub after_line: usize,
+    /// Live state moved device-to-host, bytes.
+    pub state_bytes: u64,
+    /// Wall-clock time of the decision, seconds.
+    pub at_secs: f64,
+    /// Code-regeneration overhead paid, seconds.
+    pub regen_secs: f64,
+    /// What triggered the break.
+    pub reason: MigrationReason,
+}
+
+/// The result of one execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// End-to-end latency in seconds.
+    pub total_secs: f64,
+    /// Per-line outcomes.
+    pub lines: Vec<LineOutcome>,
+    /// The migration, if one occurred.
+    pub migration: Option<MigrationEvent>,
+    /// Lines that actually executed on the CSD.
+    pub csd_lines_executed: usize,
+    /// Total bytes shipped device-to-host.
+    pub d2h_bytes: u64,
+    /// Total bytes shipped host-to-device.
+    pub h2d_bytes: u64,
+    /// Peak bytes of program state resident in device DRAM (BAR-mapped
+    /// shared-address-space allocations).
+    pub peak_device_bytes: u64,
+}
+
+impl RunReport {
+    /// Sum of measured line costs.
+    #[must_use]
+    pub fn total_cost(&self) -> LineCost {
+        self.lines.iter().map(|l| l.cost).sum()
+    }
+
+    /// Total wall-clock seconds spent executing CSD lines.
+    #[must_use]
+    pub fn csd_busy_secs(&self) -> f64 {
+        self.lines
+            .iter()
+            .filter(|l| l.engine == EngineKind::Cse)
+            .map(|l| l.end_secs - l.start_secs)
+            .sum()
+    }
+
+    /// The absolute simulated time at which the ISP task had completed
+    /// `fraction` of its CSD work in this run — how the Figure 5 stress
+    /// point ("right after 50 % of their progress") is computed from an
+    /// uncontended reference run. Returns `None` when nothing ran on the
+    /// CSD.
+    #[must_use]
+    pub fn time_at_csd_progress(&self, fraction: f64) -> Option<f64> {
+        let total = self.csd_busy_secs();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = total * fraction.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for l in &self.lines {
+            if l.engine != EngineKind::Cse {
+                continue;
+            }
+            let span = l.end_secs - l.start_secs;
+            if acc + span >= target {
+                return Some(l.start_secs + (target - acc));
+            }
+            acc += span;
+        }
+        self.lines.last().map(|l| l.end_secs)
+    }
+}
+
+/// Executes `program` with the given per-line `placements` on `system`.
+///
+/// `estimates` (from the sampling/fitting pipeline) are required for
+/// migration decisions; without them the monitor is ignored. `copy_elim`
+/// follows [`alang::copyelim::eliminable_lines`] (empty disables
+/// elimination).
+///
+/// # Errors
+///
+/// Returns an error if `placements` does not match the program length, or
+/// if any line fails to evaluate.
+pub fn execute(
+    program: &Program,
+    storage: &Storage,
+    placements: &[EngineKind],
+    system: &mut System,
+    opts: &ExecOptions,
+    estimates: Option<&[LineEstimate]>,
+    copy_elim: &[bool],
+) -> Result<RunReport> {
+    if placements.len() != program.len() {
+        return Err(ActivePyError::exec(format!(
+            "{} placements for {} lines",
+            placements.len(),
+            program.len()
+        )));
+    }
+    let mut placements = placements.to_vec();
+    let mut interp = Interpreter::new(storage);
+    let mut var_loc: BTreeMap<String, EngineKind> = BTreeMap::new();
+    let mut vars = VarSpace::default();
+    let mut lines_out = Vec::with_capacity(program.len());
+    let mut migration: Option<MigrationEvent> = None;
+    let mut csd_executed = 0usize;
+    let csd_total = placements.iter().filter(|p| **p == EngineKind::Cse).count();
+    let mut contention_applied = false;
+
+    // Distribute the CSD binary into device memory before execution starts.
+    if csd_total > 0 && opts.offload_overheads {
+        let region_lines = csd_total;
+        let binary = Bytes::new(16 * 1024 + region_lines as u64 * 2048);
+        system.transfer(Direction::HostToDevice, binary);
+    }
+
+    // Absolute-time contention is installed into the availability traces up
+    // front, so it throttles resources even in the middle of a line.
+    if let Trigger::AtTime(at) = opts.scenario.trigger() {
+        if !opts.scenario.is_none() {
+            install_contention(system, opts, at);
+            contention_applied = true;
+        }
+    }
+
+    let mut i = 0usize;
+    while i < program.len() {
+        // Progress-based contention triggers on ISP-task progress.
+        let progress = if csd_total == 0 {
+            0.0
+        } else {
+            csd_executed as f64 / csd_total as f64
+        };
+        if !contention_applied && opts.scenario.active_at_progress(progress) {
+            let now = system.now();
+            install_contention(system, opts, now);
+            contention_applied = true;
+        }
+
+        if placements[i] == EngineKind::Host {
+            let line = &program.lines()[i];
+            let start = system.now().as_secs();
+            let staged = stage_inputs(
+                line,
+                EngineKind::Host,
+                system,
+                &interp,
+                &mut var_loc,
+                &mut vars,
+                true,
+            )?;
+            let elim = copy_elim.get(i).copied().unwrap_or(false);
+            let cost = interp.exec_line(line, elim)?;
+            if cost.storage_bytes > 0 {
+                system.storage_read(EngineKind::Host, Bytes::new(cost.storage_bytes));
+            }
+            let ops = cost.effective_ops(opts.tier, &opts.params);
+            if ops > 0 {
+                system.compute(EngineKind::Host, Ops::new(ops));
+            }
+            var_loc.insert(line.target.clone(), EngineKind::Host);
+            vars.bind(system, &line.target, EngineKind::Host, interp.var_bytes(&line.target))?;
+            lines_out.push(LineOutcome {
+                line: i,
+                engine: EngineKind::Host,
+                start_secs: start,
+                end_secs: system.now().as_secs(),
+                cost,
+                staged_bytes: staged,
+            });
+            vars.release_dead(system, program, i)?;
+            i += 1;
+            continue;
+        }
+
+        // A contiguous CSD region [i, end]: executed as a chunk-pipelined
+        // stream (real CSD frameworks process per flash page / per chunk;
+        // the paper's Python lines sit inside chunked loops, with status
+        // updates "once every tens of machine instructions").
+        let mut end = i;
+        while end + 1 < program.len() && placements[end + 1] == EngineKind::Cse {
+            end += 1;
+        }
+        let region = RegionRun::prepare(
+            program,
+            i,
+            end,
+            system,
+            &mut interp,
+            &mut var_loc,
+            &mut vars,
+            opts,
+            copy_elim,
+        )?;
+        let outcome = region.execute(
+            system,
+            &mut var_loc,
+            &mut vars,
+            &mut placements,
+            opts,
+            estimates,
+            &mut contention_applied,
+            csd_executed,
+            csd_total,
+        )?;
+        lines_out.extend(outcome.lines);
+        csd_executed += end - i + 1;
+        if let Some(event) = outcome.migration {
+            migration = Some(event);
+        }
+        vars.release_dead(system, program, end)?;
+        i = end + 1;
+    }
+
+    // The program's result must end up in host memory.
+    if let Some(last) = program.lines().last() {
+        if var_loc.get(&last.target) == Some(&EngineKind::Cse) {
+            let bytes = interp.var_bytes(&last.target);
+            system.transfer(Direction::DeviceToHost, Bytes::new(bytes));
+        }
+    }
+
+    Ok(RunReport {
+        total_secs: system.now().as_secs(),
+        lines: lines_out,
+        migration,
+        csd_lines_executed: csd_executed,
+        d2h_bytes: system.dma().d2h_bytes().as_u64(),
+        h2d_bytes: system.dma().h2d_bytes().as_u64(),
+        peak_device_bytes: vars.peak_device,
+    })
+}
+
+/// Shared-address-space bookkeeping: every materialized program value is a
+/// real allocation in [`csd_sim::memory::SharedAddressSpace`], placed near
+/// its consumer and migrated when it crosses the interconnect. Region-
+/// internal intermediates are chunk-pipelined and never fully materialize,
+/// so only escaping values are bound.
+#[derive(Debug, Default)]
+struct VarSpace {
+    objects: BTreeMap<String, csd_sim::memory::ObjectId>,
+    peak_device: u64,
+}
+
+impl VarSpace {
+    /// (Re)binds `name` to a fresh allocation of `bytes` near `engine`.
+    fn bind(
+        &mut self,
+        system: &mut System,
+        name: &str,
+        engine: EngineKind,
+        bytes: u64,
+    ) -> Result<()> {
+        if let Some(old) = self.objects.remove(name) {
+            system
+                .memory_mut()
+                .dealloc(old)
+                .map_err(|e| ActivePyError::exec(format!("dealloc `{name}`: {e}")))?;
+        }
+        if bytes == 0 {
+            return Ok(());
+        }
+        let id = system
+            .memory_mut()
+            .alloc_near(engine, csd_sim::units::Bytes::new(bytes))
+            .map_err(|e| {
+                ActivePyError::exec(format!("allocating {bytes} B for `{name}`: {e}"))
+            })?;
+        self.objects.insert(name.to_owned(), id);
+        self.update_peak(system);
+        Ok(())
+    }
+
+    /// Moves `name`'s allocation next to `engine`, if it is materialized.
+    fn move_to(&mut self, system: &mut System, name: &str, engine: EngineKind) -> Result<()> {
+        if let Some(id) = self.objects.get(name) {
+            system
+                .memory_mut()
+                .migrate(*id, csd_sim::memory::Region::local_to(engine))
+                .map_err(|e| ActivePyError::exec(format!("migrating `{name}`: {e}")))?;
+            self.update_peak(system);
+        }
+        Ok(())
+    }
+
+    /// Frees `name`'s allocation (the value died: no later consumer).
+    fn release(&mut self, system: &mut System, name: &str) -> Result<()> {
+        if let Some(id) = self.objects.remove(name) {
+            system
+                .memory_mut()
+                .dealloc(id)
+                .map_err(|e| ActivePyError::exec(format!("dealloc `{name}`: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Frees every bound value that has no consumer after line `at` and is
+    /// not the program result.
+    fn release_dead(
+        &mut self,
+        system: &mut System,
+        program: &Program,
+        at: usize,
+    ) -> Result<()> {
+        let result_var =
+            program.lines().last().map(|l| l.target.clone()).unwrap_or_default();
+        let dead: Vec<String> = self
+            .objects
+            .keys()
+            .filter(|name| {
+                **name != result_var && program.consumers_of(name, at).is_empty()
+            })
+            .cloned()
+            .collect();
+        for name in dead {
+            self.release(system, &name)?;
+        }
+        Ok(())
+    }
+
+    fn update_peak(&mut self, system: &System) {
+        let used = system.memory().used(csd_sim::memory::Region::DeviceDram).as_u64();
+        self.peak_device = self.peak_device.max(used);
+    }
+}
+
+/// Moves any of `line`'s inputs that live on the other engine next to it,
+/// returning the bytes shipped (the shared-address-space placement policy:
+/// data lives near whoever reads it next).
+/// `move_allocation` distinguishes the two staging modes: a host line
+/// materializes its inputs in host DRAM (the allocation moves), while a
+/// chunk-pipelined CSD region *streams* its inputs — the transfer is
+/// charged but the device never holds more than chunk buffers, so the
+/// allocation stays put.
+fn stage_inputs(
+    line: &alang::ast::Line,
+    engine: EngineKind,
+    system: &mut System,
+    interp: &Interpreter<'_>,
+    var_loc: &mut BTreeMap<String, EngineKind>,
+    vars: &mut VarSpace,
+    move_allocation: bool,
+) -> Result<u64> {
+    let mut staged = 0u64;
+    for name in line.inputs() {
+        let bytes = interp.var_bytes(&name);
+        if bytes == 0 {
+            continue;
+        }
+        if let Some(loc) = var_loc.get(&name) {
+            if *loc != engine {
+                let dir = match engine {
+                    EngineKind::Cse => Direction::HostToDevice,
+                    EngineKind::Host => Direction::DeviceToHost,
+                };
+                system.transfer(dir, Bytes::new(bytes));
+                staged += bytes;
+                var_loc.insert(name.clone(), engine);
+                if move_allocation {
+                    vars.move_to(system, &name, engine)?;
+                }
+            }
+        }
+    }
+    Ok(staged)
+}
+
+/// How many chunks a CSD region's stream is processed in. Real CSD
+/// frameworks stream per flash page; the paper's status updates land
+/// "typically once every tens of machine instructions", so detection and
+/// break granularity is far finer than one of our bulk lines.
+const REGION_CHUNKS: u64 = 64;
+
+/// Splits `total` into [`REGION_CHUNKS`] near-equal slices; returns slice `c`.
+fn chunk_slice(total: u64, c: u64) -> u64 {
+    total * (c + 1) / REGION_CHUNKS - total * c / REGION_CHUNKS
+}
+
+/// What a region run produced.
+struct RegionOutcome {
+    lines: Vec<LineOutcome>,
+    migration: Option<MigrationEvent>,
+}
+
+/// A contiguous run of CSD lines prepared for chunk-pipelined execution.
+struct RegionRun {
+    start: usize,
+    end: usize,
+    targets: Vec<String>,
+    costs: Vec<LineCost>,
+    ops: Vec<u64>,
+    staged: Vec<u64>,
+    /// Per line: bytes of its output that escape the region (consumed by a
+    /// later line or as the program result) — the only live state a
+    /// streaming region carries at a chunk boundary.
+    escaping_out: Vec<u64>,
+    /// Region-external inputs currently resident in device memory.
+    external_input_bytes: u64,
+}
+
+impl RegionRun {
+    /// Stages inputs, invokes the CSD function through the queue pair, and
+    /// computes the region's values and measured costs.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    fn prepare(
+        program: &Program,
+        start: usize,
+        end: usize,
+        system: &mut System,
+        interp: &mut Interpreter<'_>,
+        var_loc: &mut BTreeMap<String, EngineKind>,
+        vars: &mut VarSpace,
+        opts: &ExecOptions,
+        copy_elim: &[bool],
+    ) -> Result<RegionRun> {
+        if opts.offload_overheads {
+            let now = system.now();
+            system
+                .queue_mut()
+                .submit(now, CommandKind::InvokeFunction { entry_line: start })
+                .map_err(|e| ActivePyError::exec(format!("queue submit failed: {e}")))?;
+            system
+                .queue_mut()
+                .fetch()
+                .map_err(|e| ActivePyError::exec(format!("queue fetch failed: {e}")))?;
+            system.charge_invocation();
+        }
+        let mut targets = Vec::with_capacity(end - start + 1);
+        let mut costs = Vec::with_capacity(end - start + 1);
+        let mut ops = Vec::with_capacity(end - start + 1);
+        let mut staged = Vec::with_capacity(end - start + 1);
+        let mut external_input_bytes = 0u64;
+        for line in &program.lines()[start..=end] {
+            // External inputs cross to device memory before the stream
+            // starts; intra-region values are consumed chunk-by-chunk.
+            let external: u64 = line
+                .inputs()
+                .iter()
+                .filter(|v| {
+                    program.def_site(v).is_none_or(|d| d < start)
+                        && var_loc.get(*v) == Some(&EngineKind::Host)
+                })
+                .map(|v| interp.var_bytes(v))
+                .sum();
+            let s = stage_inputs(line, EngineKind::Cse, system, interp, var_loc, vars, false)?;
+            external_input_bytes += external;
+            staged.push(s);
+            let elim = copy_elim.get(line.index).copied().unwrap_or(false);
+            let cost = interp.exec_line(line, elim)?;
+            ops.push(cost.effective_ops(opts.tier, &opts.params));
+            costs.push(cost);
+            targets.push(line.target.clone());
+            var_loc.insert(line.target.clone(), EngineKind::Cse);
+        }
+        let escaping_out: Vec<u64> = (start..=end)
+            .map(|k| {
+                let line = &program.lines()[k];
+                let consumed_later = !program.consumers_of(&line.target, end).is_empty();
+                let is_result = k == program.len() - 1;
+                if consumed_later || is_result {
+                    costs[k - start].bytes_out
+                } else {
+                    0
+                }
+            })
+            .collect();
+        // Only escaping values materialize in device DRAM; the chunk
+        // pipeline consumes everything else in place.
+        for (k, bytes) in escaping_out.iter().enumerate() {
+            if *bytes > 0 {
+                vars.bind(system, &targets[k], EngineKind::Cse, *bytes)?;
+            }
+        }
+        Ok(RegionRun {
+            start,
+            end,
+            targets,
+            costs,
+            ops,
+            staged,
+            escaping_out,
+            external_input_bytes,
+        })
+    }
+
+    /// Streams the region through the simulator in [`REGION_CHUNKS`]
+    /// chunks, monitoring throughput after each and migrating the remaining
+    /// stream to the host when the re-estimate says so (§III-D).
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        self,
+        system: &mut System,
+        var_loc: &mut BTreeMap<String, EngineKind>,
+        vars: &mut VarSpace,
+        placements: &mut [EngineKind],
+        opts: &ExecOptions,
+        estimates: Option<&[LineEstimate]>,
+        contention_applied: &mut bool,
+        csd_executed: usize,
+        csd_total: usize,
+    ) -> Result<RegionOutcome> {
+        let len = self.end - self.start + 1;
+        let region_t0 = system.now().as_secs();
+        let mut durations = vec![0.0f64; len];
+        let mut done_storage = vec![0u64; len];
+        let mut done_ops = vec![0u64; len];
+        // The expected instruction throughput is "the total amount of
+        // estimated instructions divided by estimated execution time on
+        // CSD" (§III-D) — an end-to-end progress rate that includes data
+        // stalls, so starvation of the data path registers as degraded IPC.
+        let expected_rate = estimates
+            .and_then(|est| {
+                let region: Vec<&LineEstimate> = est
+                    .iter()
+                    .filter(|e| e.line >= self.start && e.line <= self.end)
+                    .collect();
+                let ops: u64 = region.iter().map(|e| e.ops).sum();
+                let secs: f64 = region.iter().map(|e| e.ct_device).sum();
+                (secs > 0.0 && ops > 0).then(|| ops as f64 / secs)
+            })
+            .unwrap_or_else(|| {
+                system.engine(EngineKind::Cse).nominal_rate().as_ops_per_sec()
+            });
+        let mut monitor = opts.monitor.map(|cfg| {
+            Monitor::new(cfg, expected_rate, *system.engine(EngineKind::Cse).counters())
+        });
+        let mut migration: Option<MigrationEvent> = None;
+        let mut break_submitted = false;
+
+        'chunks: for c in 0..REGION_CHUNKS {
+            // Progress-triggered contention can fire mid-region.
+            if !*contention_applied && csd_total > 0 {
+                let progress =
+                    (csd_executed as f64 + (c as f64 / REGION_CHUNKS as f64) * len as f64)
+                        / csd_total as f64;
+                if opts.scenario.active_at_progress(progress) {
+                    let now = system.now();
+                    install_contention(system, opts, now);
+                    *contention_applied = true;
+                }
+            }
+            let chunk_t0 = system.now().as_secs();
+            let mut chunk_ops = 0u64;
+            for k in 0..len {
+                let t0 = system.now().as_secs();
+                let rb = chunk_slice(self.costs[k].storage_bytes, c);
+                if rb > 0 {
+                    system.storage_read(EngineKind::Cse, Bytes::new(rb));
+                    done_storage[k] += rb;
+                }
+                let co = chunk_slice(self.ops[k], c);
+                if co > 0 {
+                    system.compute(EngineKind::Cse, Ops::new(co));
+                    done_ops[k] += co;
+                    chunk_ops += co;
+                }
+                if opts.offload_overheads {
+                    system.charge_status_update();
+                }
+                durations[k] += system.now().as_secs() - t0;
+            }
+            let chunk_wall = system.now().as_secs() - chunk_t0;
+            // Chunk boundary: the status-update code first checks the
+            // command pages for a high-priority request (§III-D case 1),
+            // then the host-side monitor checks throughput (case 2).
+            let done_fraction = (c + 1) as f64 / REGION_CHUNKS as f64;
+            if done_fraction >= 1.0 {
+                break;
+            }
+            if let Some(t) = opts.preempt_at {
+                if !break_submitted && system.now().as_secs() >= t {
+                    let now = system.now();
+                    // Host posts the Break; losing the slot on a full ring
+                    // only delays preemption to the next boundary.
+                    let _ = system.queue_mut().submit(now, CommandKind::Break);
+                    break_submitted = true;
+                }
+            }
+            let reason = if system.queue().has_pending_break() {
+                while system.queue_mut().fetch().is_ok() {}
+                Some(MigrationReason::Preempted)
+            } else if let (Some(mon), Some(est)) = (monitor.as_mut(), estimates) {
+                match mon.observe_window(chunk_ops as f64, chunk_wall) {
+                    Observation::Degraded { .. } => {
+                        let later_csd: Vec<&LineEstimate> = est
+                            .iter()
+                            .filter(|e| {
+                                e.line > self.end && placements[e.line] == EngineKind::Cse
+                            })
+                            .collect();
+                        let region_est: Vec<&LineEstimate> = est
+                            .iter()
+                            .filter(|e| e.line >= self.start && e.line <= self.end)
+                            .collect();
+                        let remaining_device = (1.0 - done_fraction)
+                            * region_est.iter().map(|e| e.ct_device).sum::<f64>()
+                            + later_csd.iter().map(|e| e.ct_device).sum::<f64>();
+                        let reestimated = mon.reestimate_remaining(remaining_device);
+                        let state_est = (self
+                            .escaping_out
+                            .iter()
+                            .map(|b| (*b as f64 * done_fraction) as u64)
+                            .sum::<u64>())
+                            + self.external_input_bytes;
+                        let bw = system.d2h_bandwidth().as_bytes_per_sec();
+                        let regen =
+                            CompiledProgram::compile_secs_for(len + later_csd.len());
+                        let remaining_host = (1.0 - done_fraction)
+                            * region_est.iter().map(|e| e.ct_host).sum::<f64>()
+                            + later_csd.iter().map(|e| e.ct_host).sum::<f64>();
+                        let migrate_cost =
+                            state_est as f64 / bw + regen + remaining_host;
+                        (reestimated > migrate_cost).then_some(MigrationReason::Degraded)
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let Some(reason) = reason else {
+                continue;
+            };
+            let state_bytes = (self
+                .escaping_out
+                .iter()
+                .map(|b| (*b as f64 * done_fraction) as u64)
+                .sum::<u64>())
+                + self.external_input_bytes;
+            let later_count = placements[self.end + 1..]
+                .iter()
+                .filter(|p| **p == EngineKind::Cse)
+                .count();
+            let regen_secs = CompiledProgram::compile_secs_for(len + later_count);
+            // Break at this chunk boundary: move the live state, regenerate
+            // host code, and resume the remaining stream on the host.
+            let decided_at = system.now().as_secs();
+            system.transfer(Direction::DeviceToHost, Bytes::new(state_bytes));
+            system.advance(csd_sim::units::Duration::from_secs(regen_secs));
+            for k in 0..len {
+                let t0 = system.now().as_secs();
+                let rem_b = self.costs[k].storage_bytes.saturating_sub(done_storage[k]);
+                if rem_b > 0 {
+                    system.storage_read(EngineKind::Host, Bytes::new(rem_b));
+                }
+                let rem_o = self.ops[k].saturating_sub(done_ops[k]);
+                if rem_o > 0 {
+                    system.compute(EngineKind::Host, Ops::new(rem_o));
+                }
+                durations[k] += system.now().as_secs() - t0;
+                // The merged region outputs now live on the host.
+                var_loc.insert(self.targets[k].clone(), EngineKind::Host);
+                vars.move_to(system, &self.targets[k], EngineKind::Host)?;
+            }
+            for p in placements.iter_mut().skip(self.end + 1) {
+                if *p == EngineKind::Cse {
+                    *p = EngineKind::Host;
+                }
+            }
+            let after_line = self.start
+                + ((done_fraction * len as f64).floor() as usize).min(len - 1);
+            migration = Some(MigrationEvent {
+                after_line,
+                state_bytes,
+                at_secs: decided_at,
+                regen_secs,
+                reason,
+            });
+            break 'chunks;
+        }
+
+        // Synthesize sequential per-line intervals from the accumulated
+        // durations (chunks interleave lines; total time is exact, the
+        // per-line split is proportional).
+        let mut cursor = region_t0;
+        let lines = (0..len)
+            .map(|k| {
+                let start_secs = cursor;
+                cursor += durations[k];
+                LineOutcome {
+                    line: self.start + k,
+                    engine: EngineKind::Cse,
+                    start_secs,
+                    end_secs: cursor,
+                    cost: self.costs[k],
+                    staged_bytes: self.staged[k],
+                }
+            })
+            .collect();
+        Ok(RegionOutcome { lines, migration })
+    }
+}
+
+/// Installs the scenario's degradation on the CSE (and, for competing ISP
+/// tenants, the internal flash data path) from time `at` onward.
+fn install_contention(system: &mut System, opts: &ExecOptions, at: csd_sim::units::SimTime) {
+    system.engine_mut(EngineKind::Cse).degrade_from(at, opts.scenario.fraction());
+    if opts.scenario.affects_storage() {
+        let trace = AvailabilityTrace::full().with_change(at, opts.scenario.fraction());
+        system.flash_mut().set_contention(trace);
+    }
+}
+
+/// Convenience: runs the whole program on the host (the no-CSD baseline).
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn execute_all_host(
+    program: &Program,
+    storage: &Storage,
+    system: &mut System,
+    tier: ExecTier,
+    params: &CostParams,
+    copy_elim: &[bool],
+) -> Result<RunReport> {
+    let placements = vec![EngineKind::Host; program.len()];
+    let opts = ExecOptions {
+        tier,
+        params: *params,
+        scenario: ContentionScenario::none(),
+        monitor: None,
+        offload_overheads: false,
+        preempt_at: None,
+    };
+    execute(program, storage, &placements, system, &opts, None, copy_elim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alang::parser::parse;
+    use alang::value::ArrayVal;
+    use alang::Value;
+    use csd_sim::SystemConfig;
+
+    /// 4 GB logical array, materialized small.
+    fn storage() -> Storage {
+        let mut st = Storage::new();
+        let data: Vec<f64> = (0..4096).map(|i| (i % 100) as f64).collect();
+        st.insert("v", Value::Array(ArrayVal::with_logical(data, 500_000_000)));
+        st
+    }
+
+    const SRC: &str = "a = scan('v')\nm = a < 50\nb = select(a, m)\ns = sum(b)\n";
+
+    fn placements(csd: &[usize], len: usize) -> Vec<EngineKind> {
+        (0..len)
+            .map(|i| if csd.contains(&i) { EngineKind::Cse } else { EngineKind::Host })
+            .collect()
+    }
+
+    #[test]
+    fn all_host_run_produces_report() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute_all_host(
+            &program,
+            &st,
+            &mut sys,
+            ExecTier::Native,
+            &CostParams::paper_default(),
+            &[],
+        )
+        .expect("run");
+        assert_eq!(rep.lines.len(), 4);
+        assert!(rep.total_secs > 0.0);
+        assert_eq!(rep.csd_lines_executed, 0);
+        assert!(rep.migration.is_none());
+        // Host scan of 4 GB at the 4 GB/s external path ≈ 1 s floor.
+        assert!(rep.total_secs > 0.9, "got {}", rep.total_secs);
+    }
+
+    #[test]
+    fn offloading_the_reduction_pipeline_wins() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut host_sys = SystemConfig::paper_default().build();
+        let host = execute_all_host(
+            &program,
+            &st,
+            &mut host_sys,
+            ExecTier::Native,
+            &CostParams::paper_default(),
+            &[],
+        )
+        .expect("host");
+        let mut isp_sys = SystemConfig::paper_default().build();
+        let opts = ExecOptions::native_static();
+        let isp = execute(
+            &program,
+            &st,
+            &placements(&[0, 1, 2, 3], 4),
+            &mut isp_sys,
+            &opts,
+            None,
+            &[],
+        )
+        .expect("isp");
+        assert!(
+            isp.total_secs < host.total_secs,
+            "ISP {} should beat host {}",
+            isp.total_secs,
+            host.total_secs
+        );
+        assert_eq!(isp.csd_lines_executed, 4);
+    }
+
+    #[test]
+    fn placements_length_mismatch_rejected() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let e = execute(
+            &program,
+            &st,
+            &placements(&[], 2),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(e, ActivePyError::Exec { .. }));
+    }
+
+    #[test]
+    fn cross_engine_variables_are_staged() {
+        // Line 0,1 on CSD; line 2,3 on host: `a` and `m` must cross back.
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &placements(&[0, 1], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("run");
+        let staged: u64 = rep.lines.iter().map(|l| l.staged_bytes).sum();
+        assert!(staged > 0, "host lines must pull a and m over: {rep:?}");
+        assert!(rep.d2h_bytes >= staged);
+    }
+
+    #[test]
+    fn constant_contention_slows_static_isp() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let all = placements(&[0, 1, 2, 3], 4);
+        let mut full_sys = SystemConfig::paper_default().build();
+        let full = execute(
+            &program,
+            &st,
+            &all,
+            &mut full_sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("full");
+        let mut starved_sys = SystemConfig::paper_default().build();
+        let starved = execute(
+            &program,
+            &st,
+            &all,
+            &mut starved_sys,
+            &ExecOptions::native_static()
+                .with_scenario(ContentionScenario::constant(0.1)),
+            None,
+            &[],
+        )
+        .expect("starved");
+        assert!(
+            starved.total_secs > full.total_secs * 1.5,
+            "10% CSE must hurt: {} vs {}",
+            starved.total_secs,
+            full.total_secs
+        );
+    }
+
+    #[test]
+    fn migration_fires_under_progress_contention() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let all = placements(&[0, 1, 2, 3], 4);
+        // Build estimates that roughly match reality so the decision logic
+        // has something to work with.
+        let estimates: Vec<LineEstimate> = (0..4)
+            .map(|line| LineEstimate {
+                line,
+                ct_host: 0.5,
+                ct_device: 0.3,
+                d_in: 1_000_000,
+                d_out: 1_000_000,
+                ops: 1_000_000_000,
+            })
+            .collect();
+        let opts = ExecOptions::activepy()
+            .with_scenario(ContentionScenario::after_progress(0.5, 0.01));
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(&program, &st, &all, &mut sys, &opts, Some(&estimates), &[])
+            .expect("run");
+        let mig = rep.migration.expect("should migrate under 1% availability");
+        assert!(
+            mig.after_line >= 1,
+            "contention starts at 50% progress, so the break lands mid-stream: {mig:?}"
+        );
+        assert!(mig.regen_secs > 0.0, "host code regeneration is charged");
+        // And the run with migration beats the one without.
+        let mut sys2 = SystemConfig::paper_default().build();
+        let no_mig = execute(
+            &program,
+            &st,
+            &all,
+            &mut sys2,
+            &opts.clone().without_migration(),
+            Some(&estimates),
+            &[],
+        )
+        .expect("no-mig run");
+        assert!(
+            rep.total_secs < no_mig.total_secs,
+            "migration {} must beat starvation {}",
+            rep.total_secs,
+            no_mig.total_secs
+        );
+    }
+
+    #[test]
+    fn split_placements_form_two_regions_with_two_invocations() {
+        // CSD, host, CSD, host: two separate CSD regions, each invoked
+        // through the queue pair.
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &placements(&[0, 2], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("run");
+        assert_eq!(rep.csd_lines_executed, 2);
+        assert_eq!(sys.queue().submitted_total(), 2, "one invocation per region");
+        // The host lines in between pull their inputs across.
+        let staged: u64 = rep.lines.iter().map(|l| l.staged_bytes).sum();
+        assert!(staged > 0);
+    }
+
+    #[test]
+    fn device_memory_is_accounted_and_bounded() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        // Lines 0-2 on CSD, line 3 (sum) on host: `b` (the selected array)
+        // escapes the region, so it must materialize in device DRAM.
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &placements(&[0, 1, 2], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("run");
+        // b has ~250M logical elements x 8 B = ~2 GB.
+        assert!(
+            rep.peak_device_bytes > 1_000_000_000,
+            "escaping output must occupy device DRAM: {}",
+            rep.peak_device_bytes
+        );
+        assert!(rep.peak_device_bytes < 16 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn device_dram_overflow_is_an_error_not_a_lie() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        // A CSD with 1 GB of DRAM cannot hold the ~2 GB escaping array.
+        let mut config = SystemConfig::paper_default();
+        config.device_dram = csd_sim::units::Bytes::from_gib(1);
+        let mut sys = config.build();
+        let e = execute(
+            &program,
+            &st,
+            &placements(&[0, 1, 2], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("out of memory"), "got: {msg}");
+    }
+
+    #[test]
+    fn high_priority_preemption_forces_migration() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let all = placements(&[0, 1, 2, 3], 4);
+        // Uncontended reference to find a mid-run time.
+        let mut ref_sys = SystemConfig::paper_default().build();
+        let reference = execute(
+            &program,
+            &st,
+            &all,
+            &mut ref_sys,
+            &ExecOptions::activepy(),
+            None,
+            &[],
+        )
+        .expect("reference");
+        let t_mid = reference.total_secs * 0.4;
+        // No contention at all: the monitor would never migrate, but the
+        // Break command must.
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &all,
+            &mut sys,
+            &ExecOptions::activepy().with_preemption_at(t_mid),
+            None,
+            &[],
+        )
+        .expect("preempted run");
+        let mig = rep.migration.expect("the Break command must force a migration");
+        assert_eq!(mig.reason, MigrationReason::Preempted);
+        assert!(
+            mig.at_secs >= t_mid,
+            "break happens at the next status update after {t_mid}: {mig:?}"
+        );
+        // The run completes correctly, just slower than the quiet one.
+        assert!(rep.total_secs >= reference.total_secs * 0.99);
+    }
+
+    #[test]
+    fn preemption_after_completion_is_harmless() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let all = placements(&[0, 1, 2, 3], 4);
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &all,
+            &mut sys,
+            &ExecOptions::activepy().with_preemption_at(1e9),
+            None,
+            &[],
+        )
+        .expect("run");
+        assert!(rep.migration.is_none());
+    }
+
+    #[test]
+    fn final_result_returns_to_host() {
+        let program = parse("a = scan('v')\ns = sum(a)\n").expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &placements(&[0, 1], 2),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("run");
+        // The scalar result crossing back is tiny but the path is charged.
+        assert!(rep.d2h_bytes >= 8);
+    }
+}

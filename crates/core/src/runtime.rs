@@ -1,0 +1,341 @@
+//! The ActivePy runtime facade: the full pipeline of Figure 3.
+//!
+//! Given an unannotated program and its raw input, [`ActivePy::run`]
+//! executes the whole workflow the paper describes: sample → fit → estimate
+//! → assign (Algorithm 1) → generate code (with copy elimination) →
+//! distribute → execute with monitoring and dynamic task migration. The
+//! sampling and code-generation overheads are charged to the simulated
+//! clock, so end-to-end latencies include them (the paper reports ≈0.1 s /
+//! ≈1 %).
+
+use crate::assign::{assign_refined, Assignment};
+use crate::error::Result;
+use crate::estimate::{estimate_lines, Calibration, LineEstimate};
+use crate::exec::{execute, ExecOptions, RunReport};
+use crate::fit::{predict_lines, LinePrediction};
+use crate::monitor::MonitorConfig;
+use crate::sampling::{paper_scales, run_sampling, InputSource, SamplingReport};
+use alang::compile::CompiledProgram;
+use alang::copyelim::eliminable_lines;
+use alang::{CostParams, ExecTier, Program};
+use csd_sim::contention::ContentionScenario;
+use csd_sim::units::Duration;
+use csd_sim::SystemConfig;
+
+/// Configuration of the ActivePy runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivePyOptions {
+    /// Sampling scale factors (the paper's four powers of two by default).
+    pub scales: Vec<f64>,
+    /// Cost-model constants.
+    pub params: CostParams,
+    /// Monitoring/migration policy (`None` disables migration — the
+    /// "ActivePy w/o migration" configuration of Figure 5).
+    pub monitor: Option<MonitorConfig>,
+    /// Whether sampling and code-generation time is charged to the clock.
+    pub charge_pipeline_overheads: bool,
+    /// Optional high-priority preemption time (§III-D case 1): the device
+    /// signals through the command pages and the ISP task vacates at the
+    /// next status update.
+    pub preempt_at: Option<f64>,
+}
+
+impl Default for ActivePyOptions {
+    fn default() -> Self {
+        ActivePyOptions {
+            scales: paper_scales(),
+            params: CostParams::paper_default(),
+            monitor: Some(MonitorConfig::default()),
+            charge_pipeline_overheads: true,
+            preempt_at: None,
+        }
+    }
+}
+
+impl ActivePyOptions {
+    /// Disables dynamic task migration.
+    #[must_use]
+    pub fn without_migration(mut self) -> Self {
+        self.monitor = None;
+        self
+    }
+
+    /// Schedules a high-priority device preemption at `at_secs`.
+    #[must_use]
+    pub fn with_preemption_at(mut self, at_secs: f64) -> Self {
+        self.preempt_at = Some(at_secs);
+        self
+    }
+}
+
+/// Everything ActivePy produced for one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivePyOutcome {
+    /// The execution report (end-to-end latency, per-line outcomes,
+    /// migration).
+    pub report: RunReport,
+    /// The Algorithm-1 assignment.
+    pub assignment: Assignment,
+    /// Per-line estimates fed to Algorithm 1 and the monitor.
+    pub estimates: Vec<LineEstimate>,
+    /// Full-scale predictions with their fitted curves.
+    pub predictions: Vec<LinePrediction>,
+    /// The raw sampling measurements.
+    pub sampling: SamplingReport,
+    /// Simulated seconds spent in the sampling phase.
+    pub sampling_secs: f64,
+    /// Simulated seconds spent generating code.
+    pub compile_secs: f64,
+    /// The calibrated CSE-slowdown constant.
+    pub calibration: Calibration,
+}
+
+/// The ActivePy runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActivePy {
+    options: ActivePyOptions,
+}
+
+impl ActivePy {
+    /// A runtime with the paper's default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        ActivePy { options: ActivePyOptions::default() }
+    }
+
+    /// A runtime with custom options.
+    #[must_use]
+    pub fn with_options(options: ActivePyOptions) -> Self {
+        ActivePy { options }
+    }
+
+    /// The active options.
+    #[must_use]
+    pub fn options(&self) -> &ActivePyOptions {
+        &self.options
+    }
+
+    /// Runs the complete pipeline on `program` with inputs from `input`,
+    /// on a platform described by `config`, under `scenario` contention.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, fitting, and execution failures.
+    pub fn run(
+        &self,
+        program: &Program,
+        input: &dyn InputSource,
+        config: &SystemConfig,
+        scenario: ContentionScenario,
+    ) -> Result<ActivePyOutcome> {
+        // 1. Sampling phase on down-scaled inputs.
+        let sampling = run_sampling(program, input, &self.options.scales)?;
+        let sampling_secs = self.sampling_secs(&sampling, config);
+
+        // 2. Fit the five candidate curves and extrapolate to full scale.
+        let predictions = predict_lines(&sampling.lines)?;
+
+        // 3. Calibrate the CSE slowdown from performance counters.
+        let calibration = Calibration::from_counters(config);
+
+        // 4. Decide copy elimination from the dataset types sampling
+        //    observed (the generated code's optimization), then estimate
+        //    per-line host/device times for that code and run Algorithm 1.
+        let copy_elim = eliminable_lines(program, &sampling.dataset_types);
+        let estimates = estimate_lines(
+            &predictions,
+            ExecTier::CompiledCopyElim,
+            &self.options.params,
+            config,
+            &calibration,
+            &copy_elim,
+        );
+        let assignment =
+            assign_refined(program, &estimates, config.d2h_bandwidth().as_bytes_per_sec());
+        let csd_line_count = assignment.csd_lines.len();
+        let compile_secs = CompiledProgram::compile_secs_for(program.len())
+            + if csd_line_count > 0 {
+                CompiledProgram::compile_secs_for(csd_line_count)
+            } else {
+                0.0
+            };
+
+        // 6. Execute at full scale with monitoring and migration.
+        let storage = input.storage_at(1.0);
+        let mut system = config.build();
+        if self.options.charge_pipeline_overheads {
+            system.advance(Duration::from_secs(sampling_secs + compile_secs));
+        }
+        let opts = ExecOptions {
+            tier: ExecTier::CompiledCopyElim,
+            params: self.options.params,
+            scenario,
+            monitor: self.options.monitor,
+            offload_overheads: true,
+            preempt_at: self.options.preempt_at,
+        };
+        let placements = assignment.placements(program.len());
+        let report = execute(
+            program,
+            &storage,
+            &placements,
+            &mut system,
+            &opts,
+            Some(&estimates),
+            &copy_elim,
+        )?;
+
+        Ok(ActivePyOutcome {
+            report,
+            assignment,
+            estimates,
+            predictions,
+            sampling,
+            sampling_secs,
+            compile_secs,
+            calibration,
+        })
+    }
+
+    /// Simulated wall-clock cost of the sampling runs: the sample programs
+    /// execute interpreted on the host.
+    fn sampling_secs(&self, sampling: &SamplingReport, config: &SystemConfig) -> f64 {
+        let ops = sampling
+            .total_sampling_cost
+            .effective_ops(ExecTier::Interpreted, &self.options.params);
+        let host_rate = config.host.nominal_rate().as_ops_per_sec();
+        let storage_bw = config.host_storage_bandwidth().as_bytes_per_sec();
+        ops as f64 / host_rate
+            + sampling.total_sampling_cost.storage_bytes as f64 / storage_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_all_host;
+    use alang::builtins::Storage;
+    use alang::parser::parse;
+    use alang::value::ArrayVal;
+    use alang::Value;
+
+    /// A filter-reduce workload over an 8 GB logical array. The
+    /// materialized length is kept a multiple of 100 so the `a < 50`
+    /// selectivity is exactly 0.5 at every sampling scale.
+    fn input() -> impl InputSource {
+        |scale: f64| {
+            let logical = (scale * 1e9).round().max(100.0) as u64;
+            let actual = (((logical / 100_000).clamp(100, 8000) / 100) * 100) as usize;
+            let data: Vec<f64> = (0..actual).map(|i| (i % 100) as f64).collect();
+            let mut st = Storage::new();
+            st.insert("v", Value::Array(ArrayVal::with_logical(data, logical)));
+            st
+        }
+    }
+
+    const SRC: &str = "\
+a = scan('v')
+m = a < 50
+b = select(a, m)
+s = sum(b)
+";
+
+    #[test]
+    fn pipeline_runs_end_to_end_and_offloads_the_scan() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let outcome = ActivePy::new()
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("pipeline");
+        assert!(
+            outcome.assignment.csd_lines.contains(&0),
+            "the scan line should offload: {:?}",
+            outcome.assignment
+        );
+        assert!(outcome.report.total_secs > 0.0);
+        assert!(outcome.sampling_secs > 0.0);
+        assert!(outcome.compile_secs > 0.0);
+        assert_eq!(outcome.estimates.len(), 4);
+        assert_eq!(outcome.predictions.len(), 4);
+    }
+
+    #[test]
+    fn activepy_beats_the_host_only_baseline() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let outcome = ActivePy::new()
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("pipeline");
+        let storage = input().storage_at(1.0);
+        let mut host_sys = config.build();
+        let host = execute_all_host(
+            &program,
+            &storage,
+            &mut host_sys,
+            alang::ExecTier::Native,
+            &CostParams::paper_default(),
+            &[],
+        )
+        .expect("host baseline");
+        assert!(
+            outcome.report.total_secs < host.total_secs,
+            "ActivePy {} must beat host {}",
+            outcome.report.total_secs,
+            host.total_secs
+        );
+    }
+
+    #[test]
+    fn pipeline_overheads_are_small() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let outcome = ActivePy::new()
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("pipeline");
+        let overhead = outcome.sampling_secs + outcome.compile_secs;
+        assert!(
+            overhead < 0.10 * outcome.report.total_secs,
+            "overhead {overhead}s too large vs total {}s",
+            outcome.report.total_secs
+        );
+    }
+
+    #[test]
+    fn without_migration_option_disables_monitor() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::with_options(ActivePyOptions::default().without_migration());
+        let outcome = rt
+            .run(
+                &program,
+                &input(),
+                &config,
+                ContentionScenario::after_progress(0.5, 0.1),
+            )
+            .expect("pipeline");
+        assert!(outcome.report.migration.is_none());
+    }
+
+    #[test]
+    fn volume_predictions_are_close_to_measured() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let outcome = ActivePy::new()
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("pipeline");
+        // Compare predicted vs measured output volume per line (the
+        // paper's headline accuracy result: geomean error ≈ 9 %).
+        for (pred, line) in outcome.predictions.iter().zip(&outcome.report.lines) {
+            let predicted = pred.cost.bytes_out as f64;
+            let measured = line.cost.bytes_out as f64;
+            if measured > 1e6 {
+                let err = (predicted - measured).abs() / measured;
+                assert!(
+                    err < 0.25,
+                    "line {} volume error {err}: predicted {predicted}, measured {measured}",
+                    pred.line
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Performance counters.
+//!
+//! ActivePy consults device performance counters twice: once during
+//! calibration ("querying the CSD's performance counters, e.g. retired
+//! instructions per cycle", §III-A) and continuously during runtime
+//! monitoring ("ActivePy detects the second case by checking the throughput
+//! of the CSD code", §III-D). [`PerfCounters`] accumulates retired
+//! operations and wall-clock busy time so both uses can compute an
+//! instructions-per-cycle (IPC) figure.
+
+use crate::units::{Duration, Ops};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated performance counters for one compute engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    retired: Ops,
+    busy: Duration,
+}
+
+impl PerfCounters {
+    /// Fresh counters with nothing retired.
+    #[must_use]
+    pub fn new() -> Self {
+        PerfCounters::default()
+    }
+
+    /// Records `ops` retired over `wall` of wall-clock time.
+    pub fn record(&mut self, ops: Ops, wall: Duration) {
+        self.retired += ops;
+        self.busy += wall;
+    }
+
+    /// Total retired operations.
+    #[must_use]
+    pub fn retired(&self) -> Ops {
+        self.retired
+    }
+
+    /// Total wall-clock time spent executing.
+    #[must_use]
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// Achieved throughput in operations per second of wall-clock time, or
+    /// `None` if nothing has executed yet.
+    ///
+    /// On a contended engine this falls below the nominal rate in proportion
+    /// to the availability the task actually received — exactly the signal
+    /// the paper's monitor keys on.
+    #[must_use]
+    pub fn achieved_rate(&self) -> Option<f64> {
+        if self.busy.is_zero() {
+            None
+        } else {
+            Some(self.retired.as_f64() / self.busy.as_secs())
+        }
+    }
+
+    /// Instructions per cycle given the engine's clock `freq_hz`.
+    #[must_use]
+    pub fn ipc(&self, freq_hz: f64) -> Option<f64> {
+        self.achieved_rate().map(|r| r / freq_hz)
+    }
+
+    /// Counters observed since `snapshot` was taken (a windowed delta, as
+    /// the runtime monitor samples).
+    #[must_use]
+    pub fn delta_since(&self, snapshot: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            retired: self.retired.saturating_sub(snapshot.retired),
+            busy: self.busy - snapshot.busy,
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&mut self) {
+        *self = PerfCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counters_have_no_rate() {
+        assert_eq!(PerfCounters::new().achieved_rate(), None);
+    }
+
+    #[test]
+    fn achieved_rate_is_ops_over_wall() {
+        let mut c = PerfCounters::new();
+        c.record(Ops::new(1_000_000), Duration::from_secs(0.5));
+        assert!((c.achieved_rate().expect("rate") - 2e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ipc_divides_by_frequency() {
+        let mut c = PerfCounters::new();
+        c.record(Ops::new(3_600_000_000), Duration::from_secs(1.0));
+        let ipc = c.ipc(3.6e9).expect("ipc");
+        assert!((ipc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_windows_the_counters() {
+        let mut c = PerfCounters::new();
+        c.record(Ops::new(100), Duration::from_secs(1.0));
+        let snap = c;
+        c.record(Ops::new(50), Duration::from_secs(2.0));
+        let d = c.delta_since(&snap);
+        assert_eq!(d.retired(), Ops::new(50));
+        assert!((d.busy().as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = PerfCounters::new();
+        c.record(Ops::new(5), Duration::from_secs(1.0));
+        c.reset();
+        assert_eq!(c.retired(), Ops::ZERO);
+        assert!(c.busy().is_zero());
+    }
+}

@@ -1,0 +1,288 @@
+//! The assembled system: one clock, two engines, flash, links, queues,
+//! DMA, and the shared address space.
+//!
+//! [`System`] is the facade the execution layers drive. Every operation
+//! advances the simulated clock and records traffic/counters, so a run's
+//! end-to-end latency is simply `sys.now()` when it finishes.
+
+use crate::config::SystemConfig;
+use crate::dma::{Direction, DmaEngine};
+use crate::engine::{ComputeEngine, EngineKind};
+use crate::flash::FlashArray;
+use crate::link::Path;
+use crate::memory::SharedAddressSpace;
+use crate::nvme::QueuePair;
+use crate::units::{Bandwidth, Bytes, Duration, Ops, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A complete simulated platform instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct System {
+    config: SystemConfig,
+    clock: SimTime,
+    host: ComputeEngine,
+    cse: ComputeEngine,
+    flash: FlashArray,
+    d2h_path: Path,
+    queue: QueuePair,
+    dma: DmaEngine,
+    memory: SharedAddressSpace,
+}
+
+impl System {
+    /// Assembles a system from its parts; use [`SystemConfig::build`]
+    /// instead of calling this directly.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub(crate) fn from_parts(
+        config: SystemConfig,
+        host: ComputeEngine,
+        cse: ComputeEngine,
+        flash: FlashArray,
+        d2h_path: Path,
+        queue: QueuePair,
+        dma: DmaEngine,
+        memory: SharedAddressSpace,
+    ) -> Self {
+        System { config, clock: SimTime::ZERO, host, cse, flash, d2h_path, queue, dma, memory }
+    }
+
+    /// Convenience constructor for the paper's platform.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SystemConfig::paper_default().build()
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the clock by `d` without attributing work to any resource
+    /// (e.g. fixed software overheads such as compilation).
+    pub fn advance(&mut self, d: Duration) {
+        self.clock += d;
+    }
+
+    /// The compute engine of the given kind.
+    #[must_use]
+    pub fn engine(&self, kind: EngineKind) -> &ComputeEngine {
+        match kind {
+            EngineKind::Host => &self.host,
+            EngineKind::Cse => &self.cse,
+        }
+    }
+
+    /// Mutable access to a compute engine (e.g. to install contention).
+    #[must_use]
+    pub fn engine_mut(&mut self, kind: EngineKind) -> &mut ComputeEngine {
+        match kind {
+            EngineKind::Host => &mut self.host,
+            EngineKind::Cse => &mut self.cse,
+        }
+    }
+
+    /// The flash array.
+    #[must_use]
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// Mutable access to the flash array.
+    #[must_use]
+    pub fn flash_mut(&mut self) -> &mut FlashArray {
+        &mut self.flash
+    }
+
+    /// The NVMe queue pair.
+    #[must_use]
+    pub fn queue(&self) -> &QueuePair {
+        &self.queue
+    }
+
+    /// Mutable access to the queue pair.
+    #[must_use]
+    pub fn queue_mut(&mut self) -> &mut QueuePair {
+        &mut self.queue
+    }
+
+    /// The shared address space.
+    #[must_use]
+    pub fn memory(&self) -> &SharedAddressSpace {
+        &self.memory
+    }
+
+    /// Mutable access to the shared address space.
+    #[must_use]
+    pub fn memory_mut(&mut self) -> &mut SharedAddressSpace {
+        &mut self.memory
+    }
+
+    /// The DMA engine.
+    #[must_use]
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    /// The device-to-host path (for inspection).
+    #[must_use]
+    pub fn d2h_path(&self) -> &Path {
+        &self.d2h_path
+    }
+
+    /// Effective `BW_D2H` for Eq. 1 estimates.
+    #[must_use]
+    pub fn d2h_bandwidth(&self) -> Bandwidth {
+        self.config.d2h_bandwidth()
+    }
+
+    /// Executes `ops` on `engine`, advancing the clock; returns the
+    /// wall-clock duration.
+    pub fn compute(&mut self, engine: EngineKind, ops: Ops) -> Duration {
+        let start = self.clock;
+        let wall = self.engine_mut(engine).execute(start, ops);
+        self.clock += wall;
+        wall
+    }
+
+    /// Streams `bytes` of stored data to `engine`, advancing the clock.
+    ///
+    /// The CSE reads over the rich internal interconnect; the host streams
+    /// through flash → NVMe → PCIe, pipelined, so the slowest stage
+    /// dominates.
+    pub fn storage_read(&mut self, engine: EngineKind, bytes: Bytes) -> Duration {
+        let start = self.clock;
+        let wall = match engine {
+            EngineKind::Cse => self.flash.read(start, bytes),
+            EngineKind::Host => {
+                let flash_time = self.flash.read_external(start, bytes);
+                let link_time = self.d2h_path.transfer(start, bytes);
+                flash_time.max(link_time)
+            }
+        };
+        self.clock += wall;
+        wall
+    }
+
+    /// Moves `bytes` between host DRAM and device DRAM over the
+    /// interconnect via DMA, advancing the clock.
+    pub fn transfer(&mut self, dir: Direction, bytes: Bytes) -> Duration {
+        let start = self.clock;
+        let wall = self.dma.transfer(&mut self.d2h_path, start, dir, bytes);
+        self.clock += wall;
+        wall
+    }
+
+    /// Charges one CSD function-invocation overhead (submit + fetch +
+    /// complete) to the clock.
+    pub fn charge_invocation(&mut self) -> Duration {
+        let d = self.queue.invocation_overhead();
+        self.clock += d;
+        d
+    }
+
+    /// Charges one end-of-line status update to the clock.
+    pub fn charge_status_update(&mut self) -> Duration {
+        let d = self.queue.status_update();
+        self.clock += d;
+        d
+    }
+
+    /// Resets the clock and all counters for a fresh run on the same
+    /// platform (memory allocations are also dropped).
+    pub fn reset(&mut self) {
+        self.clock = SimTime::ZERO;
+        self.host.reset_counters();
+        self.cse.reset_counters();
+        self.flash.reset_counters();
+        self.d2h_path.reset_counters();
+        self.queue.reset();
+        self.dma.reset_counters();
+        self.memory = SharedAddressSpace::new(self.config.host_dram, self.config.device_dram);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_advances_clock() {
+        let mut sys = System::paper_default();
+        let rate = sys.engine(EngineKind::Host).nominal_rate().as_ops_per_sec();
+        let wall = sys.compute(EngineKind::Host, Ops::new(rate as u64));
+        assert!((wall.as_secs() - 1.0).abs() < 1e-6);
+        assert!((sys.now().as_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cse_storage_read_uses_internal_bandwidth() {
+        let mut sys = System::paper_default();
+        let wall = sys.storage_read(EngineKind::Cse, Bytes::from_gb_f64(9.0));
+        assert!((wall.as_secs() - 1.0).abs() < 1e-6, "internal 9 GB/s, got {wall}");
+    }
+
+    #[test]
+    fn host_storage_read_is_link_bound() {
+        let mut sys = System::paper_default();
+        let wall = sys.storage_read(EngineKind::Host, Bytes::from_gb_f64(4.0));
+        // PCIe budget 4 GB/s is the bottleneck => ~1s.
+        assert!((wall.as_secs() - 1.0).abs() < 1e-3, "got {wall}");
+    }
+
+    #[test]
+    fn internal_read_beats_external_read() {
+        let mut a = System::paper_default();
+        let mut b = System::paper_default();
+        let cse = a.storage_read(EngineKind::Cse, Bytes::from_gb_f64(8.0));
+        let host = b.storage_read(EngineKind::Host, Bytes::from_gb_f64(8.0));
+        assert!(cse < host, "ISP premise: {cse} must beat {host}");
+    }
+
+    #[test]
+    fn transfer_charges_dma_and_clock() {
+        let mut sys = System::paper_default();
+        let wall = sys.transfer(Direction::DeviceToHost, Bytes::from_gb_f64(4.0));
+        assert!(wall.as_secs() > 0.99 && wall.as_secs() < 1.01, "got {wall}");
+        assert_eq!(sys.dma().d2h_bytes(), Bytes::from_gb_f64(4.0));
+    }
+
+    #[test]
+    fn invocation_and_status_overheads_are_small() {
+        let mut sys = System::paper_default();
+        let inv = sys.charge_invocation();
+        let st = sys.charge_status_update();
+        assert!(inv.as_secs() < 1e-4);
+        assert!(st.as_secs() < 1e-6);
+        assert!((sys.now().as_secs() - (inv.as_secs() + st.as_secs())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut sys = System::paper_default();
+        sys.compute(EngineKind::Cse, Ops::new(1_000_000));
+        sys.transfer(Direction::HostToDevice, Bytes::from_mib(1));
+        sys.reset();
+        assert_eq!(sys.now(), SimTime::ZERO);
+        assert_eq!(sys.engine(EngineKind::Cse).counters().retired(), Ops::ZERO);
+        assert_eq!(sys.dma().transfers(), 0);
+    }
+
+    #[test]
+    fn contention_on_cse_slows_compute() {
+        let mut sys = System::paper_default();
+        let ops = Ops::new(sys.engine(EngineKind::Cse).nominal_rate().as_ops_per_sec() as u64);
+        let mut degraded = sys.clone();
+        degraded.engine_mut(EngineKind::Cse).degrade_from(SimTime::ZERO, 0.1);
+        let base = sys.compute(EngineKind::Cse, ops);
+        let slow = degraded.compute(EngineKind::Cse, ops);
+        assert!((slow.as_secs() / base.as_secs() - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,374 @@
+//! Abstract syntax for ALang programs.
+//!
+//! A program is a flat sequence of lines, each `target = expression`. One
+//! line is the paper's unit of task assignment: a single-entry-single-exit
+//! region (§III-B). Expressions are side-effect-free; all data flow is
+//! through named variables, which is what makes the per-line input/output
+//! volumes of Eq. 1 well defined.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// The surface syntax of the operator.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+
+    /// Whether the operator yields a boolean mask / scalar.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Ident(String),
+    /// Builtin call.
+    Call {
+        /// Function name (resolved against the builtin registry).
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collects the free variables the expression reads, in name order.
+    #[must_use]
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Num(_) | Expr::Str(_) => {}
+            Expr::Ident(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_free_vars(out);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_free_vars(out);
+                rhs.collect_free_vars(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_free_vars(out),
+        }
+    }
+
+    /// Counts [`Expr::Call`] nodes in the tree — the "library call
+    /// boundaries" the copy-elimination optimization targets.
+    #[must_use]
+    pub fn call_count(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Str(_) | Expr::Ident(_) => 0,
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::call_count).sum::<usize>(),
+            Expr::Binary { lhs, rhs, .. } => lhs.call_count() + rhs.call_count(),
+            Expr::Unary { expr, .. } => expr.call_count(),
+        }
+    }
+
+    /// Whether the expression contains a `scan(...)` (stored-data access).
+    #[must_use]
+    pub fn contains_scan(&self) -> bool {
+        match self {
+            Expr::Num(_) | Expr::Str(_) | Expr::Ident(_) => false,
+            Expr::Call { name, args } => {
+                name == "scan" || args.iter().any(Expr::contains_scan)
+            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_scan() || rhs.contains_scan(),
+            Expr::Unary { expr, .. } => expr.contains_scan(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Str(s) => write!(f, "\"{s}\""),
+            Expr::Ident(name) => write!(f, "{name}"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::Unary { op, expr } => match op {
+                UnOp::Neg => write!(f, "(-{expr})"),
+                UnOp::Not => write!(f, "(not {expr})"),
+            },
+        }
+    }
+}
+
+/// One program line: `target = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// 0-based index within the program (also the SESE region id).
+    pub index: usize,
+    /// The variable the line defines.
+    pub target: String,
+    /// The right-hand side.
+    pub expr: Expr,
+    /// The original source text (for reports).
+    pub source: String,
+}
+
+impl Line {
+    /// Variables this line reads.
+    #[must_use]
+    pub fn inputs(&self) -> BTreeSet<String> {
+        self.expr.free_vars()
+    }
+
+    /// Whether this line touches stored data.
+    #[must_use]
+    pub fn accesses_storage(&self) -> bool {
+        self.expr.contains_scan()
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.target, self.expr)
+    }
+}
+
+/// A parsed ALang program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    lines: Vec<Line>,
+}
+
+impl Program {
+    /// Builds a program from parsed lines; use [`crate::parser::parse`] to
+    /// obtain one from source text.
+    #[must_use]
+    pub(crate) fn from_lines(lines: Vec<Line>) -> Self {
+        Program { lines }
+    }
+
+    /// The program's lines in execution order.
+    #[must_use]
+    pub fn lines(&self) -> &[Line] {
+        &self.lines
+    }
+
+    /// Number of lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the program has no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The line defining `name`, if any (last definition wins).
+    #[must_use]
+    pub fn def_site(&self, name: &str) -> Option<usize> {
+        self.lines.iter().rev().find(|l| l.target == name).map(|l| l.index)
+    }
+
+    /// Indices of the lines that read variable `name` after line `after`.
+    #[must_use]
+    pub fn consumers_of(&self, name: &str, after: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for line in &self.lines[after + 1..] {
+            if line.inputs().contains(name) {
+                out.push(line.index);
+            }
+            if line.target == name {
+                break; // redefinition kills the value
+            }
+        }
+        out
+    }
+
+    /// Variables that are live at the boundary *after* line `at`: defined at
+    /// or before `at` and read by some later line.
+    #[must_use]
+    pub fn live_after(&self, at: usize) -> BTreeSet<String> {
+        let mut live = BTreeSet::new();
+        for line in &self.lines[..=at.min(self.lines.len() - 1)] {
+            if !self.consumers_of(&line.target, at).is_empty() {
+                live.insert(line.target.clone());
+            }
+        }
+        live
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const PROG: &str = "\
+t = scan('lineitem')
+m = col(t, 'qty') < 24
+f = filter(t, m)
+s = sum(col(f, 'price'))
+";
+
+    #[test]
+    fn free_vars_are_collected() {
+        let p = parse(PROG).expect("parse");
+        assert!(p.lines()[1].inputs().contains("t"));
+        assert!(p.lines()[3].inputs().contains("f"));
+        assert!(p.lines()[0].inputs().is_empty());
+    }
+
+    #[test]
+    fn scan_detection() {
+        let p = parse(PROG).expect("parse");
+        assert!(p.lines()[0].accesses_storage());
+        assert!(!p.lines()[1].accesses_storage());
+    }
+
+    #[test]
+    fn def_site_and_consumers() {
+        let p = parse(PROG).expect("parse");
+        assert_eq!(p.def_site("t"), Some(0));
+        assert_eq!(p.def_site("s"), Some(3));
+        assert_eq!(p.def_site("zzz"), None);
+        assert_eq!(p.consumers_of("t", 0), vec![1, 2]);
+        assert_eq!(p.consumers_of("m", 1), vec![2]);
+    }
+
+    #[test]
+    fn redefinition_kills_liveness() {
+        let src = "a = 1\nb = a + 1\na = 2\nc = a + b\n";
+        let p = parse(src).expect("parse");
+        // Consumers of the first `a` stop at the redefinition on line 2.
+        assert_eq!(p.consumers_of("a", 0), vec![1]);
+        assert_eq!(p.consumers_of("a", 2), vec![3]);
+    }
+
+    #[test]
+    fn live_after_boundary() {
+        let p = parse(PROG).expect("parse");
+        let live = p.live_after(1);
+        assert!(live.contains("t"));
+        assert!(live.contains("m"));
+        // `f`/`s` are not yet defined.
+        assert!(!live.contains("f"));
+        let live3 = p.live_after(2);
+        assert!(live3.contains("f"));
+        assert!(!live3.contains("m"), "m has no consumer after line 2");
+    }
+
+    #[test]
+    fn call_count_counts_nested_calls() {
+        let p = parse("x = sum(filter(scan('d'), m))\n").expect("parse");
+        assert_eq!(p.lines()[0].expr.call_count(), 3);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let p = parse(PROG).expect("parse");
+        let shown = format!("{p}");
+        assert!(shown.contains("filter(t, m)"));
+        assert!(shown.contains('<'));
+    }
+}

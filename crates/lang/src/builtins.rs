@@ -1,0 +1,821 @@
+//! The builtin function library.
+//!
+//! Builtins play the role NumPy / native extension modules play for Python:
+//! bulk kernels invoked from interpreted code across a library boundary.
+//! Each builtin computes a *real* result on the materialized data and
+//! reports an *analytic* operation count at logical (paper) scale, plus any
+//! stored bytes it streamed.
+//!
+//! Per-element operation weights are crude but consistent; what matters for
+//! the reproduction is their relative magnitudes (a transcendental costs
+//! more than an add, a tree traversal more than a compare) and that data
+//! volumes are exact.
+
+use crate::error::{LangError, Result};
+use crate::matrix::Matrix;
+use crate::table::{Column, Table};
+use crate::value::{ArrayVal, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-element operation weights used by the analytic cost reports.
+pub mod weights {
+    /// Cheap per-element view/convert (e.g. `col`).
+    pub const VIEW: u64 = 1;
+    /// Elementwise arithmetic.
+    pub const ELEM: u64 = 4;
+    /// Reduction step (sum/min/max/mean).
+    pub const REDUCE: u64 = 2;
+    /// Gather step per row per column in `filter`.
+    pub const GATHER: u64 = 2;
+    /// Comparison-sort constant (× n log₂ n).
+    pub const SORT: u64 = 2;
+    /// Hash-aggregate per row.
+    pub const GROUP: u64 = 8;
+    /// Multiply-add in dense GEMM.
+    pub const MADD: u64 = 2;
+    /// Per stored non-zero in SpMV.
+    pub const SPMV: u64 = 4;
+    /// Per dense element scanned by CSR conversion.
+    pub const TO_CSR: u64 = 3;
+    /// Per edge in a PageRank step.
+    pub const PR_EDGE: u64 = 6;
+    /// Per node in a PageRank step.
+    pub const PR_NODE: u64 = 2;
+    /// Per point-centroid-dimension term in k-means.
+    pub const KMEANS: u64 = 3;
+    /// Per tree node visited during forest scoring.
+    pub const TREE_NODE: u64 = 6;
+    /// Transcendental (`exp`, `log`).
+    pub const TRANSCENDENTAL: u64 = 20;
+    /// Square root.
+    pub const SQRT: u64 = 10;
+    /// Error function.
+    pub const ERF: u64 = 30;
+    /// Elementwise select (`where`, `select`).
+    pub const SELECT: u64 = 2;
+}
+
+/// Named stored datasets visible to `scan`.
+///
+/// The workload generators populate one of these at the desired scale; the
+/// sampling phase populates smaller ones at the paper's four scale factors.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    datasets: BTreeMap<String, Value>,
+}
+
+impl Storage {
+    /// An empty storage.
+    #[must_use]
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// Adds (or replaces) a dataset.
+    pub fn insert(&mut self, name: impl Into<String>, value: Value) {
+        self.datasets.insert(name.into(), value);
+    }
+
+    /// Looks up a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::UnknownDataset`] if absent.
+    pub fn get(&self, name: &str) -> Result<&Value> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| LangError::UnknownDataset { name: name.to_owned() })
+    }
+
+    /// Names of all datasets.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.datasets.keys().map(String::as_str)
+    }
+
+    /// Total virtual bytes across all datasets.
+    #[must_use]
+    pub fn total_virtual_bytes(&self) -> u64 {
+        self.datasets.values().map(Value::virtual_bytes).sum()
+    }
+}
+
+/// Result of a builtin call: the produced value plus its analytic cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltinOutput {
+    /// The produced value.
+    pub value: Value,
+    /// Compute operations at logical scale.
+    pub ops: u64,
+    /// Bytes streamed from storage (non-zero only for `scan`).
+    pub storage_bytes: u64,
+}
+
+impl BuiltinOutput {
+    fn new(value: Value, ops: u64) -> Self {
+        BuiltinOutput { value, ops, storage_bytes: 0 }
+    }
+}
+
+/// All builtin names, for diagnostics and the copy-elimination type tables.
+pub const BUILTIN_NAMES: &[&str] = &[
+    "scan", "col", "filter", "select", "len", "sum", "mean", "minv", "maxv", "count", "exp",
+    "log", "sqrt", "erf", "abs", "sort", "dot", "where", "group_sum", "matmul", "gemm_batch",
+    "to_csr", "spmv", "pagerank_step", "kmeans_assign", "kmeans_update", "forest_score",
+    "gather", "frob", "gram",
+];
+
+/// Whether `name` is a registered builtin.
+#[must_use]
+pub fn is_builtin(name: &str) -> bool {
+    BUILTIN_NAMES.contains(&name)
+}
+
+/// Invokes builtin `name` on already-evaluated `args`.
+///
+/// # Errors
+///
+/// Returns [`LangError::UnknownFunction`]-shaped errors via the caller (this
+/// function returns [`LangError::Runtime`] for unknown names), arity errors,
+/// type errors, and any kernel-specific shape errors.
+pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
+    match name {
+        "scan" => {
+            let [a] = expect_args::<1>(name, args)?;
+            let value = storage.get(a.as_str()?)?.clone();
+            let bytes = value.virtual_bytes();
+            Ok(BuiltinOutput { value, ops: 0, storage_bytes: bytes })
+        }
+        "col" => {
+            let [t, c] = expect_args::<2>(name, args)?;
+            let table = t.as_table()?;
+            let column = table.column(c.as_str()?)?;
+            let data: Vec<f64> = match column {
+                Column::F64(v) => v.to_vec(),
+                Column::I64(v) => v.iter().map(|x| *x as f64).collect(),
+                Column::Dict { codes, .. } => codes.iter().map(|c| f64::from(*c)).collect(),
+            };
+            let arr = ArrayVal::with_logical(data, table.logical_rows());
+            Ok(BuiltinOutput::new(
+                Value::Array(arr),
+                table.logical_rows() * weights::VIEW,
+            ))
+        }
+        "filter" => {
+            let [t, m] = expect_args::<2>(name, args)?;
+            let table = t.as_table()?;
+            let mask = m.as_bool_array()?;
+            let out = table.filter(mask.data())?;
+            let ops =
+                table.logical_rows() * (1 + table.column_count() as u64 * weights::GATHER);
+            Ok(BuiltinOutput::new(Value::Table(out), ops))
+        }
+        "select" => {
+            let [a, m] = expect_args::<2>(name, args)?;
+            let arr = a.as_array()?;
+            let mask = m.as_bool_array()?;
+            if arr.len() != mask.len() {
+                return Err(LangError::runtime(format!(
+                    "select: array has {} elements, mask has {}",
+                    arr.len(),
+                    mask.len()
+                )));
+            }
+            let data: Vec<f64> = arr
+                .data()
+                .iter()
+                .zip(mask.data())
+                .filter(|(_, k)| **k)
+                .map(|(x, _)| *x)
+                .collect();
+            let logical = ((arr.logical_len() as f64 * mask.selectivity()).round() as u64)
+                .max(data.len() as u64);
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(data, logical)),
+                arr.logical_len() * weights::SELECT,
+            ))
+        }
+        "len" => {
+            let [x] = expect_args::<1>(name, args)?;
+            Ok(BuiltinOutput::new(Value::Num(x.logical_elems() as f64), 1))
+        }
+        "sum" | "mean" | "minv" | "maxv" => reduce(name, args),
+        "count" => {
+            let [m] = expect_args::<1>(name, args)?;
+            let mask = m.as_bool_array()?;
+            let logical_count =
+                (mask.logical_len() as f64 * mask.selectivity()).round();
+            Ok(BuiltinOutput::new(
+                Value::Num(logical_count),
+                mask.logical_len() * weights::REDUCE,
+            ))
+        }
+        "exp" => unary_math(name, args, f64::exp, weights::TRANSCENDENTAL),
+        "log" => unary_math(name, args, f64::ln, weights::TRANSCENDENTAL),
+        "sqrt" => unary_math(name, args, f64::sqrt, weights::SQRT),
+        "erf" => unary_math(name, args, erf, weights::ERF),
+        "abs" => unary_math(name, args, f64::abs, weights::VIEW),
+        "sort" => {
+            let [a] = expect_args::<1>(name, args)?;
+            let arr = a.as_array()?;
+            let mut data = arr.data().to_vec();
+            data.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in sort inputs"));
+            let n = arr.logical_len();
+            let ops = weights::SORT * n * (n.max(2) as f64).log2().ceil() as u64;
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(data, n)),
+                ops,
+            ))
+        }
+        "dot" => {
+            let [a, b] = expect_args::<2>(name, args)?;
+            let (x, y) = (a.as_array()?, b.as_array()?);
+            if x.len() != y.len() {
+                return Err(LangError::runtime("dot: length mismatch"));
+            }
+            let v: f64 = x.data().iter().zip(y.data()).map(|(p, q)| p * q).sum();
+            Ok(BuiltinOutput::new(
+                Value::Num(v),
+                x.logical_len() * weights::REDUCE,
+            ))
+        }
+        "where" => {
+            let [m, a, b] = expect_args::<3>(name, args)?;
+            let mask = m.as_bool_array()?;
+            let (x, y) = (a.as_array()?, b.as_array()?);
+            if mask.len() != x.len() || x.len() != y.len() {
+                return Err(LangError::runtime("where: length mismatch"));
+            }
+            let data: Vec<f64> = mask
+                .data()
+                .iter()
+                .zip(x.data().iter().zip(y.data()))
+                .map(|(k, (p, q))| if *k { *p } else { *q })
+                .collect();
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(data, x.logical_len())),
+                x.logical_len() * weights::SELECT,
+            ))
+        }
+        "group_sum" => group_sum(args),
+        "matmul" => {
+            let [a, b] = expect_args::<2>(name, args)?;
+            let (x, y) = (a.as_matrix()?, b.as_matrix()?);
+            let out = x.matmul(y)?;
+            let ops = weights::MADD * x.logical_rows() * x.logical_cols() * y.logical_cols();
+            Ok(BuiltinOutput::new(Value::Matrix(out), ops))
+        }
+        "gemm_batch" => gemm_batch(args),
+        "to_csr" => {
+            let [a] = expect_args::<1>(name, args)?;
+            let m = a.as_matrix()?;
+            let csr = m.to_csr();
+            let ops = weights::TO_CSR * m.logical_rows() * m.logical_cols();
+            Ok(BuiltinOutput::new(Value::Csr(csr), ops))
+        }
+        "spmv" => {
+            let [a, x] = expect_args::<2>(name, args)?;
+            let csr = a.as_csr()?;
+            let vec = x.as_array()?;
+            let y = csr.spmv(vec.data())?;
+            let ops = weights::SPMV * csr.logical_nnz();
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(y, csr.logical_rows())),
+                ops,
+            ))
+        }
+        "pagerank_step" => {
+            let [a, r, d] = expect_args::<3>(name, args)?;
+            let csr = a.as_csr()?;
+            let ranks = r.as_array()?;
+            let damping = d.as_num()?;
+            let next = csr.pagerank_step(ranks.data(), damping)?;
+            let ops = weights::PR_EDGE * csr.logical_nnz()
+                + weights::PR_NODE * csr.logical_rows();
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(next, csr.logical_rows())),
+                ops,
+            ))
+        }
+        "kmeans_assign" => kmeans_assign(args),
+        "kmeans_update" => kmeans_update(args),
+        "forest_score" => forest_score(args),
+        "gather" => {
+            // An array-index join: `gather(values, idx)[i] = values[idx[i]]`
+            // — how a dense-key hash join (TPC-H Q14's lineitem ⋈ part)
+            // probes its build side.
+            let [v, idx] = expect_args::<2>(name, args)?;
+            let values = v.as_array()?;
+            let indices = idx.as_array()?;
+            let mut out = Vec::with_capacity(indices.len());
+            for raw in indices.data() {
+                let i = *raw as usize;
+                let x = values.data().get(i).copied().ok_or_else(|| {
+                    LangError::runtime(format!(
+                        "gather: index {i} out of range for {} values",
+                        values.len()
+                    ))
+                })?;
+                out.push(x);
+            }
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(out, indices.logical_len())),
+                indices.logical_len() * weights::SELECT,
+            ))
+        }
+        "frob" => {
+            let [a] = expect_args::<1>(name, args)?;
+            let m = a.as_matrix()?;
+            let ss: f64 = m.data().iter().map(|x| x * x).sum();
+            // Extrapolate the sum of squares to logical scale, like `sum`.
+            let ratio = (m.logical_rows() * m.logical_cols()) as f64
+                / (m.rows() * m.cols()).max(1) as f64;
+            Ok(BuiltinOutput::new(
+                Value::Num((ss * ratio).sqrt()),
+                m.logical_rows() * m.logical_cols() * weights::REDUCE,
+            ))
+        }
+        "gram" => {
+            // `gram(M) = Mᵀ·M`, the d×d Gram matrix of an n×d feature
+            // block; the classic second stage after a projection GEMM.
+            let [a] = expect_args::<1>(name, args)?;
+            let m = a.as_matrix()?;
+            let (n, d) = (m.rows(), m.cols());
+            let mut out = vec![0.0; d * d];
+            for r in 0..n {
+                for i in 0..d {
+                    let x = m.get(r, i);
+                    if x == 0.0 {
+                        continue;
+                    }
+                    for j in 0..d {
+                        out[i * d + j] += x * m.get(r, j);
+                    }
+                }
+            }
+            // Scale accumulated sums to logical row count.
+            let ratio = m.logical_rows() as f64 / n.max(1) as f64;
+            for v in &mut out {
+                *v *= ratio;
+            }
+            let ops = weights::MADD * m.logical_rows() * (d as u64) * (d as u64);
+            Ok(BuiltinOutput::new(Value::Matrix(Matrix::new(out, d, d)?), ops))
+        }
+        other => Err(LangError::runtime(format!("`{other}` is not a builtin"))),
+    }
+}
+
+fn expect_args<'a, const N: usize>(name: &str, args: &'a [Value]) -> Result<&'a [Value; N]> {
+    args.try_into().map_err(|_| LangError::Arity {
+        name: name.to_owned(),
+        expected: N,
+        got: args.len(),
+    })
+}
+
+fn reduce(name: &str, args: &[Value]) -> Result<BuiltinOutput> {
+    let [a] = expect_args::<1>(name, args)?;
+    let arr = a.as_array()?;
+    if arr.is_empty() {
+        return Err(LangError::runtime(format!("{name}: empty array")));
+    }
+    let data = arr.data();
+    let ratio = arr.scale_ratio();
+    let v = match name {
+        // Sums extrapolate to logical scale; the sample total stands for the
+        // whole dataset.
+        "sum" => data.iter().sum::<f64>() * ratio,
+        "mean" => data.iter().sum::<f64>() / data.len() as f64,
+        "minv" => data.iter().copied().fold(f64::INFINITY, f64::min),
+        "maxv" => data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        _ => unreachable!("reduce called with {name}"),
+    };
+    Ok(BuiltinOutput::new(Value::Num(v), arr.logical_len() * weights::REDUCE))
+}
+
+fn unary_math(
+    name: &str,
+    args: &[Value],
+    f: impl Fn(f64) -> f64,
+    weight: u64,
+) -> Result<BuiltinOutput> {
+    let [a] = expect_args::<1>(name, args)?;
+    match a {
+        Value::Num(n) => Ok(BuiltinOutput::new(Value::Num(f(*n)), weight)),
+        Value::Array(arr) => {
+            let data: Vec<f64> = arr.data().iter().map(|x| f(*x)).collect();
+            Ok(BuiltinOutput::new(
+                Value::Array(ArrayVal::with_logical(data, arr.logical_len())),
+                arr.logical_len() * weight,
+            ))
+        }
+        other => Err(LangError::type_error(format!(
+            "{name} expects num or array, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of the error function
+/// (max absolute error 1.5e-7, plenty for Black-Scholes pricing).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+fn group_sum(args: &[Value]) -> Result<BuiltinOutput> {
+    let [k, v] = expect_args::<2>("group_sum", args)?;
+    let keys = k.as_array()?;
+    let vals = v.as_array()?;
+    if keys.len() != vals.len() {
+        return Err(LangError::runtime("group_sum: length mismatch"));
+    }
+    let mut groups: BTreeMap<i64, (f64, u64)> = BTreeMap::new();
+    for (key, val) in keys.data().iter().zip(vals.data()) {
+        let entry = groups.entry(key.round() as i64).or_insert((0.0, 0));
+        entry.0 += *val;
+        entry.1 += 1;
+    }
+    let ratio = keys.scale_ratio();
+    let mut gk = Vec::with_capacity(groups.len());
+    let mut gs = Vec::with_capacity(groups.len());
+    let mut gc = Vec::with_capacity(groups.len());
+    for (key, (sum, count)) in &groups {
+        gk.push(*key as f64);
+        // Sums and counts extrapolate to logical scale.
+        gs.push(sum * ratio);
+        gc.push((*count as f64 * ratio).round());
+    }
+    // Group cardinality is a data property, not a scale property: the
+    // output is genuinely small, which is what makes aggregation such a
+    // good ISP candidate.
+    let table = Table::new(vec![
+        ("key".into(), Column::F64(Arc::new(gk))),
+        ("sum".into(), Column::F64(Arc::new(gs))),
+        ("count".into(), Column::F64(Arc::new(gc))),
+    ])?;
+    Ok(BuiltinOutput::new(
+        Value::Table(table),
+        keys.logical_len() * weights::GROUP,
+    ))
+}
+
+fn gemm_batch(args: &[Value]) -> Result<BuiltinOutput> {
+    let [a, b] = expect_args::<2>("gemm_batch", args)?;
+    let (x, y) = (a.as_matrix()?, b.as_matrix()?);
+    // The logical row count encodes the batch dimension: a logical
+    // (B·n × n) input materialized as one representative n × n block.
+    if x.rows() == 0 || x.logical_rows() % x.rows() as u64 != 0 {
+        return Err(LangError::runtime(
+            "gemm_batch: logical rows must be a whole multiple of the block rows",
+        ));
+    }
+    let batches = x.logical_rows() / x.rows() as u64;
+    let block = x.matmul(y)?;
+    let n = x.rows() as u64;
+    let k = x.cols() as u64;
+    let m = y.cols() as u64;
+    let ops = weights::MADD * batches * n * k * m;
+    let out = Matrix::with_logical(
+        block.data().to_vec(),
+        block.rows(),
+        block.cols(),
+        batches * block.rows() as u64,
+        block.cols() as u64,
+    )?;
+    Ok(BuiltinOutput::new(Value::Matrix(out), ops))
+}
+
+fn kmeans_assign(args: &[Value]) -> Result<BuiltinOutput> {
+    let [p, c] = expect_args::<2>("kmeans_assign", args)?;
+    let points = p.as_matrix()?;
+    let centroids = c.as_matrix()?;
+    if points.cols() != centroids.cols() {
+        return Err(LangError::runtime("kmeans_assign: dimension mismatch"));
+    }
+    let mut assign = Vec::with_capacity(points.rows());
+    for i in 0..points.rows() {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for kc in 0..centroids.rows() {
+            let mut d = 0.0;
+            for j in 0..points.cols() {
+                let diff = points.get(i, j) - centroids.get(kc, j);
+                d += diff * diff;
+            }
+            if d < best_d {
+                best_d = d;
+                best = kc;
+            }
+        }
+        assign.push(best as f64);
+    }
+    let ops = weights::KMEANS
+        * points.logical_rows()
+        * centroids.rows() as u64
+        * points.cols() as u64;
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(assign, points.logical_rows())),
+        ops,
+    ))
+}
+
+fn kmeans_update(args: &[Value]) -> Result<BuiltinOutput> {
+    let [p, a, k] = expect_args::<3>("kmeans_update", args)?;
+    let points = p.as_matrix()?;
+    let assign = a.as_array()?;
+    let k = k.as_num()? as usize;
+    if assign.len() != points.rows() {
+        return Err(LangError::runtime("kmeans_update: assignment length mismatch"));
+    }
+    if k == 0 {
+        return Err(LangError::runtime("kmeans_update: k must be positive"));
+    }
+    let d = points.cols();
+    let mut sums = vec![0.0; k * d];
+    let mut counts = vec![0u64; k];
+    for (i, c) in assign.data().iter().enumerate() {
+        let c = *c as usize;
+        if c >= k {
+            return Err(LangError::runtime(format!(
+                "kmeans_update: assignment {c} out of range for k={k}"
+            )));
+        }
+        counts[c] += 1;
+        for j in 0..d {
+            sums[c * d + j] += points.get(i, j);
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            for j in 0..d {
+                sums[c * d + j] /= counts[c] as f64;
+            }
+        }
+    }
+    let ops = weights::REDUCE * points.logical_rows() * d as u64;
+    Ok(BuiltinOutput::new(Value::Matrix(Matrix::new(sums, k, d)?), ops))
+}
+
+fn forest_score(args: &[Value]) -> Result<BuiltinOutput> {
+    let [f, x] = expect_args::<2>("forest_score", args)?;
+    let forest = f.as_forest()?;
+    let feats = x.as_matrix()?;
+    let mut scores = Vec::with_capacity(feats.rows());
+    let mut visited_total: u64 = 0;
+    let cols = feats.cols();
+    for i in 0..feats.rows() {
+        let row: Vec<f64> = (0..cols).map(|j| feats.get(i, j)).collect();
+        let (s, visited) = forest.score(&row);
+        scores.push(s);
+        visited_total += u64::from(visited);
+    }
+    // Per-row cost is the *measured* mean traversal length — data-dependent,
+    // like real GBDT inference.
+    let mean_visited = if feats.rows() == 0 {
+        0.0
+    } else {
+        visited_total as f64 / feats.rows() as f64
+    };
+    let ops = (weights::TREE_NODE as f64 * mean_visited * feats.logical_rows() as f64)
+        .round() as u64;
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(scores, feats.logical_rows())),
+        ops,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{Forest, Tree, TreeNode};
+    use crate::value::BoolArrayVal;
+
+    fn arr(v: Vec<f64>) -> Value {
+        Value::Array(ArrayVal::new(v))
+    }
+
+    fn arr_logical(v: Vec<f64>, logical: u64) -> Value {
+        Value::Array(ArrayVal::with_logical(v, logical))
+    }
+
+    #[test]
+    fn scan_returns_dataset_and_charges_storage() {
+        let mut st = Storage::new();
+        st.insert("d", arr_logical(vec![1.0, 2.0], 1000));
+        let out = call("scan", &[Value::Str("d".into())], &st).expect("scan");
+        assert_eq!(out.storage_bytes, 8000);
+        assert_eq!(out.value.as_array().expect("arr").len(), 2);
+    }
+
+    #[test]
+    fn scan_unknown_dataset_errors() {
+        let st = Storage::new();
+        let e = call("scan", &[Value::Str("nope".into())], &st).unwrap_err();
+        assert!(matches!(e, LangError::UnknownDataset { .. }));
+    }
+
+    #[test]
+    fn reductions_extrapolate_to_logical_scale() {
+        let st = Storage::new();
+        let a = arr_logical(vec![1.0, 2.0, 3.0, 4.0], 4000);
+        let sum = call("sum", &[a.clone()], &st).expect("sum");
+        assert!((sum.value.as_num().expect("num") - 10_000.0).abs() < 1e-6);
+        let mean = call("mean", &[a.clone()], &st).expect("mean");
+        assert!((mean.value.as_num().expect("num") - 2.5).abs() < 1e-12);
+        let mn = call("minv", &[a.clone()], &st).expect("min");
+        assert_eq!(mn.value.as_num().expect("num"), 1.0);
+        let mx = call("maxv", &[a], &st).expect("max");
+        assert_eq!(mx.value.as_num().expect("num"), 4.0);
+    }
+
+    #[test]
+    fn unary_math_applies_elementwise() {
+        let st = Storage::new();
+        let out = call("sqrt", &[arr(vec![4.0, 9.0])], &st).expect("sqrt");
+        assert_eq!(out.value.as_array().expect("arr").data(), &[2.0, 3.0]);
+        let out = call("exp", &[Value::Num(0.0)], &st).expect("exp");
+        assert_eq!(out.value.as_num().expect("num"), 1.0);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sort_orders_and_costs_nlogn() {
+        let st = Storage::new();
+        let out = call("sort", &[arr_logical(vec![3.0, 1.0, 2.0], 3000)], &st).expect("sort");
+        assert_eq!(out.value.as_array().expect("arr").data(), &[1.0, 2.0, 3.0]);
+        let expected = weights::SORT * 3000 * (3000f64).log2().ceil() as u64;
+        assert_eq!(out.ops, expected);
+    }
+
+    #[test]
+    fn select_scales_output_by_selectivity() {
+        let st = Storage::new();
+        let mask = Value::BoolArray(BoolArrayVal::with_logical(
+            vec![true, false, true, false],
+            4000,
+        ));
+        let out =
+            call("select", &[arr_logical(vec![1.0, 2.0, 3.0, 4.0], 4000), mask], &st)
+                .expect("select");
+        let a = out.value.as_array().expect("arr");
+        assert_eq!(a.data(), &[1.0, 3.0]);
+        assert_eq!(a.logical_len(), 2000);
+    }
+
+    #[test]
+    fn count_extrapolates() {
+        let st = Storage::new();
+        let mask =
+            Value::BoolArray(BoolArrayVal::with_logical(vec![true, true, false, false], 4000));
+        let out = call("count", &[mask], &st).expect("count");
+        assert_eq!(out.value.as_num().expect("num"), 2000.0);
+    }
+
+    #[test]
+    fn group_sum_keeps_group_cardinality_and_extrapolates_sums() {
+        let st = Storage::new();
+        let keys = arr_logical(vec![1.0, 2.0, 1.0, 2.0], 4000);
+        let vals = arr_logical(vec![10.0, 20.0, 30.0, 40.0], 4000);
+        let out = call("group_sum", &[keys, vals], &st).expect("group");
+        let t = out.value.as_table().expect("table");
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.logical_rows(), 2, "groups do not scale with data size");
+        match t.column("sum").expect("sum") {
+            Column::F64(v) => {
+                assert!((v[0] - 40_000.0).abs() < 1e-6);
+                assert!((v[1] - 60_000.0).abs() < 1e-6);
+            }
+            other => panic!("wrong type {}", other.type_name()),
+        }
+    }
+
+    #[test]
+    fn gemm_batch_multiplies_ops_by_batches() {
+        let st = Storage::new();
+        let a = Value::Matrix(
+            Matrix::with_logical(vec![1.0, 0.0, 0.0, 1.0], 2, 2, 200, 2).expect("a"),
+        );
+        let b = Value::Matrix(Matrix::new(vec![3.0, 4.0, 5.0, 6.0], 2, 2).expect("b"));
+        let out = call("gemm_batch", &[a, b], &st).expect("gemm");
+        // 100 batches × 2·2·2·2 madds × weight 2.
+        assert_eq!(out.ops, weights::MADD * 100 * 8);
+        let m = out.value.as_matrix().expect("m");
+        assert_eq!(m.data(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.logical_rows(), 200);
+    }
+
+    #[test]
+    fn gemm_batch_rejects_ragged_logical_rows() {
+        let st = Storage::new();
+        let a = Value::Matrix(
+            Matrix::with_logical(vec![1.0; 4], 2, 2, 201, 2).expect("a"),
+        );
+        let b = Value::Matrix(Matrix::new(vec![1.0; 4], 2, 2).expect("b"));
+        assert!(call("gemm_batch", &[a, b], &st).is_err());
+    }
+
+    #[test]
+    fn kmeans_assign_and_update_round_trip() {
+        let st = Storage::new();
+        // Four points in 1-D: two clusters around 0 and 10.
+        let points =
+            Value::Matrix(Matrix::new(vec![0.0, 1.0, 10.0, 11.0], 4, 1).expect("pts"));
+        let cents = Value::Matrix(Matrix::new(vec![0.5, 10.5], 2, 1).expect("cents"));
+        let out = call("kmeans_assign", &[points.clone(), cents], &st).expect("assign");
+        let assign = out.value.clone();
+        assert_eq!(assign.as_array().expect("a").data(), &[0.0, 0.0, 1.0, 1.0]);
+        let upd = call("kmeans_update", &[points, assign, Value::Num(2.0)], &st)
+            .expect("update");
+        let m = upd.value.as_matrix().expect("m");
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((m.get(1, 0) - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_score_uses_measured_depth() {
+        let st = Storage::new();
+        let tree = Tree::new(vec![
+            TreeNode::split(0, 0.5, 1, 2),
+            TreeNode::leaf(-1.0),
+            TreeNode::leaf(1.0),
+        ])
+        .expect("tree");
+        let forest = Value::Forest(Forest::new(vec![tree], 1).expect("forest"));
+        let feats = Value::Matrix(
+            Matrix::with_logical(vec![0.0, 1.0], 2, 1, 2000, 1).expect("feats"),
+        );
+        let out = call("forest_score", &[forest, feats], &st).expect("score");
+        assert_eq!(out.value.as_array().expect("a").data(), &[-1.0, 1.0]);
+        // 2 nodes visited per row, 2000 logical rows.
+        assert_eq!(out.ops, weights::TREE_NODE * 2 * 2000);
+    }
+
+    #[test]
+    fn gather_joins_by_dense_key() {
+        let st = Storage::new();
+        let values = arr(vec![10.0, 20.0, 30.0]);
+        let idx = arr_logical(vec![2.0, 0.0, 2.0, 1.0], 4000);
+        let out = call("gather", &[values, idx], &st).expect("gather");
+        let a = out.value.as_array().expect("arr");
+        assert_eq!(a.data(), &[30.0, 10.0, 30.0, 20.0]);
+        assert_eq!(a.logical_len(), 4000);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range_index() {
+        let st = Storage::new();
+        let values = arr(vec![10.0]);
+        let idx = arr(vec![5.0]);
+        assert!(call("gather", &[values, idx], &st).is_err());
+    }
+
+    #[test]
+    fn frob_extrapolates_to_logical_scale() {
+        let st = Storage::new();
+        let m = Value::Matrix(Matrix::with_logical(vec![3.0, 4.0], 1, 2, 100, 2).expect("m"));
+        let out = call("frob", &[m], &st).expect("frob");
+        // Sum of squares 25, scaled by 100: sqrt(2500) = 50.
+        assert!((out.value.as_num().expect("n") - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gram_computes_mt_m() {
+        let st = Storage::new();
+        // M = [[1, 2], [3, 4]]; MᵀM = [[10, 14], [14, 20]].
+        let m = Value::Matrix(Matrix::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2).expect("m"));
+        let out = call("gram", &[m], &st).expect("gram");
+        let g = out.value.as_matrix().expect("g");
+        assert_eq!(g.data(), &[10.0, 14.0, 14.0, 20.0]);
+    }
+
+    #[test]
+    fn arity_errors_name_the_function() {
+        let st = Storage::new();
+        let e = call("sum", &[], &st).unwrap_err();
+        assert!(matches!(e, LangError::Arity { expected: 1, got: 0, .. }));
+    }
+
+    #[test]
+    fn all_builtin_names_are_registered() {
+        for name in BUILTIN_NAMES {
+            assert!(is_builtin(name));
+        }
+        assert!(!is_builtin("np_dot"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types for the ALang front end and runtime.
+
+use std::fmt;
+
+/// Any error produced while lexing, parsing, analysing, or executing an
+/// ALang program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// The lexer met a character it cannot tokenize.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A variable was read before any line assigned it.
+    UnknownVariable {
+        /// 1-based source line.
+        line: usize,
+        /// The variable name.
+        name: String,
+    },
+    /// A call referenced a function that is not in the builtin registry.
+    UnknownFunction {
+        /// 1-based source line.
+        line: usize,
+        /// The function name.
+        name: String,
+    },
+    /// A builtin was called with the wrong number of arguments.
+    Arity {
+        /// The function name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Received argument count.
+        got: usize,
+    },
+    /// An operand had the wrong type for the operation.
+    Type {
+        /// Explanation (includes the offending types).
+        message: String,
+    },
+    /// A dataset name passed to `scan` is not in storage.
+    UnknownDataset {
+        /// The dataset name.
+        name: String,
+    },
+    /// Any other runtime failure (shape mismatch, division domain, …).
+    Runtime {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl LangError {
+    /// Shorthand for a runtime error.
+    #[must_use]
+    pub fn runtime(message: impl Into<String>) -> Self {
+        LangError::Runtime { message: message.into() }
+    }
+
+    /// Shorthand for a type error.
+    #[must_use]
+    pub fn type_error(message: impl Into<String>) -> Self {
+        LangError::Type { message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            LangError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            LangError::UnknownVariable { line, name } => {
+                write!(f, "line {line}: unknown variable `{name}`")
+            }
+            LangError::UnknownFunction { line, name } => {
+                write!(f, "line {line}: unknown function `{name}`")
+            }
+            LangError::Arity { name, expected, got } => {
+                write!(f, "`{name}` expects {expected} argument(s), got {got}")
+            }
+            LangError::Type { message } => write!(f, "type error: {message}"),
+            LangError::UnknownDataset { name } => write!(f, "unknown dataset `{name}`"),
+            LangError::Runtime { message } => write!(f, "runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LangError::Parse { line: 3, message: "expected `=`".into() };
+        assert!(format!("{e}").contains("line 3"));
+        let e = LangError::Arity { name: "sum".into(), expected: 1, got: 2 };
+        assert!(format!("{e}").contains("sum"));
+        let e = LangError::UnknownDataset { name: "lineitem".into() };
+        assert!(format!("{e}").contains("lineitem"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LangError>();
+    }
+}

@@ -1,0 +1,428 @@
+//! Dense matrices and compressed-sparse-row (CSR) matrices.
+//!
+//! MatrixMul, MixedGEMM, PageRank, and SparseMV operate on these. The CSR
+//! type matters to the paper specifically: converting a matrix to CSR is
+//! the one operation whose output volume ActivePy consistently
+//! *over-estimates* (up to 2.41×), because sparsity is hard to see in small
+//! samples (§V). Keeping nnz data-dependent here is what lets the
+//! reproduction exhibit the same behaviour.
+
+use crate::error::{LangError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense row-major matrix with logical (paper-scale) dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Arc<Vec<f64>>,
+    rows: usize,
+    cols: usize,
+    logical_rows: u64,
+    logical_cols: u64,
+}
+
+impl Matrix {
+    /// Builds a matrix whose logical size equals its materialized size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn new(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self> {
+        Self::with_logical(data, rows, cols, rows as u64, cols as u64)
+    }
+
+    /// Builds a matrix whose materialized `rows × cols` block stands for a
+    /// `logical_rows × logical_cols` paper-scale matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or logical dims smaller than the
+    /// materialized ones.
+    pub fn with_logical(
+        data: Vec<f64>,
+        rows: usize,
+        cols: usize,
+        logical_rows: u64,
+        logical_cols: u64,
+    ) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LangError::runtime(format!(
+                "matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        if logical_rows < rows as u64 || logical_cols < cols as u64 {
+            return Err(LangError::runtime(
+                "logical dimensions must be at least the materialized dimensions",
+            ));
+        }
+        Ok(Matrix { data: Arc::new(data), rows, cols, logical_rows, logical_cols })
+    }
+
+    /// Materialized row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Materialized column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Paper-scale row count.
+    #[must_use]
+    pub fn logical_rows(&self) -> u64 {
+        self.logical_rows
+    }
+
+    /// Paper-scale column count.
+    #[must_use]
+    pub fn logical_cols(&self) -> u64 {
+        self.logical_cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// The backing row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Paper-scale data volume (8 bytes per logical element).
+    #[must_use]
+    pub fn virtual_bytes(&self) -> u64 {
+        self.logical_rows * self.logical_cols * 8
+    }
+
+    /// Dense matrix multiply `self × rhs`, computed on the materialized
+    /// blocks; logical dimensions compose accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LangError::runtime(format!(
+                "matmul shape mismatch: {}x{} times {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = vec![0.0; self.rows * rhs.cols];
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        Matrix::with_logical(out, self.rows, rhs.cols, self.logical_rows, rhs.logical_cols)
+    }
+
+    /// Fraction of materialized entries that are non-zero.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nnz = self.data.iter().filter(|x| **x != 0.0).count();
+        nnz as f64 / self.data.len() as f64
+    }
+
+    /// Converts to CSR. The logical nnz is scaled from the *measured*
+    /// density of the materialized block.
+    #[must_use]
+    pub fn to_csr(&self) -> Csr {
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.data[r * self.cols + c];
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        let logical_elems = self.logical_rows * self.logical_cols;
+        let logical_nnz =
+            ((logical_elems as f64 * self.density()).round() as u64).max(values.len() as u64);
+        Csr {
+            row_ptr: Arc::new(row_ptr),
+            col_idx: Arc::new(col_idx),
+            values: Arc::new(values),
+            rows: self.rows,
+            cols: self.cols,
+            logical_rows: self.logical_rows,
+            logical_cols: self.logical_cols,
+            logical_nnz,
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix[{}x{} (logical {}x{})]",
+            self.rows, self.cols, self.logical_rows, self.logical_cols
+        )
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    row_ptr: Arc<Vec<u32>>,
+    col_idx: Arc<Vec<u32>>,
+    values: Arc<Vec<f64>>,
+    rows: usize,
+    cols: usize,
+    logical_rows: u64,
+    logical_cols: u64,
+    logical_nnz: u64,
+}
+
+impl Csr {
+    /// Materialized row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Materialized column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Materialized non-zero count.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Paper-scale row count.
+    #[must_use]
+    pub fn logical_rows(&self) -> u64 {
+        self.logical_rows
+    }
+
+    /// Paper-scale non-zero count.
+    #[must_use]
+    pub fn logical_nnz(&self) -> u64 {
+        self.logical_nnz
+    }
+
+    /// Paper-scale data volume: 12 bytes per stored non-zero (8 value + 4
+    /// column index) plus 4 bytes per row pointer.
+    #[must_use]
+    pub fn virtual_bytes(&self) -> u64 {
+        self.logical_nnz * 12 + (self.logical_rows + 1) * 4
+    }
+
+    /// Sparse matrix–vector product on the materialized block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LangError::runtime(format!(
+                "spmv shape mismatch: {} cols vs vector of {}",
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// One damped PageRank iteration over this adjacency structure
+    /// (column-normalized on the fly), returning the next rank vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ranks.len() != rows` or the matrix is not
+    /// square.
+    pub fn pagerank_step(&self, ranks: &[f64], damping: f64) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(LangError::runtime("pagerank needs a square adjacency matrix"));
+        }
+        if ranks.len() != self.rows {
+            return Err(LangError::runtime(format!(
+                "rank vector length {} does not match {} nodes",
+                ranks.len(),
+                self.rows
+            )));
+        }
+        // Out-degree per node (treating row r's entries as edges r -> c).
+        let mut out_deg = vec![0u32; self.rows];
+        for r in 0..self.rows {
+            out_deg[r] = self.row_ptr[r + 1] - self.row_ptr[r];
+        }
+        let n = self.rows as f64;
+        let mut next = vec![(1.0 - damping) / n; self.rows];
+        for r in 0..self.rows {
+            if out_deg[r] == 0 {
+                // Dangling node: spread evenly.
+                let share = damping * ranks[r] / n;
+                for v in next.iter_mut() {
+                    *v += share;
+                }
+                continue;
+            }
+            let share = damping * ranks[r] / f64::from(out_deg[r]);
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for k in lo..hi {
+                next[self.col_idx[k] as usize] += share;
+            }
+        }
+        Ok(next)
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "csr[{}x{}, nnz {} (logical nnz {})]",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.logical_nnz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense() -> Matrix {
+        // 2x3 with two zeros.
+        Matrix::new(vec![1.0, 0.0, 2.0, 0.0, 3.0, 4.0], 2, 3).expect("matrix")
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(Matrix::new(vec![1.0; 5], 2, 3).is_err());
+        assert!(Matrix::with_logical(vec![1.0; 6], 2, 3, 1, 3).is_err());
+    }
+
+    #[test]
+    fn matmul_small_case() {
+        let a = Matrix::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2).expect("a");
+        let b = Matrix::new(vec![5.0, 6.0, 7.0, 8.0], 2, 2).expect("b");
+        let c = a.matmul(&b).expect("c");
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_composes_logical_dims() {
+        let a = Matrix::with_logical(vec![1.0; 4], 2, 2, 2000, 2000).expect("a");
+        let b = Matrix::with_logical(vec![1.0; 4], 2, 2, 2000, 2000).expect("b");
+        let c = a.matmul(&b).expect("c");
+        assert_eq!(c.logical_rows(), 2000);
+        assert_eq!(c.logical_cols(), 2000);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_rejected() {
+        let a = Matrix::new(vec![1.0; 6], 2, 3).expect("a");
+        let b = Matrix::new(vec![1.0; 4], 2, 2).expect("b");
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn density_measures_nonzeros() {
+        assert!((dense().density() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_round_trip_spmv_matches_dense() {
+        let m = dense();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        let y = csr.spmv(&[1.0, 1.0, 1.0]).expect("spmv");
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn csr_logical_nnz_scales_with_density() {
+        let m = Matrix::with_logical(vec![1.0, 0.0, 2.0, 0.0, 3.0, 4.0], 2, 3, 2000, 3000)
+            .expect("m");
+        let csr = m.to_csr();
+        let expected = (2000u64 * 3000) as f64 * (4.0 / 6.0);
+        assert!((csr.logical_nnz() as f64 - expected).abs() < 1.0);
+        // CSR volume is smaller than dense volume for sparse data.
+        assert!(csr.virtual_bytes() < m.virtual_bytes() * 2);
+    }
+
+    #[test]
+    fn spmv_shape_mismatch_rejected() {
+        assert!(dense().to_csr().spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn pagerank_conserves_mass() {
+        // Ring graph 0->1->2->0.
+        let m = Matrix::new(
+            vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+            3,
+            3,
+        )
+        .expect("m");
+        let csr = m.to_csr();
+        let r0 = vec![1.0 / 3.0; 3];
+        let r1 = csr.pagerank_step(&r0, 0.85).expect("step");
+        let total: f64 = r1.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        // Symmetric ring: stationary distribution stays uniform.
+        for v in &r1 {
+            assert!((v - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        // Node 1 has no out-edges.
+        let m = Matrix::new(vec![0.0, 1.0, 0.0, 0.0], 2, 2).expect("m");
+        let csr = m.to_csr();
+        let r1 = csr.pagerank_step(&[0.5, 0.5], 0.85).expect("step");
+        let total: f64 = r1.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_rejects_non_square() {
+        let csr = dense().to_csr();
+        assert!(csr.pagerank_step(&[0.5, 0.5], 0.85).is_err());
+    }
+}

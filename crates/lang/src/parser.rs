@@ -1,0 +1,307 @@
+//! Recursive-descent parser for ALang.
+//!
+//! Grammar (one statement per line):
+//!
+//! ```text
+//! line    := IDENT '=' or_expr
+//! or_expr := and_expr ( 'or' and_expr )*
+//! and_expr:= cmp_expr ( 'and' cmp_expr )*
+//! cmp_expr:= add_expr ( ('<'|'<='|'>'|'>='|'=='|'!=') add_expr )?
+//! add_expr:= mul_expr ( ('+'|'-') mul_expr )*
+//! mul_expr:= unary ( ('*'|'/') unary )*
+//! unary   := ('-'|'not') unary | primary
+//! primary := NUM | STR | IDENT | IDENT '(' args ')' | '(' or_expr ')'
+//! ```
+
+use crate::ast::{BinOp, Expr, Line, Program, UnOp};
+use crate::error::{LangError, Result};
+use crate::token::{lex_line, Token};
+
+/// Parses a full ALang source text into a [`Program`].
+///
+/// Blank lines and comment-only lines are skipped; the remaining lines are
+/// numbered consecutively from zero (those indices are the SESE region ids
+/// used everywhere else).
+///
+/// # Errors
+///
+/// Returns a [`LangError::Lex`] or [`LangError::Parse`] pinpointing the
+/// offending 1-based source line.
+///
+/// ```
+/// let p = alang::parser::parse("x = 1 + 2\ny = x * 3\n")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), alang::error::LangError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program> {
+    let mut lines = Vec::new();
+    for (src_no, raw) in source.lines().enumerate() {
+        let tokens = lex_line(raw, src_no + 1)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        let mut p = Parser { tokens, pos: 0, line_no: src_no + 1 };
+        let line = p.parse_line(lines.len(), raw.trim().to_owned())?;
+        lines.push(line);
+    }
+    Ok(Program::from_lines(lines))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    line_no: usize,
+}
+
+impl Parser {
+    fn parse_line(&mut self, index: usize, source: String) -> Result<Line> {
+        let target = match self.next() {
+            Some(Token::Ident(name)) => name,
+            other => return Err(self.unexpected(other.as_ref(), "a variable name")),
+        };
+        match self.next() {
+            Some(Token::Assign) => {}
+            other => return Err(self.unexpected(other.as_ref(), "`=`")),
+        }
+        let expr = self.or_expr()?;
+        if let Some(tok) = self.peek() {
+            let tok = tok.clone();
+            return Err(self.unexpected(Some(&tok), "end of line"));
+        }
+        Ok(Line { index, target, expr, source })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Token::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) });
+        }
+        if self.eat(&Token::Not) {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(Expr::Num(n)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Ident(name)) => {
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.or_expr()?);
+                            if self.eat(&Token::Comma) {
+                                continue;
+                            }
+                            match self.next() {
+                                Some(Token::RParen) => break,
+                                other => {
+                                    return Err(
+                                        self.unexpected(other.as_ref(), "`,` or `)`")
+                                    )
+                                }
+                            }
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let e = self.or_expr()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(e),
+                    other => Err(self.unexpected(other.as_ref(), "`)`")),
+                }
+            }
+            other => Err(self.unexpected(other.as_ref(), "an expression")),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unexpected(&self, got: Option<&Token>, wanted: &str) -> LangError {
+        let got = got.map_or_else(|| "end of line".to_owned(), Token::describe);
+        LangError::Parse {
+            line: self.line_no,
+            message: format!("expected {wanted}, found {got}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr};
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse("x = 1 + 2 * 3\n").expect("parse");
+        match &p.lines()[0].expr {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parentheses_override() {
+        let p = parse("x = (1 + 2) * 3\n").expect("parse");
+        assert!(matches!(p.lines()[0].expr, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_nested_calls() {
+        let p = parse("s = sum(mul(a, b))\n").expect("parse");
+        match &p.lines()[0].expr {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "sum");
+                assert!(matches!(&args[0], Expr::Call { name, .. } if name == "mul"));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_zero_arg_call() {
+        let p = parse("x = now()\n").expect("parse");
+        assert!(matches!(&p.lines()[0].expr, Expr::Call { args, .. } if args.is_empty()));
+    }
+
+    #[test]
+    fn parses_logical_chain() {
+        let p = parse("m = a < 1 and b >= 2 or not c\n").expect("parse");
+        assert!(matches!(p.lines()[0].expr, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        let p = parse("x = -y * 2\n").expect("parse");
+        assert!(matches!(p.lines()[0].expr, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skipped() {
+        let p = parse("\n# header\nx = 1\n\ny = x\n").expect("parse");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.lines()[0].index, 0);
+        assert_eq!(p.lines()[1].index, 1);
+    }
+
+    #[test]
+    fn missing_assign_is_parse_error() {
+        let e = parse("x 1\n").unwrap_err();
+        assert!(matches!(e, LangError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_parse_error() {
+        assert!(parse("x = 1 2\n").is_err());
+    }
+
+    #[test]
+    fn unclosed_paren_is_parse_error() {
+        assert!(parse("x = f(1, 2\n").is_err());
+    }
+
+    #[test]
+    fn error_reports_true_source_line() {
+        let e = parse("a = 1\n\n# comment\nb = +\n").unwrap_err();
+        match e {
+            LangError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

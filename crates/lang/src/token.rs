@@ -1,0 +1,293 @@
+//! Tokens and the lexer for ALang source text.
+//!
+//! ALang is deliberately Python-shaped: one statement per physical line,
+//! `#` comments, identifiers/numbers/strings, infix arithmetic and
+//! comparison operators, and `and`/`or`/`not` keywords.
+
+use crate::error::{LangError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword operand.
+    Ident(String),
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+}
+
+impl Token {
+    /// A short human-readable description for diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Num(n) => format!("number `{n}`"),
+            Token::Str(s) => format!("string \"{s}\""),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Assign => "`=`".into(),
+            Token::Plus => "`+`".into(),
+            Token::Minus => "`-`".into(),
+            Token::Star => "`*`".into(),
+            Token::Slash => "`/`".into(),
+            Token::Lt => "`<`".into(),
+            Token::Le => "`<=`".into(),
+            Token::Gt => "`>`".into(),
+            Token::Ge => "`>=`".into(),
+            Token::EqEq => "`==`".into(),
+            Token::Ne => "`!=`".into(),
+            Token::And => "`and`".into(),
+            Token::Or => "`or`".into(),
+            Token::Not => "`not`".into(),
+        }
+    }
+}
+
+/// Lexes one source line (without its terminating newline) into tokens.
+///
+/// `line_no` is 1-based and only used for diagnostics.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on characters outside the language.
+pub fn lex_line(source: &str, line_no: usize) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => break, // comment to end of line
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LangError::Lex {
+                        line: line_no,
+                        message: "bare `!` is not an operator (use `not`)".into(),
+                    });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LangError::Lex {
+                                line: line_no,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && i > start
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LangError::Lex {
+                    line: line_no,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                tokens.push(Token::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                tokens.push(match word.as_str() {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    _ => Token::Ident(word),
+                });
+            }
+            other => {
+                return Err(LangError::Lex {
+                    line: line_no,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_assignment_with_call() {
+        let t = lex_line("x = sum(filter(a, m))", 1).expect("lex");
+        assert_eq!(t[0], Token::Ident("x".into()));
+        assert_eq!(t[1], Token::Assign);
+        assert_eq!(t[2], Token::Ident("sum".into()));
+        assert_eq!(t[3], Token::LParen);
+        assert!(t.contains(&Token::Comma));
+        assert_eq!(*t.last().expect("last"), Token::RParen);
+    }
+
+    #[test]
+    fn lexes_numbers_including_scientific() {
+        let t = lex_line("y = 1.5e-3 + 42", 1).expect("lex");
+        assert!(t.contains(&Token::Num(1.5e-3)));
+        assert!(t.contains(&Token::Num(42.0)));
+    }
+
+    #[test]
+    fn lexes_strings_both_quotes() {
+        let t = lex_line(r#"t = scan("lineitem") + scan('part')"#, 1).expect("lex");
+        assert!(t.contains(&Token::Str("lineitem".into())));
+        assert!(t.contains(&Token::Str("part".into())));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let t = lex_line("x = 1 # the answer", 1).expect("lex");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = lex_line("m = a <= 3 and b != 2 or not c", 1).expect("lex");
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::And));
+        assert!(t.contains(&Token::Or));
+        assert!(t.contains(&Token::Not));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let e = lex_line("x = \"oops", 7).unwrap_err();
+        assert!(matches!(e, LangError::Lex { line: 7, .. }));
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        assert!(lex_line("x = a $ b", 1).is_err());
+    }
+
+    #[test]
+    fn bare_bang_is_an_error() {
+        assert!(lex_line("x = !a", 1).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Runtime values.
+//!
+//! Every bulk value (array, table, matrix, …) carries both its materialized
+//! data — kept small enough to compute on a laptop — and a *logical* size
+//! representing the paper-scale dataset it stands for. Builtins compute
+//! real results on the materialized data and report costs analytically from
+//! the logical sizes, so quantities that depend on the data (selectivity,
+//! sparsity, tree depth) remain genuinely data-driven while volumes match
+//! Table I of the paper.
+
+use crate::error::{LangError, Result};
+use crate::forest::Forest;
+use crate::matrix::{Csr, Matrix};
+use crate::table::Table;
+use std::fmt;
+use std::sync::Arc;
+
+/// A 1-D array of `f64` with a logical length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayVal {
+    data: Arc<Vec<f64>>,
+    logical_len: u64,
+}
+
+impl ArrayVal {
+    /// Builds an array whose logical length equals its materialized length.
+    #[must_use]
+    pub fn new(data: Vec<f64>) -> Self {
+        let logical_len = data.len() as u64;
+        ArrayVal { data: Arc::new(data), logical_len }
+    }
+
+    /// Builds an array standing for `logical_len` paper-scale elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_len` is smaller than the materialized length.
+    #[must_use]
+    pub fn with_logical(data: Vec<f64>, logical_len: u64) -> Self {
+        assert!(
+            logical_len >= data.len() as u64,
+            "logical length must cover the materialized data"
+        );
+        ArrayVal { data: Arc::new(data), logical_len }
+    }
+
+    /// The materialized data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Materialized length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the materialized data is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Logical (paper-scale) length.
+    #[must_use]
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// Ratio `logical / materialized`.
+    #[must_use]
+    pub fn scale_ratio(&self) -> f64 {
+        if self.data.is_empty() {
+            1.0
+        } else {
+            self.logical_len as f64 / self.data.len() as f64
+        }
+    }
+}
+
+/// A 1-D boolean mask with a logical length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolArrayVal {
+    data: Arc<Vec<bool>>,
+    logical_len: u64,
+}
+
+impl BoolArrayVal {
+    /// Builds a mask whose logical length equals its materialized length.
+    #[must_use]
+    pub fn new(data: Vec<bool>) -> Self {
+        let logical_len = data.len() as u64;
+        BoolArrayVal { data: Arc::new(data), logical_len }
+    }
+
+    /// Builds a mask standing for `logical_len` paper-scale elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_len` is smaller than the materialized length.
+    #[must_use]
+    pub fn with_logical(data: Vec<bool>, logical_len: u64) -> Self {
+        assert!(
+            logical_len >= data.len() as u64,
+            "logical length must cover the materialized data"
+        );
+        BoolArrayVal { data: Arc::new(data), logical_len }
+    }
+
+    /// The materialized mask.
+    #[must_use]
+    pub fn data(&self) -> &[bool] {
+        &self.data
+    }
+
+    /// Materialized length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the materialized mask is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Logical length.
+    #[must_use]
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// Fraction of `true` entries in the materialized mask.
+    #[must_use]
+    pub fn selectivity(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().filter(|b| **b).count() as f64 / self.data.len() as f64
+        }
+    }
+}
+
+/// Any ALang runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Scalar number.
+    Num(f64),
+    /// Scalar boolean.
+    Bool(bool),
+    /// String (used for column names and dataset names).
+    Str(String),
+    /// Numeric array.
+    Array(ArrayVal),
+    /// Boolean mask.
+    BoolArray(BoolArrayVal),
+    /// Columnar table.
+    Table(Table),
+    /// Dense matrix.
+    Matrix(Matrix),
+    /// Sparse CSR matrix.
+    Csr(Csr),
+    /// Decision-tree forest model.
+    Forest(Forest),
+}
+
+impl Value {
+    /// Short type name for diagnostics.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "num",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Array(_) => "array",
+            Value::BoolArray(_) => "boolarray",
+            Value::Table(_) => "table",
+            Value::Matrix(_) => "matrix",
+            Value::Csr(_) => "csr",
+            Value::Forest(_) => "forest",
+        }
+    }
+
+    /// Whether this is a bulk value whose movement costs bandwidth.
+    #[must_use]
+    pub fn is_bulk(&self) -> bool {
+        !matches!(self, Value::Num(_) | Value::Bool(_) | Value::Str(_))
+    }
+
+    /// Paper-scale data volume in bytes.
+    #[must_use]
+    pub fn virtual_bytes(&self) -> u64 {
+        match self {
+            Value::Num(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len() as u64,
+            Value::Array(a) => a.logical_len() * 8,
+            Value::BoolArray(m) => m.logical_len(),
+            Value::Table(t) => t.virtual_bytes(),
+            Value::Matrix(m) => m.virtual_bytes(),
+            Value::Csr(c) => c.virtual_bytes(),
+            Value::Forest(f) => f.virtual_bytes(),
+        }
+    }
+
+    /// Logical element count (rows for tables, elements for matrices and
+    /// arrays, nodes scored for forests, 1 for scalars).
+    #[must_use]
+    pub fn logical_elems(&self) -> u64 {
+        match self {
+            Value::Num(_) | Value::Bool(_) | Value::Str(_) => 1,
+            Value::Array(a) => a.logical_len(),
+            Value::BoolArray(m) => m.logical_len(),
+            Value::Table(t) => t.logical_rows(),
+            Value::Matrix(m) => m.logical_rows() * m.logical_cols(),
+            Value::Csr(c) => c.logical_nnz(),
+            Value::Forest(f) => f.node_count() as u64,
+        }
+    }
+
+    /// Extracts a scalar number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for non-numbers.
+    pub fn as_num(&self) -> Result<f64> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(type_err("num", other)),
+        }
+    }
+
+    /// Extracts a scalar boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for non-booleans.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+
+    /// Extracts a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for non-strings.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(type_err("str", other)),
+        }
+    }
+
+    /// Extracts a numeric array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_array(&self) -> Result<&ArrayVal> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => Err(type_err("array", other)),
+        }
+    }
+
+    /// Extracts a boolean mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_bool_array(&self) -> Result<&BoolArrayVal> {
+        match self {
+            Value::BoolArray(m) => Ok(m),
+            other => Err(type_err("boolarray", other)),
+        }
+    }
+
+    /// Extracts a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_table(&self) -> Result<&Table> {
+        match self {
+            Value::Table(t) => Ok(t),
+            other => Err(type_err("table", other)),
+        }
+    }
+
+    /// Extracts a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_matrix(&self) -> Result<&Matrix> {
+        match self {
+            Value::Matrix(m) => Ok(m),
+            other => Err(type_err("matrix", other)),
+        }
+    }
+
+    /// Extracts a CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_csr(&self) -> Result<&Csr> {
+        match self {
+            Value::Csr(c) => Ok(c),
+            other => Err(type_err("csr", other)),
+        }
+    }
+
+    /// Extracts a forest model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_forest(&self) -> Result<&Forest> {
+        match self {
+            Value::Forest(f) => Ok(f),
+            other => Err(type_err("forest", other)),
+        }
+    }
+}
+
+fn type_err(wanted: &str, got: &Value) -> LangError {
+    LangError::type_error(format!("expected {wanted}, got {}", got.type_name()))
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Array(a) => {
+                write!(f, "array[{} (logical {})]", a.len(), a.logical_len())
+            }
+            Value::BoolArray(m) => {
+                write!(f, "mask[{} (logical {})]", m.len(), m.logical_len())
+            }
+            Value::Table(t) => write!(f, "{t}"),
+            Value::Matrix(m) => write!(f, "{m}"),
+            Value::Csr(c) => write!(f, "{c}"),
+            Value::Forest(fr) => write!(f, "{fr}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Array(ArrayVal::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_volumes() {
+        assert_eq!(Value::Num(1.0).virtual_bytes(), 8);
+        assert_eq!(Value::Bool(true).virtual_bytes(), 1);
+        assert_eq!(Value::Str("abc".into()).virtual_bytes(), 3);
+        assert!(!Value::Num(1.0).is_bulk());
+    }
+
+    #[test]
+    fn array_logical_scaling() {
+        let a = ArrayVal::with_logical(vec![1.0, 2.0], 2000);
+        assert_eq!(a.logical_len(), 2000);
+        assert!((a.scale_ratio() - 1000.0).abs() < 1e-12);
+        let v = Value::Array(a);
+        assert_eq!(v.virtual_bytes(), 16_000);
+        assert!(v.is_bulk());
+    }
+
+    #[test]
+    #[should_panic(expected = "logical length")]
+    fn logical_shorter_than_actual_panics() {
+        let _ = ArrayVal::with_logical(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn mask_selectivity() {
+        let m = BoolArrayVal::new(vec![true, false, true, true]);
+        assert!((m.selectivity() - 0.75).abs() < 1e-12);
+        assert_eq!(Value::BoolArray(m).virtual_bytes(), 4);
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        let v = Value::from(3.5);
+        assert_eq!(v.as_num().expect("num"), 3.5);
+        assert!(v.as_array().is_err());
+        assert!(v.as_table().is_err());
+        let msg = format!("{}", Value::from(true).as_num().unwrap_err());
+        assert!(msg.contains("expected num"));
+        assert!(msg.contains("bool"));
+    }
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let vals = [
+            Value::Num(1.0),
+            Value::Bool(false),
+            Value::Str("s".into()),
+            Value::from(vec![1.0, 2.0]),
+            Value::BoolArray(BoolArrayVal::new(vec![true])),
+        ];
+        for v in &vals {
+            assert!(!format!("{v}").is_empty());
+            assert!(!v.type_name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The nine Table-I applications plus SparseMV (added by the paper's §V
+//! discussion and Figure 5).
+//!
+//! Each module builds one [`crate::spec::Workload`]: an unannotated ALang
+//! program — no ISP hints anywhere — and a deterministic, scale-parameterized
+//! input generator sized to Table I.
+
+pub mod blackscholes;
+pub mod kmeans;
+pub mod lightgbm;
+pub mod matrixmul;
+pub mod mixedgemm;
+pub mod pagerank;
+pub mod sparsemv;
+pub mod tpch_q1;
+pub mod tpch_q14;
+pub mod tpch_q6;
+
+use crate::spec::Workload;
+
+/// The nine applications of Table I, in the paper's order.
+#[must_use]
+pub fn table1() -> Vec<Workload> {
+    vec![
+        blackscholes::workload(),
+        kmeans::workload(),
+        lightgbm::workload(),
+        matrixmul::workload(),
+        mixedgemm::workload(),
+        pagerank::workload(),
+        tpch_q1::workload(),
+        tpch_q6::workload(),
+        tpch_q14::workload(),
+    ]
+}
+
+/// Table I plus SparseMV (the workload set of Figure 5 / §V).
+#[must_use]
+pub fn with_sparsemv() -> Vec<Workload> {
+    let mut v = table1();
+    v.push(sparsemv::workload());
+    v
+}
+
+/// Looks up a workload by (case-insensitive) name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    with_sparsemv().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_nine_apps_with_paper_sizes() {
+        let apps = table1();
+        assert_eq!(apps.len(), 9);
+        let sizes: Vec<(String, f64)> =
+            apps.iter().map(|w| (w.name().to_owned(), w.table1_gb())).collect();
+        let expect = [
+            ("blackscholes", 9.1),
+            ("KMeans", 5.3),
+            ("LightGBM", 7.1),
+            ("MatrixMul", 6.0),
+            ("MixedGEMM", 9.4),
+            ("PageRank", 7.7),
+            ("TPC-H-1", 6.9),
+            ("TPC-H-6", 6.9),
+            ("TPC-H-14", 7.1),
+        ];
+        for ((name, gb), (ename, egb)) in sizes.iter().zip(expect.iter()) {
+            assert_eq!(name, ename);
+            assert!((gb - egb).abs() < 1e-9, "{name}: {gb} vs {egb}");
+        }
+    }
+
+    #[test]
+    fn all_programs_parse() {
+        for w in with_sparsemv() {
+            let p = w.program().unwrap_or_else(|e| panic!("{} fails to parse: {e}", w.name()));
+            assert!(p.len() >= 3, "{} suspiciously short", w.name());
+        }
+    }
+
+    #[test]
+    fn all_programs_execute_at_tiny_scale() {
+        use alang::Interpreter;
+        for w in with_sparsemv() {
+            let program = w.program().expect("parse");
+            let storage = w.storage_at(1.0 / 1024.0);
+            let mut interp = Interpreter::new(&storage);
+            interp
+                .run(&program, &[])
+                .unwrap_or_else(|e| panic!("{} fails to run: {e}", w.name()));
+        }
+    }
+
+    #[test]
+    fn declared_sizes_match_generated_volumes() {
+        for w in with_sparsemv() {
+            let storage = w.storage_at(1.0);
+            let gb = storage.total_virtual_bytes() as f64 / 1e9;
+            assert!(
+                (gb - w.table1_gb()).abs() / w.table1_gb() < 0.05,
+                "{}: generated {gb} GB vs declared {} GB",
+                w.name(),
+                w.table1_gb()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("pagerank").is_some());
+        assert!(by_name("TPC-H-6").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

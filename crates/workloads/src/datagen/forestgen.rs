@@ -1,0 +1,81 @@
+//! Random gradient-boosted-forest generator for the LightGBM workload.
+//!
+//! The paper evaluates LightGBM *inference* over stored feature data; the
+//! model itself is a fixed artifact. We synthesize a forest of complete
+//! binary trees with random split features/thresholds and ±leaf values —
+//! the traversal cost and output shape match scoring a trained model.
+
+use super::rng_for;
+use alang::forest::{Forest, Tree, TreeNode};
+use alang::Value;
+use rand::Rng;
+
+/// Builds a forest of `trees` complete binary trees of the given `depth`
+/// (internal levels; a depth-4 tree has 15 internal nodes and 16 leaves)
+/// over `features` feature columns with thresholds in `(-1, 1)`.
+///
+/// # Panics
+///
+/// Panics if `trees`, `depth`, or `features` is zero.
+#[must_use]
+pub fn random_forest(trees: usize, depth: u32, features: u32, seed: u64) -> Value {
+    assert!(trees > 0 && depth > 0 && features > 0, "forest must be non-trivial");
+    let mut rng = rng_for(seed, 1.0);
+    let mut out = Vec::with_capacity(trees);
+    for _ in 0..trees {
+        let internal = (1usize << depth) - 1;
+        let leaves = 1usize << depth;
+        let mut nodes = Vec::with_capacity(internal + leaves);
+        for i in 0..internal {
+            let left = (2 * i + 1) as u32;
+            let right = (2 * i + 2) as u32;
+            nodes.push(TreeNode::split(
+                rng.gen_range(0..features),
+                rng.gen_range(-1.0..1.0),
+                left,
+                right,
+            ));
+        }
+        for _ in 0..leaves {
+            nodes.push(TreeNode::leaf(rng.gen_range(-1.0..1.0)));
+        }
+        out.push(Tree::new(nodes).expect("complete binary trees are well-formed"));
+    }
+    Value::Forest(Forest::new(out, features).expect("at least one tree"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_shape() {
+        let v = random_forest(10, 4, 32, 1);
+        let f = v.as_forest().expect("forest");
+        assert_eq!(f.tree_count(), 10);
+        assert_eq!(f.feature_count(), 32);
+        // Each depth-4 tree: 15 internal + 16 leaves = 31 nodes.
+        assert_eq!(f.node_count(), 310);
+        assert!((f.mean_depth() - 5.0).abs() < 1e-9, "depth counts nodes on the path");
+    }
+
+    #[test]
+    fn scoring_visits_depth_plus_one_nodes_per_tree() {
+        let v = random_forest(3, 4, 8, 2);
+        let f = v.as_forest().expect("forest");
+        let (_, visited) = f.score(&[0.0; 8]);
+        assert_eq!(visited, 3 * 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_forest(4, 3, 8, 7), random_forest(4, 3, 8, 7));
+        assert_ne!(random_forest(4, 3, 8, 7), random_forest(4, 3, 8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-trivial")]
+    fn zero_trees_panics() {
+        let _ = random_forest(0, 3, 8, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Clustered point-cloud generator for the KMeans workload.
+
+use super::{logical_rows, rng_for};
+use alang::matrix::Matrix;
+use alang::Value;
+use rand::Rng;
+
+/// Generates an `n × dims` point matrix of `gb × scale` logical gigabytes,
+/// drawn from `k` Gaussian-ish clusters, materialized at `actual_rows`.
+#[must_use]
+pub fn clustered_points(
+    gb: f64,
+    scale: f64,
+    dims: usize,
+    k: usize,
+    actual_rows: usize,
+    seed: u64,
+) -> Value {
+    let mut rng = rng_for(seed, scale);
+    // Cluster centres on a fixed lattice so every scale sees the same
+    // population structure.
+    let centres: Vec<Vec<f64>> = (0..k)
+        .map(|c| (0..dims).map(|d| ((c * 7 + d * 3) % 13) as f64).collect())
+        .collect();
+    let mut data = Vec::with_capacity(actual_rows * dims);
+    for i in 0..actual_rows {
+        let c = &centres[i % k];
+        for centre_coord in c.iter().take(dims) {
+            // Triangular noise approximates a Gaussian cheaply.
+            let noise = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+            data.push(centre_coord + noise);
+        }
+    }
+    let logical = logical_rows(gb, dims as u64 * 8, scale, actual_rows);
+    Value::Matrix(
+        Matrix::with_logical(data, actual_rows, dims, logical, dims as u64)
+            .expect("shape is consistent by construction"),
+    )
+}
+
+/// Initial centroids: the first `k` cluster centres, slightly perturbed.
+#[must_use]
+pub fn initial_centroids(dims: usize, k: usize, seed: u64) -> Value {
+    let mut rng = rng_for(seed.wrapping_add(1), 1.0);
+    let mut data = Vec::with_capacity(k * dims);
+    for c in 0..k {
+        for d in 0..dims {
+            data.push(((c * 7 + d * 3) % 13) as f64 + rng.gen_range(-0.5..0.5));
+        }
+    }
+    Value::Matrix(Matrix::new(data, k, dims).expect("shape is consistent"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_volume_matches_gb() {
+        let v = clustered_points(5.3, 1.0, 8, 8, 4096, 1);
+        let m = v.as_matrix().expect("matrix");
+        let gb = m.virtual_bytes() as f64 / 1e9;
+        assert!((gb - 5.3).abs() < 0.01, "got {gb}");
+    }
+
+    #[test]
+    fn centroids_shape() {
+        let v = initial_centroids(8, 8, 1);
+        let m = v.as_matrix().expect("matrix");
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 8);
+    }
+
+    #[test]
+    fn clusters_are_separable() {
+        // Points near centre 0 should be closer to centroid 0 than to any
+        // other centroid for a majority of rows with i % k == 0.
+        let pts = clustered_points(1.0, 1.0, 4, 4, 1024, 2);
+        let cents = initial_centroids(4, 4, 2);
+        let (p, c) = (pts.as_matrix().expect("p"), cents.as_matrix().expect("c"));
+        let mut correct = 0;
+        let mut total = 0;
+        for i in (0..1024).step_by(4) {
+            total += 1;
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for kc in 0..4 {
+                let d: f64 =
+                    (0..4).map(|j| (p.get(i, j) - c.get(kc, j)).powi(2)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = kc;
+                }
+            }
+            if best == 0 {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct * 10 >= total * 7,
+            "only {correct}/{total} rows nearest their own centroid"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # isp-workloads — the ActivePy evaluation applications
+//!
+//! The nine applications of the paper's Table I (plus SparseMV from §V),
+//! each as an *unannotated* ALang program — no ISP hints, pragmas, or
+//! device code anywhere, exactly the input contract ActivePy promises —
+//! together with deterministic input generators sized to the paper's data
+//! volumes:
+//!
+//! | Name | Size | Shape |
+//! |---|---|---|
+//! | blackscholes | 9.1 GB | screen + closed-form pricing |
+//! | KMeans | 5.3 GB | one EM pass over stored points |
+//! | LightGBM | 7.1 GB | boosted-forest inference |
+//! | MatrixMul | 6.0 GB | tall-skinny projection GEMM |
+//! | MixedGEMM | 9.4 GB | streaming projection + dense Gram powers |
+//! | PageRank | 7.7 GB | CSR conversion + rank iterations |
+//! | TPC-H-1 | 6.9 GB | grouped aggregation |
+//! | TPC-H-6 | 6.9 GB | scan-filter-aggregate |
+//! | TPC-H-14 | 7.1 GB | month filter + dense-key join |
+//! | SparseMV | 6.4 GB | CSR conversion + SpMV (§V) |
+//!
+//! ```
+//! let q6 = isp_workloads::by_name("TPC-H-6").expect("registered");
+//! let program = q6.program()?;
+//! assert!(program.len() > 10);
+//! let storage = q6.storage_at(1.0 / 1024.0); // a sampling-scale input
+//! assert!(storage.get("lineitem").is_ok());
+//! # Ok::<(), alang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod datagen;
+pub mod spec;
+
+pub use apps::{by_name, table1, with_sparsemv};
+pub use spec::Workload;

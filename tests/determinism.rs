@@ -1,0 +1,49 @@
+//! The whole stack — generators, sampling, simulation — is deterministic:
+//! identical runs produce identical reports, which is what makes every
+//! experiment in the paper reproducible bit-for-bit here.
+
+use activepy::runtime::ActivePy;
+use csd_sim::units::SimTime;
+use csd_sim::{ContentionScenario, SystemConfig};
+
+#[test]
+fn identical_runs_produce_identical_outcomes() {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("TPC-H-14").expect("registered");
+    let program = w.program().expect("parse");
+    let a = ActivePy::new()
+        .run(&program, &w, &config, ContentionScenario::none())
+        .expect("first run");
+    let b = ActivePy::new()
+        .run(&program, &w, &config, ContentionScenario::none())
+        .expect("second run");
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.estimates, b.estimates);
+}
+
+#[test]
+fn contended_runs_are_deterministic_too() {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("KMeans").expect("registered");
+    let program = w.program().expect("parse");
+    let scenario = ContentionScenario::at_time(SimTime::from_secs(0.8), 0.1);
+    let a = ActivePy::new().run(&program, &w, &config, scenario).expect("first");
+    let b = ActivePy::new().run(&program, &w, &config, scenario).expect("second");
+    assert_eq!(a.report.total_secs, b.report.total_secs);
+    assert_eq!(a.report.migration, b.report.migration);
+}
+
+#[test]
+fn generators_are_scale_keyed_but_stable() {
+    let w = isp_workloads::by_name("blackscholes").expect("registered");
+    let a = w.storage_at(0.25);
+    let b = w.storage_at(0.25);
+    assert_eq!(
+        a.get("options").expect("a").virtual_bytes(),
+        b.get("options").expect("b").virtual_bytes()
+    );
+    let ta = a.get("options").expect("a");
+    let tb = b.get("options").expect("b");
+    assert_eq!(ta, tb, "same scale, same seed, same data");
+}
