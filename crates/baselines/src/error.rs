@@ -22,7 +22,9 @@ impl BaselineError {
     /// Shorthand for a search failure.
     #[must_use]
     pub fn search(message: impl Into<String>) -> Self {
-        BaselineError::Search { message: message.into() }
+        BaselineError::Search {
+            message: message.into(),
+        }
     }
 }
 

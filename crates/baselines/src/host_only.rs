@@ -69,8 +69,8 @@ mod tests {
     fn c_baseline_runs_all_workloads() {
         let config = SystemConfig::paper_default();
         for w in isp_workloads::with_sparsemv() {
-            let rep = run_c_baseline(&w, &config)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+            let rep =
+                run_c_baseline(&w, &config).unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
             assert!(rep.total_secs > 0.0, "{} took no time", w.name());
             assert_eq!(rep.csd_lines_executed, 0);
         }
@@ -80,13 +80,15 @@ mod tests {
     fn runtime_tier_ladder_holds_per_workload() {
         let config = SystemConfig::paper_default();
         for w in isp_workloads::table1() {
-            let native =
-                run_host_only(&w, &config, ExecTier::Native).expect("native").total_secs;
+            let native = run_host_only(&w, &config, ExecTier::Native)
+                .expect("native")
+                .total_secs;
             let elim = run_host_only(&w, &config, ExecTier::CompiledCopyElim)
                 .expect("elim")
                 .total_secs;
-            let compiled =
-                run_host_only(&w, &config, ExecTier::Compiled).expect("compiled").total_secs;
+            let compiled = run_host_only(&w, &config, ExecTier::Compiled)
+                .expect("compiled")
+                .total_secs;
             let interp = run_host_only(&w, &config, ExecTier::Interpreted)
                 .expect("interp")
                 .total_secs;

@@ -76,9 +76,20 @@ pub fn best_static_plan(workload: &Workload, config: &SystemConfig) -> Result<Of
             .collect();
         let mut system = config.build();
         let opts = ExecOptions::native_static();
-        let report = execute(&program, &storage, &placements, &mut system, &opts, None, &[])?;
-        let candidate =
-            OffloadPlan { placements, range, optimized_secs: report.total_secs };
+        let report = execute(
+            &program,
+            &storage,
+            &placements,
+            &mut system,
+            &opts,
+            None,
+            &[],
+        )?;
+        let candidate = OffloadPlan {
+            placements,
+            range,
+            optimized_secs: report.total_secs,
+        };
         if best
             .as_ref()
             .is_none_or(|b| candidate.optimized_secs < b.optimized_secs)
@@ -120,8 +131,15 @@ pub fn run_plan(
         offload_overheads: true,
         preempt_at: None,
     };
-    let report =
-        execute(&program, &storage, &plan.placements, &mut system, &opts, None, &[])?;
+    let report = execute(
+        &program,
+        &storage,
+        &plan.placements,
+        &mut system,
+        &opts,
+        None,
+        &[],
+    )?;
     Ok(report)
 }
 
@@ -153,8 +171,7 @@ mod tests {
         let config = SystemConfig::paper_default();
         let q6 = isp_workloads::by_name("TPC-H-6").expect("q6");
         let plan = best_static_plan(&q6, &config).expect("plan");
-        let rep =
-            run_plan(&q6, &config, &plan, ContentionScenario::none()).expect("rerun");
+        let rep = run_plan(&q6, &config, &plan, ContentionScenario::none()).expect("rerun");
         assert!(
             (rep.total_secs - plan.optimized_secs).abs() / plan.optimized_secs < 1e-9,
             "deterministic simulator must reproduce the search result"

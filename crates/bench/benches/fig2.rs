@@ -14,8 +14,7 @@ fn bench_fig2(c: &mut Criterion) {
     g.bench_function("static_plan_run_60pct", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_plan(&w, &config, &plan, ContentionScenario::constant(0.6))
-                    .expect("run"),
+                run_plan(&w, &config, &plan, ContentionScenario::constant(0.6)).expect("run"),
             )
         })
     });

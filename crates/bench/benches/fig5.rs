@@ -11,7 +11,10 @@ fn bench_fig5(c: &mut Criterion) {
     let reference = ActivePy::new()
         .run(&program, &w, &config, ContentionScenario::none())
         .expect("reference");
-    let t_half = reference.report.time_at_csd_progress(0.5).expect("csd work exists");
+    let t_half = reference
+        .report
+        .time_at_csd_progress(0.5)
+        .expect("csd work exists");
     let scenario = ContentionScenario::at_time(SimTime::from_secs(t_half), 0.1);
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
@@ -20,7 +23,9 @@ fn bench_fig5(c: &mut Criterion) {
     g.bench_function("activepy_migrating_run_q6_10pct", |b| {
         b.iter(|| {
             std::hint::black_box(
-                ActivePy::new().run(&program, &w, &config, scenario).expect("run"),
+                ActivePy::new()
+                    .run(&program, &w, &config, scenario)
+                    .expect("run"),
             )
         })
     });

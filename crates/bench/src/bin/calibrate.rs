@@ -28,10 +28,12 @@ fn main() {
             .run(&program, &w, &config, ContentionScenario::none())
             .expect("activepy");
         let ap = outcome.report.total_secs;
-        let interp =
-            run_host_only(&w, &config, ExecTier::Interpreted).expect("interp").total_secs;
-        let comp =
-            run_host_only(&w, &config, ExecTier::Compiled).expect("compiled").total_secs;
+        let interp = run_host_only(&w, &config, ExecTier::Interpreted)
+            .expect("interp")
+            .total_secs;
+        let comp = run_host_only(&w, &config, ExecTier::Compiled)
+            .expect("compiled")
+            .total_secs;
         let elim = run_host_only(&w, &config, ExecTier::CompiledCopyElim)
             .expect("elim")
             .total_secs;
@@ -57,8 +59,11 @@ fn main() {
         n += 1.0;
     }
     let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
-    println!("\ngeomean speedup: programmer-directed {:.3} (paper 1.33), ActivePy {:.3} (paper 1.34)",
-        gm(&speedups_pd), gm(&speedups_ap));
+    println!(
+        "\ngeomean speedup: programmer-directed {:.3} (paper 1.33), ActivePy {:.3} (paper 1.34)",
+        gm(&speedups_pd),
+        gm(&speedups_ap)
+    );
     println!(
         "runtime ladder (mean slowdown vs C): interpreted {:.3} (paper 1.41), cython {:.3} (paper 1.20), copy-elim {:.3} (paper ~1.01)",
         ladder.0 / n,

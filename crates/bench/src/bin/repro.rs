@@ -1,21 +1,159 @@
 //! Runs every experiment in sequence — the full evaluation of the paper.
+//!
+//! All figures share one [`PlanCache`], so each (workload, platform) pair
+//! is sampled, fitted, and assigned exactly once across the whole run.
+//! With `--json`, the binary also times every experiment, re-runs Figure 5
+//! through the original uncached serial path as a before/after control
+//! (checking the rows are bit-identical), and writes the measurements to
+//! `BENCH_repro.json`.
+
+use std::time::Instant;
+
+use activepy::PlanCache;
 use csd_sim::SystemConfig;
 use isp_bench::experiments as ex;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ExperimentTiming {
+    name: String,
+    wall_secs: f64,
+}
+
+#[derive(Serialize)]
+struct CacheReport {
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    plans: usize,
+    planning_secs: f64,
+}
+
+#[derive(Serialize)]
+struct Fig5Comparison {
+    serial_uncached_secs: f64,
+    cached_secs: f64,
+    speedup: f64,
+    rows_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    experiments: Vec<ExperimentTiming>,
+    total_secs: f64,
+    plan_cache: CacheReport,
+    fig5_before_after: Fig5Comparison,
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let config = SystemConfig::paper_default();
-    ex::table1::print(&ex::table1::run());
+    let cache = PlanCache::new();
+    let mut experiments: Vec<ExperimentTiming> = Vec::new();
+    let mut time = |name: &str, secs: f64| {
+        experiments.push(ExperimentTiming {
+            name: name.to_owned(),
+            wall_secs: secs,
+        });
+    };
+
+    let started = Instant::now();
+    let t = Instant::now();
+    let table1 = ex::table1::run();
+    time("table1", t.elapsed().as_secs_f64());
+    ex::table1::print(&table1);
     println!();
-    ex::fig2::print(&ex::fig2::run(&config));
+
+    let t = Instant::now();
+    let fig2 = ex::fig2::run(&config);
+    time("fig2", t.elapsed().as_secs_f64());
+    ex::fig2::print(&fig2);
     println!();
-    ex::fig4::print(&ex::fig4::run(&config));
+
+    let t = Instant::now();
+    let fig4 = ex::fig4::run_with(&config, &cache);
+    time("fig4", t.elapsed().as_secs_f64());
+    ex::fig4::print(&fig4);
     println!();
-    ex::fig5::print(&ex::fig5::run(&config));
+
+    let t = Instant::now();
+    let fig5 = ex::fig5::run_with(&config, &cache);
+    let fig5_cached_secs = t.elapsed().as_secs_f64();
+    time("fig5", fig5_cached_secs);
+    ex::fig5::print(&fig5);
     println!();
-    ex::runtime_opt::print(&ex::runtime_opt::run(&config));
+
+    let t = Instant::now();
+    let runtime_opt = ex::runtime_opt::run(&config);
+    time("runtime_opt", t.elapsed().as_secs_f64());
+    ex::runtime_opt::print(&runtime_opt);
     println!();
-    ex::prediction::print(&ex::prediction::run(&config));
+
+    let t = Instant::now();
+    let prediction = ex::prediction::run_with(&config, &cache);
+    time("prediction", t.elapsed().as_secs_f64());
+    ex::prediction::print(&prediction);
     println!();
-    ex::ablation::print(&ex::ablation::run(&config));
+
+    let t = Instant::now();
+    let ablation = ex::ablation::run_with(&config, &cache);
+    time("ablation", t.elapsed().as_secs_f64());
+    ex::ablation::print(&ablation);
     println!();
-    ex::flexibility::print(&ex::flexibility::run_bw_sweep(), &ex::flexibility::run_gc());
+
+    let t = Instant::now();
+    let bw = ex::flexibility::run_bw_sweep_with(&cache);
+    let gc = ex::flexibility::run_gc_with(&cache);
+    time("flexibility", t.elapsed().as_secs_f64());
+    ex::flexibility::print(&bw, &gc);
+
+    let total_secs = started.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    println!();
+    println!(
+        "plan cache: {} plans, {} hits / {} misses ({:.0}% hit rate), {:.2}s planning",
+        cache.len(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.planning_nanos as f64 / 1e9,
+    );
+
+    if !json {
+        return;
+    }
+
+    // Before/after control: Figure 5 through the original uncached serial
+    // path. The rows must be bit-identical to the cached parallel sweep.
+    let t = Instant::now();
+    let fig5_serial = ex::fig5::run_serial(&config);
+    let serial_secs = t.elapsed().as_secs_f64();
+    let rows_identical = serde_json::to_string(&fig5).expect("rows serialize")
+        == serde_json::to_string(&fig5_serial).expect("rows serialize");
+    let speedup = serial_secs / fig5_cached_secs;
+    println!(
+        "fig5 before/after: serial uncached {serial_secs:.2}s, cached sweep \
+         {fig5_cached_secs:.2}s ({speedup:.2}x), rows identical: {rows_identical}"
+    );
+
+    let report = BenchReport {
+        experiments,
+        total_secs,
+        plan_cache: CacheReport {
+            hits: stats.hits,
+            misses: stats.misses,
+            hit_rate: stats.hit_rate(),
+            plans: cache.len(),
+            planning_secs: stats.planning_nanos as f64 / 1e9,
+        },
+        fig5_before_after: Fig5Comparison {
+            serial_uncached_secs: serial_secs,
+            cached_secs: fig5_cached_secs,
+            speedup,
+            rows_identical,
+        },
+    };
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_repro.json", rendered).expect("BENCH_repro.json is writable");
+    println!("wrote BENCH_repro.json");
 }

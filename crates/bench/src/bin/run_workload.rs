@@ -96,8 +96,11 @@ fn main() -> ExitCode {
         eprintln!("error: unknown workload `{}`", args.workload);
         return usage();
     };
-    let config =
-        if args.nvmeof { SystemConfig::nvmeof_default() } else { SystemConfig::paper_default() };
+    let config = if args.nvmeof {
+        SystemConfig::nvmeof_default()
+    } else {
+        SystemConfig::paper_default()
+    };
 
     let baseline = match run_c_baseline(&w, &config) {
         Ok(r) => r.total_secs,
@@ -168,7 +171,10 @@ fn main() -> ExitCode {
         outcome.compile_secs,
     );
     if args.timeline {
-        print!("{}", activepy::report::render_timeline(&program, &outcome.report));
+        print!(
+            "{}",
+            activepy::report::render_timeline(&program, &outcome.report)
+        );
     }
     if let Some(m) = outcome.report.migration {
         println!(

@@ -14,11 +14,9 @@
 //! projected — end-to-end latency.
 
 use activepy::assign::{assign, assign_greedy, assign_optimal, assign_refined, Assignment};
-use activepy::estimate::{estimate_lines, Calibration};
 use activepy::exec::{execute, ExecOptions};
-use activepy::fit::predict_lines;
-use activepy::sampling::{paper_scales, run_sampling};
-use alang::copyelim::eliminable_lines;
+use activepy::runtime::ActivePy;
+use activepy::{OffloadPlan, PlanCache};
 use alang::{CostParams, ExecTier};
 use csd_sim::SystemConfig;
 use serde::Serialize;
@@ -40,14 +38,10 @@ pub struct Row {
     pub csd_counts: [usize; 4],
 }
 
-fn measure(
-    w: &isp_workloads::Workload,
-    config: &SystemConfig,
-    assignment: &Assignment,
-    copy_elim: &[bool],
-) -> f64 {
-    let program = w.program().expect("parse");
-    let storage = w.storage_at(1.0);
+/// Executes one assignment variant against the plan's already-parsed
+/// program and already-materialized full-scale input (the old path
+/// re-parsed and re-generated both for every variant).
+fn measure(plan: &OffloadPlan, config: &SystemConfig, assignment: &Assignment) -> f64 {
     let mut system = config.build();
     let opts = ExecOptions {
         tier: ExecTier::CompiledCopyElim,
@@ -57,61 +51,69 @@ fn measure(
         offload_overheads: true,
         preempt_at: None,
     };
-    let placements = assignment.placements(program.len());
-    execute(&program, &storage, &placements, &mut system, &opts, None, copy_elim)
-        .expect("plan executes")
-        .total_secs
+    let placements = assignment.placements(plan.program.len());
+    execute(
+        &plan.program,
+        &plan.full_storage,
+        &placements,
+        &mut system,
+        &opts,
+        None,
+        &plan.copy_elim,
+    )
+    .expect("plan executes")
+    .total_secs
 }
 
-/// Runs the ablation over the nine Table-I workloads.
+/// Runs the ablation over the nine Table-I workloads with a private plan
+/// cache.
 ///
 /// # Panics
 ///
 /// Panics if a registered workload fails to run.
 #[must_use]
 pub fn run(config: &SystemConfig) -> Vec<Row> {
-    let params = CostParams::paper_default();
-    let calibration = Calibration::from_counters(config);
+    run_with(config, &PlanCache::new())
+}
+
+/// [`run`] against a shared [`PlanCache`]: the estimates, copy-elimination
+/// decisions, parsed program, and full-scale input all come from the
+/// workload's cached plan, so the four assignment variants share one
+/// planning pass.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run_with(config: &SystemConfig, cache: &PlanCache) -> Vec<Row> {
     let bw = config.d2h_bandwidth().as_bytes_per_sec();
-    isp_workloads::table1()
-        .iter()
-        .map(|w| {
-            let program = w.program().expect("parse");
-            let sampling =
-                run_sampling(&program, w, &paper_scales()).expect("sampling runs");
-            let predictions = predict_lines(&sampling.lines).expect("fit succeeds");
-            let copy_elim = eliminable_lines(&program, &sampling.dataset_types);
-            let estimates = estimate_lines(
-                &predictions,
-                ExecTier::CompiledCopyElim,
-                &params,
-                config,
-                &calibration,
-                &copy_elim,
-            );
-            let variants = [
-                assign_greedy(&estimates, bw),
-                assign(&estimates, bw),
-                assign_refined(&program, &estimates, bw),
-                assign_optimal(&estimates, bw),
-            ];
-            let secs: Vec<f64> =
-                variants.iter().map(|a| measure(w, config, a, &copy_elim)).collect();
-            Row {
-                name: w.name().to_owned(),
-                greedy_secs: secs[0],
-                lookahead_secs: secs[1],
-                refined_secs: secs[2],
-                dp_secs: secs[3],
-                csd_counts: [
-                    variants[0].csd_lines.len(),
-                    variants[1].csd_lines.len(),
-                    variants[2].csd_lines.len(),
-                    variants[3].csd_lines.len(),
-                ],
-            }
-        })
-        .collect()
+    crate::sweep::run_grid(isp_workloads::table1(), |w| {
+        let program = w.program().expect("parse");
+        let rt = ActivePy::new();
+        let plan = cache
+            .plan_for(&rt, w.name(), &program, &w, config)
+            .expect("planning succeeds");
+        let variants = [
+            assign_greedy(&plan.estimates, bw),
+            assign(&plan.estimates, bw),
+            assign_refined(&plan.program, &plan.estimates, bw),
+            assign_optimal(&plan.estimates, bw),
+        ];
+        let secs: Vec<f64> = variants.iter().map(|a| measure(&plan, config, a)).collect();
+        Row {
+            name: w.name().to_owned(),
+            greedy_secs: secs[0],
+            lookahead_secs: secs[1],
+            refined_secs: secs[2],
+            dp_secs: secs[3],
+            csd_counts: [
+                variants[0].csd_lines.len(),
+                variants[1].csd_lines.len(),
+                variants[2].csd_lines.len(),
+                variants[3].csd_lines.len(),
+            ],
+        }
+    })
 }
 
 /// Prints the ablation table.
@@ -161,6 +163,9 @@ mod tests {
         // On at least half the workloads the verbatim greedy strands the
         // pipeline on the host (offloads nothing).
         let stranded = rows.iter().filter(|r| r.csd_counts[0] == 0).count();
-        assert!(stranded * 2 >= rows.len(), "greedy stranded only {stranded}");
+        assert!(
+            stranded * 2 >= rows.len(),
+            "greedy stranded only {stranded}"
+        );
     }
 }

@@ -10,8 +10,7 @@ use isp_baselines::{best_static_plan, run_c_baseline, run_plan};
 use serde::Serialize;
 
 /// Availability levels swept (fraction of CSE time available).
-pub const AVAILABILITIES: [f64; 10] =
-    [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+pub const AVAILABILITIES: [f64; 10] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
 
 /// One workload's sweep.
 #[derive(Debug, Clone, Serialize)]
@@ -50,29 +49,33 @@ impl Row {
 /// condition).
 #[must_use]
 pub fn run(config: &SystemConfig) -> Vec<Row> {
-    ["TPC-H-1", "TPC-H-6", "TPC-H-14"]
-        .iter()
-        .map(|name| {
-            let w = isp_workloads::by_name(name).expect("TPC-H workloads are registered");
-            let baseline = run_c_baseline(&w, config).expect("baseline runs").total_secs;
-            let plan = best_static_plan(&w, config).expect("plan search succeeds");
-            let speedups = AVAILABILITIES
-                .iter()
-                .map(|&avail| {
-                    let scenario = if avail >= 1.0 {
-                        ContentionScenario::none()
-                    } else {
-                        ContentionScenario::constant(avail)
-                    };
-                    let t = run_plan(&w, config, &plan, scenario)
-                        .expect("plan re-runs")
-                        .total_secs;
-                    baseline / t
-                })
-                .collect();
-            Row { name: (*name).to_owned(), baseline_secs: baseline, speedups }
-        })
-        .collect()
+    let names = vec!["TPC-H-1", "TPC-H-6", "TPC-H-14"];
+    crate::sweep::run_grid(names, |name| {
+        let w = isp_workloads::by_name(name).expect("TPC-H workloads are registered");
+        let baseline = run_c_baseline(&w, config)
+            .expect("baseline runs")
+            .total_secs;
+        let plan = best_static_plan(&w, config).expect("plan search succeeds");
+        let speedups = AVAILABILITIES
+            .iter()
+            .map(|&avail| {
+                let scenario = if avail >= 1.0 {
+                    ContentionScenario::none()
+                } else {
+                    ContentionScenario::constant(avail)
+                };
+                let t = run_plan(&w, config, &plan, scenario)
+                    .expect("plan re-runs")
+                    .total_secs;
+                baseline / t
+            })
+            .collect();
+        Row {
+            name: name.to_owned(),
+            baseline_secs: baseline,
+            speedups,
+        }
+    })
 }
 
 /// Prints the sweep in the figure's layout.
@@ -93,9 +96,7 @@ pub fn print(rows: &[Row]) {
             None => println!("  none"),
         }
     }
-    println!(
-        "(paper: ~1.25x at 100%, and the optimized workloads lose below ~60% availability)"
-    );
+    println!("(paper: ~1.25x at 100%, and the optimized workloads lose below ~60% availability)");
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use crate::geomean;
 use activepy::runtime::ActivePy;
+use activepy::PlanCache;
 use csd_sim::{ContentionScenario, EngineKind, SystemConfig};
 use isp_baselines::{best_static_plan, run_c_baseline, run_plan};
 use serde::Serialize;
@@ -47,46 +48,61 @@ impl Row {
     }
 }
 
-/// Runs the comparison over the nine Table-I workloads.
+/// Runs the comparison over the nine Table-I workloads with a private
+/// plan cache.
 ///
 /// # Panics
 ///
 /// Panics if a registered workload fails to run.
 #[must_use]
 pub fn run(config: &SystemConfig) -> Vec<Row> {
-    isp_workloads::table1()
-        .iter()
-        .map(|w| {
-            let baseline = run_c_baseline(w, config).expect("baseline runs").total_secs;
-            let plan = best_static_plan(w, config).expect("plan search succeeds");
-            let pd = run_plan(w, config, &plan, ContentionScenario::none())
-                .expect("plan re-runs")
-                .total_secs;
-            let program = w.program().expect("registered workloads parse");
-            let outcome = ActivePy::new()
-                .run(&program, w, config, ContentionScenario::none())
-                .expect("ActivePy pipeline runs");
-            let ap = outcome.report.total_secs;
-            let pd_lines = plan
-                .placements
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| **p == EngineKind::Cse)
-                .map(|(i, _)| i)
-                .collect();
-            Row {
-                name: w.name().to_owned(),
-                baseline_secs: baseline,
-                pd_secs: pd,
-                activepy_secs: ap,
-                pd_speedup: baseline / pd,
-                activepy_speedup: baseline / ap,
-                pd_lines,
-                activepy_lines: outcome.assignment.csd_lines.iter().copied().collect(),
-                overhead_secs: outcome.sampling_secs + outcome.compile_secs,
-            }
-        })
-        .collect()
+    run_with(config, &PlanCache::new())
+}
+
+/// [`run`] against a shared [`PlanCache`]; the workload grid fans out over
+/// [`crate::sweep::run_grid`].
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run_with(config: &SystemConfig, cache: &PlanCache) -> Vec<Row> {
+    crate::sweep::run_grid(isp_workloads::table1(), |w| {
+        let baseline = run_c_baseline(&w, config)
+            .expect("baseline runs")
+            .total_secs;
+        let static_plan = best_static_plan(&w, config).expect("plan search succeeds");
+        let pd = run_plan(&w, config, &static_plan, ContentionScenario::none())
+            .expect("plan re-runs")
+            .total_secs;
+        let program = w.program().expect("registered workloads parse");
+        let rt = ActivePy::new();
+        let plan = cache
+            .plan_for(&rt, w.name(), &program, &w, config)
+            .expect("planning succeeds");
+        let outcome = rt
+            .execute_plan(&plan, config, ContentionScenario::none())
+            .expect("ActivePy pipeline runs");
+        let ap = outcome.report.total_secs;
+        let pd_lines = static_plan
+            .placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == EngineKind::Cse)
+            .map(|(i, _)| i)
+            .collect();
+        Row {
+            name: w.name().to_owned(),
+            baseline_secs: baseline,
+            pd_secs: pd,
+            activepy_secs: ap,
+            pd_speedup: baseline / pd,
+            activepy_speedup: baseline / ap,
+            pd_lines,
+            activepy_lines: outcome.assignment.csd_lines.iter().copied().collect(),
+            overhead_secs: outcome.sampling_secs + outcome.compile_secs,
+        }
+    })
 }
 
 /// Prints the comparison in the figure's layout.
@@ -129,7 +145,12 @@ mod tests {
         for r in &rows {
             // Both configurations beat or match the baseline.
             assert!(r.pd_speedup > 0.99, "{}: PD {}", r.name, r.pd_speedup);
-            assert!(r.activepy_speedup > 0.95, "{}: AP {}", r.name, r.activepy_speedup);
+            assert!(
+                r.activepy_speedup > 0.95,
+                "{}: AP {}",
+                r.name,
+                r.activepy_speedup
+            );
             // ActivePy lands within 10% of the hand-optimized plan.
             let ratio = r.activepy_speedup / r.pd_speedup;
             assert!(
@@ -150,8 +171,17 @@ mod tests {
         }
         let pd = geomean(&rows.iter().map(|r| r.pd_speedup).collect::<Vec<_>>());
         let ap = geomean(&rows.iter().map(|r| r.activepy_speedup).collect::<Vec<_>>());
-        assert!(pd > 1.2 && pd < 1.6, "PD geomean {pd} out of the paper's band");
-        assert!(ap > 1.15 && ap < 1.6, "AP geomean {ap} out of the paper's band");
-        assert!((ap / pd - 1.0).abs() < 0.1, "AP {ap} vs PD {pd}: not 'almost the same'");
+        assert!(
+            pd > 1.2 && pd < 1.6,
+            "PD geomean {pd} out of the paper's band"
+        );
+        assert!(
+            ap > 1.15 && ap < 1.6,
+            "AP geomean {ap} out of the paper's band"
+        );
+        assert!(
+            (ap / pd - 1.0).abs() < 0.1,
+            "AP {ap} vs PD {pd}: not 'almost the same'"
+        );
     }
 }

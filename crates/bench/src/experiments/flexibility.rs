@@ -13,6 +13,7 @@
 //!    degraded device is still worth it.
 
 use activepy::runtime::{ActivePy, ActivePyOptions};
+use activepy::PlanCache;
 use csd_sim::flash::GcSchedule;
 use csd_sim::units::{Bandwidth, Duration};
 use csd_sim::{ContentionScenario, SystemConfig};
@@ -40,12 +41,22 @@ pub struct BwRow {
 /// Panics if a registered workload fails to run.
 #[must_use]
 pub fn run_bw_sweep() -> Vec<BwRow> {
+    run_bw_sweep_with(&PlanCache::new())
+}
+
+/// [`run_bw_sweep`] against a shared [`PlanCache`]; the platform grid fans
+/// out over [`crate::sweep::run_grid`]. Each platform is a distinct plan
+/// key — the point of the experiment is that the assignment changes.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run_bw_sweep_with(cache: &PlanCache) -> Vec<BwRow> {
     let w = isp_workloads::by_name("MixedGEMM").expect("registered");
     let program = w.program().expect("parse");
-    let mut rows = Vec::new();
-    let mut platforms: Vec<(String, SystemConfig)> = vec![
-        ("nvme-of 25GbE".into(), SystemConfig::nvmeof_default()),
-    ];
+    let mut platforms: Vec<(String, SystemConfig)> =
+        vec![("nvme-of 25GbE".into(), SystemConfig::nvmeof_default())];
     for gbps in [1.0, 2.0, 4.0, 8.5] {
         platforms.push((
             format!("pcie {gbps} GB/s"),
@@ -54,19 +65,22 @@ pub fn run_bw_sweep() -> Vec<BwRow> {
                 .with_pcie_bandwidth(Bandwidth::from_gb_per_sec(gbps)),
         ));
     }
-    for (platform, config) in platforms {
+    crate::sweep::run_grid(platforms, |(platform, config)| {
         let baseline = run_c_baseline(&w, &config).expect("baseline").total_secs;
-        let outcome = ActivePy::new()
-            .run(&program, &w, &config, ContentionScenario::none())
+        let rt = ActivePy::new();
+        let plan = cache
+            .plan_for(&rt, w.name(), &program, &w, &config)
+            .expect("planning succeeds");
+        let outcome = rt
+            .execute_plan(&plan, &config, ContentionScenario::none())
             .expect("pipeline");
-        rows.push(BwRow {
+        BwRow {
             platform,
             bw_d2h_gbps: config.d2h_bandwidth().as_bytes_per_sec() / 1e9,
             offloaded_lines: outcome.assignment.csd_lines.len(),
             speedup: baseline / outcome.report.total_secs,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One GC scenario row.
@@ -91,45 +105,60 @@ pub struct GcRow {
 /// Panics if a registered workload fails to run.
 #[must_use]
 pub fn run_gc() -> Vec<GcRow> {
+    run_gc_with(&PlanCache::new())
+}
+
+/// [`run_gc`] against a shared [`PlanCache`]: the with- and
+/// without-migration variants differ only in execution policy, so each GC
+/// duty level plans once and both variants replay that plan.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run_gc_with(cache: &PlanCache) -> Vec<GcRow> {
     let w = isp_workloads::by_name("TPC-H-6").expect("registered");
     let program = w.program().expect("parse");
-    let quiet =
-        run_c_baseline(&w, &SystemConfig::paper_default()).expect("baseline").total_secs;
-    [0.0, 0.3, 0.6, 0.9]
-        .into_iter()
-        .map(|duty| {
-            let config = if duty == 0.0 {
-                SystemConfig::paper_default()
-            } else {
-                SystemConfig::paper_default().with_gc(GcSchedule::new(
-                    Duration::from_secs(0.2),
-                    Duration::from_secs(0.2 * duty),
-                    0.15,
-                ))
-            };
-            let with_mig = ActivePy::new()
-                .run(&program, &w, &config, ContentionScenario::none())
-                .expect("with migration");
-            let without = ActivePy::with_options(
-                ActivePyOptions::default().without_migration(),
-            )
-            .run(&program, &w, &config, ContentionScenario::none())
+    let quiet = run_c_baseline(&w, &SystemConfig::paper_default())
+        .expect("baseline")
+        .total_secs;
+    crate::sweep::run_grid(vec![0.0, 0.3, 0.6, 0.9], |duty| {
+        let config = if duty == 0.0 {
+            SystemConfig::paper_default()
+        } else {
+            SystemConfig::paper_default().with_gc(GcSchedule::new(
+                Duration::from_secs(0.2),
+                Duration::from_secs(0.2 * duty),
+                0.15,
+            ))
+        };
+        let rt = ActivePy::new();
+        let plan = cache
+            .plan_for(&rt, w.name(), &program, &w, &config)
+            .expect("planning succeeds");
+        let with_mig = rt
+            .execute_plan(&plan, &config, ContentionScenario::none())
+            .expect("with migration");
+        let without = ActivePy::with_options(ActivePyOptions::default().without_migration())
+            .execute_plan(&plan, &config, ContentionScenario::none())
             .expect("without migration");
-            GcRow {
-                gc_duty: duty,
-                quiet_baseline_secs: quiet,
-                with_migration_secs: with_mig.report.total_secs,
-                without_migration_secs: without.report.total_secs,
-                migrated: with_mig.report.migration.is_some(),
-            }
-        })
-        .collect()
+        GcRow {
+            gc_duty: duty,
+            quiet_baseline_secs: quiet,
+            with_migration_secs: with_mig.report.total_secs,
+            without_migration_secs: without.report.total_secs,
+            migrated: with_mig.report.migration.is_some(),
+        }
+    })
 }
 
 /// Prints both flexibility tables.
 pub fn print(bw: &[BwRow], gc: &[GcRow]) {
     println!("== Flexibility 1: the same source on different interconnects (MixedGEMM) ==");
-    println!("{:<16} {:>8} {:>10} {:>8}", "platform", "BW_D2H", "offloaded", "speedup");
+    println!(
+        "{:<16} {:>8} {:>10} {:>8}",
+        "platform", "BW_D2H", "offloaded", "speedup"
+    );
     for r in bw {
         println!(
             "{:<16} {:>6.1}GB {:>10} {:>7.2}x",

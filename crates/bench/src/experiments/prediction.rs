@@ -8,8 +8,8 @@
 //! conservatively ("makes no harm to performance").
 
 use crate::geomean;
-use activepy::fit::predict_lines;
-use activepy::sampling::{paper_scales, run_sampling};
+use activepy::runtime::ActivePy;
+use activepy::PlanCache;
 use alang::Interpreter;
 use csd_sim::SystemConfig;
 use serde::Serialize;
@@ -56,40 +56,58 @@ pub struct Report {
 /// (tiny scalars drown in rounding).
 const MIN_VOLUME_BYTES: u64 = 1_000_000;
 
-/// Runs the prediction-accuracy experiment over all ten workloads.
+/// Runs the prediction-accuracy experiment over all ten workloads with a
+/// private plan cache.
 ///
 /// # Panics
 ///
 /// Panics if a registered workload fails to sample or run.
 #[must_use]
-pub fn run(_config: &SystemConfig) -> Report {
-    let mut lines = Vec::new();
-    for w in isp_workloads::with_sparsemv() {
-        let program = w.program().expect("registered workloads parse");
-        let sampling =
-            run_sampling(&program, &w, &paper_scales()).expect("sampling runs");
-        let predictions = predict_lines(&sampling.lines).expect("fit succeeds");
-        let storage = w.storage_at(1.0);
-        let mut interp = Interpreter::new(&storage);
-        let measured = interp.run(&program, &[]).expect("full-scale run");
-        for (pred, meas) in predictions.iter().zip(&measured) {
-            let measured_out = meas.cost.bytes_out;
-            if measured_out < MIN_VOLUME_BYTES {
-                continue;
-            }
-            let predicted_out = pred.cost.bytes_out;
-            let src = program.lines()[pred.line].source.clone();
-            lines.push(LineRow {
-                workload: w.name().to_owned(),
-                line: pred.line,
-                is_csr: src.contains("to_csr"),
-                source: src,
-                predicted_out,
-                measured_out,
-                ratio: predicted_out as f64 / measured_out as f64,
-            });
-        }
-    }
+pub fn run(config: &SystemConfig) -> Report {
+    run_with(config, &PlanCache::new())
+}
+
+/// [`run`] against a shared [`PlanCache`]: the sampling report, the fitted
+/// predictions, and the materialized full-scale input all come from the
+/// workload's cached [`activepy::OffloadPlan`].
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to sample or run.
+#[must_use]
+pub fn run_with(config: &SystemConfig, cache: &PlanCache) -> Report {
+    let per_workload: Vec<Vec<LineRow>> =
+        crate::sweep::run_grid(isp_workloads::with_sparsemv(), |w| {
+            let program = w.program().expect("registered workloads parse");
+            let rt = ActivePy::new();
+            let plan = cache
+                .plan_for(&rt, w.name(), &program, &w, config)
+                .expect("planning succeeds");
+            let mut interp = Interpreter::new(&plan.full_storage);
+            let measured = interp.run(&program, &[]).expect("full-scale run");
+            plan.predictions
+                .iter()
+                .zip(&measured)
+                .filter_map(|(pred, meas)| {
+                    let measured_out = meas.cost.bytes_out;
+                    if measured_out < MIN_VOLUME_BYTES {
+                        return None;
+                    }
+                    let predicted_out = pred.cost.bytes_out;
+                    let src = program.lines()[pred.line].source.clone();
+                    Some(LineRow {
+                        workload: w.name().to_owned(),
+                        line: pred.line,
+                        is_csr: src.contains("to_csr"),
+                        source: src,
+                        predicted_out,
+                        measured_out,
+                        ratio: predicted_out as f64 / measured_out as f64,
+                    })
+                })
+                .collect()
+        });
+    let lines: Vec<LineRow> = per_workload.into_iter().flatten().collect();
     let non_csr_errors: Vec<f64> = lines
         .iter()
         .filter(|l| !l.is_csr)
@@ -173,6 +191,9 @@ mod tests {
             "CSR over-estimate {} not near 2.41x",
             report.max_csr_overestimate
         );
-        assert!(report.csr_always_over, "CSR predictions must be conservative");
+        assert!(
+            report.csr_always_over,
+            "CSR predictions must be conservative"
+        );
     }
 }

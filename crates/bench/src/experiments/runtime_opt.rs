@@ -37,30 +37,29 @@ pub struct Row {
 /// Panics if a registered workload fails to run.
 #[must_use]
 pub fn run(config: &SystemConfig) -> Vec<Row> {
-    isp_workloads::table1()
-        .iter()
-        .map(|w| {
-            let native =
-                run_host_only(w, config, ExecTier::Native).expect("native").total_secs;
-            let interp = run_host_only(w, config, ExecTier::Interpreted)
-                .expect("interpreted")
-                .total_secs;
-            let compiled =
-                run_host_only(w, config, ExecTier::Compiled).expect("compiled").total_secs;
-            let elim = run_host_only(w, config, ExecTier::CompiledCopyElim)
-                .expect("copy-elim")
-                .total_secs;
-            let lines = w.program().expect("parse").len();
-            Row {
-                name: w.name().to_owned(),
-                native_secs: native,
-                interpreted_ratio: interp / native,
-                compiled_ratio: compiled / native,
-                copy_elim_ratio: elim / native,
-                compile_overhead_ratio: CompiledProgram::compile_secs_for(lines) / native,
-            }
-        })
-        .collect()
+    crate::sweep::run_grid(isp_workloads::table1(), |w| {
+        let native = run_host_only(&w, config, ExecTier::Native)
+            .expect("native")
+            .total_secs;
+        let interp = run_host_only(&w, config, ExecTier::Interpreted)
+            .expect("interpreted")
+            .total_secs;
+        let compiled = run_host_only(&w, config, ExecTier::Compiled)
+            .expect("compiled")
+            .total_secs;
+        let elim = run_host_only(&w, config, ExecTier::CompiledCopyElim)
+            .expect("copy-elim")
+            .total_secs;
+        let lines = w.program().expect("parse").len();
+        Row {
+            name: w.name().to_owned(),
+            native_secs: native,
+            interpreted_ratio: interp / native,
+            compiled_ratio: compiled / native,
+            copy_elim_ratio: elim / native,
+            compile_overhead_ratio: CompiledProgram::compile_secs_for(lines) / native,
+        }
+    })
 }
 
 /// Prints the ladder.
@@ -102,13 +101,15 @@ mod tests {
         let i = mean(&rows.iter().map(|r| r.interpreted_ratio).collect::<Vec<_>>());
         let c = mean(&rows.iter().map(|r| r.compiled_ratio).collect::<Vec<_>>());
         let e = mean(&rows.iter().map(|r| r.copy_elim_ratio).collect::<Vec<_>>());
-        assert!((i - 1.41).abs() < 0.15, "interpreted mean {i} vs paper 1.41");
+        assert!(
+            (i - 1.41).abs() < 0.15,
+            "interpreted mean {i} vs paper 1.41"
+        );
         assert!((c - 1.20).abs() < 0.08, "compiled mean {c} vs paper 1.20");
         assert!(e < 1.02, "copy-elim mean {e} vs paper ~1.01");
         for r in &rows {
             assert!(
-                r.copy_elim_ratio <= r.compiled_ratio
-                    && r.compiled_ratio < r.interpreted_ratio,
+                r.copy_elim_ratio <= r.compiled_ratio && r.compiled_ratio < r.interpreted_ratio,
                 "{}: ladder inverted",
                 r.name
             );

@@ -26,8 +26,7 @@ pub fn run() -> Vec<Row> {
         .iter()
         .map(|w: &Workload| {
             let program = w.program().expect("registered workloads parse");
-            let generated_gb =
-                w.storage_at(1.0).total_virtual_bytes() as f64 / 1e9;
+            let generated_gb = w.storage_at(1.0).total_virtual_bytes() as f64 / 1e9;
             Row {
                 name: w.name().to_owned(),
                 paper_gb: w.table1_gb(),

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 
 /// Geometric mean of a slice of positive ratios.
 ///

@@ -1,0 +1,46 @@
+//! A repro-style run of every plan-consuming experiment against one
+//! shared [`PlanCache`] must plan each (workload, platform) pair exactly
+//! once — the acceptance criterion for the planning cache.
+
+use activepy::PlanCache;
+use csd_sim::SystemConfig;
+use isp_bench::experiments as ex;
+
+#[test]
+fn shared_cache_plans_each_workload_once_across_experiments() {
+    let config = SystemConfig::paper_default();
+    let cache = PlanCache::new();
+
+    // fig4 plans the nine Table-I workloads.
+    let fig4 = ex::fig4::run_with(&config, &cache);
+    assert_eq!(fig4.len(), 9);
+    let after_fig4 = cache.stats();
+    assert_eq!(
+        after_fig4.misses, 9,
+        "fig4 plans each Table-I workload once"
+    );
+    assert_eq!(after_fig4.hits, 0);
+
+    // fig5 adds only SparseMV; the other ten lookups hit.
+    let fig5 = ex::fig5::run_with(&config, &cache);
+    assert_eq!(fig5.len(), 20);
+    let after_fig5 = cache.stats();
+    assert_eq!(after_fig5.misses, 10, "only SparseMV is new after fig4");
+    assert_eq!(after_fig5.hits, 9);
+
+    // prediction and ablation replay cached plans entirely.
+    let _ = ex::prediction::run_with(&config, &cache);
+    let _ = ex::ablation::run_with(&config, &cache);
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, 10,
+        "no experiment may replan a cached workload"
+    );
+    assert_eq!(
+        stats.hits,
+        9 + 10 + 9,
+        "prediction (10) and ablation (9) all hit"
+    );
+    assert_eq!(cache.len(), 10);
+    assert!(stats.planning_nanos > 0);
+}

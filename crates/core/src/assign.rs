@@ -30,7 +30,11 @@ impl Assignment {
     #[must_use]
     pub fn all_host(estimates: &[LineEstimate]) -> Self {
         let t_host = estimates.iter().map(|e| e.ct_host).sum();
-        Assignment { csd_lines: BTreeSet::new(), t_host, t_csd: t_host }
+        Assignment {
+            csd_lines: BTreeSet::new(),
+            t_host,
+            t_csd: t_host,
+        }
     }
 
     /// Per-line engine placement implied by this assignment.
@@ -123,7 +127,11 @@ pub fn assign_greedy(estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
             t_csd = projected;
         }
     }
-    Assignment { csd_lines, t_host, t_csd }
+    Assignment {
+        csd_lines,
+        t_host,
+        t_csd,
+    }
 }
 
 /// Runs Algorithm 1 over per-line estimates.
@@ -185,7 +193,11 @@ pub fn assign(estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
             i += 1;
         }
     }
-    Assignment { csd_lines, t_host, t_csd }
+    Assignment {
+        csd_lines,
+        t_host,
+        t_csd,
+    }
 }
 
 /// Projects the end-to-end cost of `placements` under the execution
@@ -208,8 +220,16 @@ pub fn projected_cost(
     bw_d2h: f64,
 ) -> f64 {
     assert!(bw_d2h > 0.0, "BW_D2H must be positive");
-    assert_eq!(program.len(), estimates.len(), "estimates must cover the program");
-    assert_eq!(program.len(), placements.len(), "placements must cover the program");
+    assert_eq!(
+        program.len(),
+        estimates.len(),
+        "estimates must cover the program"
+    );
+    assert_eq!(
+        program.len(),
+        placements.len(),
+        "placements must cover the program"
+    );
     let mut var_loc: BTreeMap<&str, EngineKind> = BTreeMap::new();
     let mut var_bytes: BTreeMap<&str, u64> = BTreeMap::new();
     let mut total = 0.0;
@@ -263,11 +283,7 @@ const REFINE_SWEEPS: usize = 12;
 ///
 /// Panics if lengths disagree or `bw_d2h` is not positive.
 #[must_use]
-pub fn assign_refined(
-    program: &Program,
-    estimates: &[LineEstimate],
-    bw_d2h: f64,
-) -> Assignment {
+pub fn assign_refined(program: &Program, estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
     let seed = assign(estimates, bw_d2h);
     let t_host = seed.t_host;
     // Refine from both the lookahead seed and the all-host plan: each can
@@ -293,7 +309,11 @@ pub fn assign_refined(
         .filter(|(_, p)| **p == EngineKind::Cse)
         .map(|(i, _)| i)
         .collect();
-    Assignment { csd_lines, t_host, t_csd: best_cost.min(t_host) }
+    Assignment {
+        csd_lines,
+        t_host,
+        t_csd: best_cost.min(t_host),
+    }
 }
 
 /// Single-line flip refinement to a fixpoint under [`projected_cost`].
@@ -337,7 +357,11 @@ pub fn assign_optimal(estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
     let t_host: f64 = estimates.iter().map(|e| e.ct_host).sum();
     let n = estimates.len();
     if n == 0 {
-        return Assignment { csd_lines: BTreeSet::new(), t_host, t_csd: t_host };
+        return Assignment {
+            csd_lines: BTreeSet::new(),
+            t_host,
+            t_csd: t_host,
+        };
     }
     // dp[placement] = (cost, choices); placement of the previous line.
     // Crossing cost: a line whose input was produced on the other side
@@ -347,7 +371,10 @@ pub fn assign_optimal(estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
     let cross = |bytes: u64| bytes as f64 / bw_d2h;
     let mut dp: Vec<(f64, Vec<bool>)> = vec![
         (estimates[0].ct_host, vec![false]),
-        (estimates[0].ct_device + cross(estimates[0].d_in), vec![true]),
+        (
+            estimates[0].ct_device + cross(estimates[0].d_in),
+            vec![true],
+        ),
     ];
     for est in &estimates[1..] {
         let mut next: Vec<(f64, Vec<bool>)> = Vec::with_capacity(2);
@@ -356,8 +383,11 @@ pub fn assign_optimal(estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
             for (prev_cost, prev_choice) in &dp {
                 let prev_on_csd = *prev_choice.last().expect("non-empty");
                 let exec = if on_csd { est.ct_device } else { est.ct_host };
-                let boundary =
-                    if prev_on_csd != on_csd { cross(est.d_in) } else { 0.0 };
+                let boundary = if prev_on_csd != on_csd {
+                    cross(est.d_in)
+                } else {
+                    0.0
+                };
                 let total = prev_cost + exec + boundary;
                 if best.as_ref().is_none_or(|(b, _)| total < *b) {
                     let mut choice = prev_choice.clone();
@@ -382,7 +412,11 @@ pub fn assign_optimal(estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
         .filter(|(_, on)| **on)
         .map(|(i, _)| i)
         .collect();
-    Assignment { csd_lines, t_host, t_csd: t_csd.min(t_host) }
+    Assignment {
+        csd_lines,
+        t_host,
+        t_csd: t_csd.min(t_host),
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +424,14 @@ mod tests {
     use super::*;
 
     fn est(line: usize, ct_host: f64, ct_device: f64, d_in: u64, d_out: u64) -> LineEstimate {
-        LineEstimate { line, ct_host, ct_device, d_in, d_out, ops: 0 }
+        LineEstimate {
+            line,
+            ct_host,
+            ct_device,
+            d_in,
+            d_out,
+            ops: 0,
+        }
     }
 
     const BW: f64 = 4e9;
@@ -439,7 +480,7 @@ mod tests {
             "adjacent line should ride along: {a:?}"
         );
         // Sanity: the same line *without* an offloaded predecessor stays.
-        let alone = vec![est(1, 0.1, 0.3, 4_000_000_000, 8)];
+        let alone = [est(1, 0.1, 0.3, 4_000_000_000, 8)];
         // (index 0 counts as "previous on csd" per the algorithm's `i == 0`
         // clause, so shift it to index 1 with a host line before it.)
         let shifted = vec![est(0, 1.0, 9.0, 0, 0), alone[0]];
@@ -518,8 +559,14 @@ mod tests {
             la.t_csd
         );
         // On this instance the hump-crossing set {0, 1} is optimal.
-        assert!(opt.csd_lines.contains(&0) && opt.csd_lines.contains(&1), "{opt:?}");
-        assert!(!opt.csd_lines.contains(&2), "compute-heavy line stays home: {opt:?}");
+        assert!(
+            opt.csd_lines.contains(&0) && opt.csd_lines.contains(&1),
+            "{opt:?}"
+        );
+        assert!(
+            !opt.csd_lines.contains(&2),
+            "compute-heavy line stays home: {opt:?}"
+        );
     }
 
     #[test]

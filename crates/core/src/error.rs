@@ -30,13 +30,17 @@ impl ActivePyError {
     /// Shorthand for an execution-engine error.
     #[must_use]
     pub fn exec(message: impl Into<String>) -> Self {
-        ActivePyError::Exec { message: message.into() }
+        ActivePyError::Exec {
+            message: message.into(),
+        }
     }
 
     /// Shorthand for a sampling error.
     #[must_use]
     pub fn sampling(message: impl Into<String>) -> Self {
-        ActivePyError::Sampling { message: message.into() }
+        ActivePyError::Sampling {
+            message: message.into(),
+        }
     }
 }
 

@@ -47,7 +47,9 @@ impl Calibration {
             .counters()
             .achieved_rate()
             .unwrap_or_else(|| probe.as_f64() / cse_wall.as_secs());
-        Calibration { cse_slowdown: host_rate / cse_rate }
+        Calibration {
+            cse_slowdown: host_rate / cse_rate,
+        }
     }
 
     /// Calibrates by running a small sample program on both engines (the
@@ -63,17 +65,17 @@ impl Calibration {
             "probe",
             Value::from((0..4096).map(|i| f64::from(i) * 0.5).collect::<Vec<f64>>()),
         );
-        let program = parser::parse(
-            "a = scan('probe')\nb = sqrt(a * 3 + 1)\nc = sum(exp(b - 2))\n",
-        )?;
+        let program =
+            parser::parse("a = scan('probe')\nb = sqrt(a * 3 + 1)\nc = sum(exp(b - 2))\n")?;
         let mut interp = Interpreter::new(&storage);
-        let cost: LineCost =
-            interp.run(&program, &[])?.iter().map(|r| r.cost).sum();
+        let cost: LineCost = interp.run(&program, &[])?.iter().map(|r| r.cost).sum();
         let ops = Ops::new(cost.effective_ops(ExecTier::Compiled, params));
         let mut sys = config.build();
         let host = sys.compute(EngineKind::Host, ops);
         let cse = sys.compute(EngineKind::Cse, ops);
-        Ok(Calibration { cse_slowdown: cse.as_secs() / host.as_secs() })
+        Ok(Calibration {
+            cse_slowdown: cse.as_secs() / host.as_secs(),
+        })
     }
 }
 
@@ -128,8 +130,8 @@ pub fn estimate_lines(
             let ops = cost.effective_ops(tier, params);
             let compute_host = ops as f64 / host_rate;
             let ct_host = compute_host + cost.storage_bytes as f64 / host_storage_bw;
-            let ct_device = compute_host * calibration.cse_slowdown
-                + cost.storage_bytes as f64 / flash_bw;
+            let ct_device =
+                compute_host * calibration.cse_slowdown + cost.storage_bytes as f64 / flash_bw;
             LineEstimate {
                 line: p.line,
                 ct_host,
@@ -165,11 +167,20 @@ mod tests {
     use crate::fit::{Complexity, FittedCurve};
 
     fn curve() -> FittedCurve {
-        FittedCurve { complexity: Complexity::ON, coefficient: 1.0, residual: 0.0 }
+        FittedCurve {
+            complexity: Complexity::ON,
+            coefficient: 1.0,
+            residual: 0.0,
+        }
     }
 
     fn prediction(cost: LineCost) -> LinePrediction {
-        LinePrediction { line: 0, cost, compute_curve: curve(), out_curve: curve() }
+        LinePrediction {
+            line: 0,
+            cost,
+            compute_curve: curve(),
+            out_curve: curve(),
+        }
     }
 
     #[test]
@@ -210,7 +221,14 @@ mod tests {
             bytes_out: 8_000_000_000,
             ..LineCost::zero()
         });
-        let est = estimate_lines(&[pred], ExecTier::CompiledCopyElim, &params, &config, &calib, &[true]);
+        let est = estimate_lines(
+            &[pred],
+            ExecTier::CompiledCopyElim,
+            &params,
+            &config,
+            &calib,
+            &[true],
+        );
         assert!(
             est[0].ct_device < est[0].ct_host,
             "internal 9 GB/s must beat the 4 GB/s external path: {est:?}"
@@ -228,7 +246,14 @@ mod tests {
             bytes_out: 1_000_000,
             ..LineCost::zero()
         });
-        let est = estimate_lines(&[pred], ExecTier::CompiledCopyElim, &params, &config, &calib, &[true]);
+        let est = estimate_lines(
+            &[pred],
+            ExecTier::CompiledCopyElim,
+            &params,
+            &config,
+            &calib,
+            &[true],
+        );
         assert!(
             est[0].ct_host < est[0].ct_device,
             "the CSE is slower at pure compute: {est:?}"

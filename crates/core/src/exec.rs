@@ -291,7 +291,12 @@ pub fn execute(
                 system.compute(EngineKind::Host, Ops::new(ops));
             }
             var_loc.insert(line.target.clone(), EngineKind::Host);
-            vars.bind(system, &line.target, EngineKind::Host, interp.var_bytes(&line.target))?;
+            vars.bind(
+                system,
+                &line.target,
+                EngineKind::Host,
+                interp.var_bytes(&line.target),
+            )?;
             lines_out.push(LineOutcome {
                 line: i,
                 engine: EngineKind::Host,
@@ -395,9 +400,7 @@ impl VarSpace {
         let id = system
             .memory_mut()
             .alloc_near(engine, csd_sim::units::Bytes::new(bytes))
-            .map_err(|e| {
-                ActivePyError::exec(format!("allocating {bytes} B for `{name}`: {e}"))
-            })?;
+            .map_err(|e| ActivePyError::exec(format!("allocating {bytes} B for `{name}`: {e}")))?;
         self.objects.insert(name.to_owned(), id);
         self.update_peak(system);
         Ok(())
@@ -428,20 +431,16 @@ impl VarSpace {
 
     /// Frees every bound value that has no consumer after line `at` and is
     /// not the program result.
-    fn release_dead(
-        &mut self,
-        system: &mut System,
-        program: &Program,
-        at: usize,
-    ) -> Result<()> {
-        let result_var =
-            program.lines().last().map(|l| l.target.clone()).unwrap_or_default();
+    fn release_dead(&mut self, system: &mut System, program: &Program, at: usize) -> Result<()> {
+        let result_var = program
+            .lines()
+            .last()
+            .map(|l| l.target.clone())
+            .unwrap_or_default();
         let dead: Vec<String> = self
             .objects
             .keys()
-            .filter(|name| {
-                **name != result_var && program.consumers_of(name, at).is_empty()
-            })
+            .filter(|name| **name != result_var && program.consumers_of(name, at).is_empty())
             .cloned()
             .collect();
         for name in dead {
@@ -451,7 +450,10 @@ impl VarSpace {
     }
 
     fn update_peak(&mut self, system: &System) {
-        let used = system.memory().used(csd_sim::memory::Region::DeviceDram).as_u64();
+        let used = system
+            .memory()
+            .used(csd_sim::memory::Region::DeviceDram)
+            .as_u64();
         self.peak_device = self.peak_device.max(used);
     }
 }
@@ -652,10 +654,17 @@ impl RegionRun {
                 (secs > 0.0 && ops > 0).then(|| ops as f64 / secs)
             })
             .unwrap_or_else(|| {
-                system.engine(EngineKind::Cse).nominal_rate().as_ops_per_sec()
+                system
+                    .engine(EngineKind::Cse)
+                    .nominal_rate()
+                    .as_ops_per_sec()
             });
         let mut monitor = opts.monitor.map(|cfg| {
-            Monitor::new(cfg, expected_rate, *system.engine(EngineKind::Cse).counters())
+            Monitor::new(
+                cfg,
+                expected_rate,
+                *system.engine(EngineKind::Cse).counters(),
+            )
         });
         let mut migration: Option<MigrationEvent> = None;
         let mut break_submitted = false;
@@ -663,9 +672,9 @@ impl RegionRun {
         'chunks: for c in 0..REGION_CHUNKS {
             // Progress-triggered contention can fire mid-region.
             if !*contention_applied && csd_total > 0 {
-                let progress =
-                    (csd_executed as f64 + (c as f64 / REGION_CHUNKS as f64) * len as f64)
-                        / csd_total as f64;
+                let progress = (csd_executed as f64
+                    + (c as f64 / REGION_CHUNKS as f64) * len as f64)
+                    / csd_total as f64;
                 if opts.scenario.active_at_progress(progress) {
                     let now = system.now();
                     install_contention(system, opts, now);
@@ -717,9 +726,7 @@ impl RegionRun {
                     Observation::Degraded { .. } => {
                         let later_csd: Vec<&LineEstimate> = est
                             .iter()
-                            .filter(|e| {
-                                e.line > self.end && placements[e.line] == EngineKind::Cse
-                            })
+                            .filter(|e| e.line > self.end && placements[e.line] == EngineKind::Cse)
                             .collect();
                         let region_est: Vec<&LineEstimate> = est
                             .iter()
@@ -736,13 +743,11 @@ impl RegionRun {
                             .sum::<u64>())
                             + self.external_input_bytes;
                         let bw = system.d2h_bandwidth().as_bytes_per_sec();
-                        let regen =
-                            CompiledProgram::compile_secs_for(len + later_csd.len());
+                        let regen = CompiledProgram::compile_secs_for(len + later_csd.len());
                         let remaining_host = (1.0 - done_fraction)
                             * region_est.iter().map(|e| e.ct_host).sum::<f64>()
                             + later_csd.iter().map(|e| e.ct_host).sum::<f64>();
-                        let migrate_cost =
-                            state_est as f64 / bw + regen + remaining_host;
+                        let migrate_cost = state_est as f64 / bw + regen + remaining_host;
                         (reestimated > migrate_cost).then_some(MigrationReason::Degraded)
                     }
                     _ => None,
@@ -789,8 +794,8 @@ impl RegionRun {
                     *p = EngineKind::Host;
                 }
             }
-            let after_line = self.start
-                + ((done_fraction * len as f64).floor() as usize).min(len - 1);
+            let after_line =
+                self.start + ((done_fraction * len as f64).floor() as usize).min(len - 1);
             migration = Some(MigrationEvent {
                 after_line,
                 state_bytes,
@@ -826,7 +831,9 @@ impl RegionRun {
 /// Installs the scenario's degradation on the CSE (and, for competing ISP
 /// tenants, the internal flash data path) from time `at` onward.
 fn install_contention(system: &mut System, opts: &ExecOptions, at: csd_sim::units::SimTime) {
-    system.engine_mut(EngineKind::Cse).degrade_from(at, opts.scenario.fraction());
+    system
+        .engine_mut(EngineKind::Cse)
+        .degrade_from(at, opts.scenario.fraction());
     if opts.scenario.affects_storage() {
         let trace = AvailabilityTrace::full().with_change(at, opts.scenario.fraction());
         system.flash_mut().set_contention(trace);
@@ -855,7 +862,15 @@ pub fn execute_all_host(
         offload_overheads: false,
         preempt_at: None,
     };
-    execute(program, storage, &placements, system, &opts, None, copy_elim)
+    execute(
+        program,
+        storage,
+        &placements,
+        system,
+        &opts,
+        None,
+        copy_elim,
+    )
 }
 
 #[cfg(test)]
@@ -878,7 +893,13 @@ mod tests {
 
     fn placements(csd: &[usize], len: usize) -> Vec<EngineKind> {
         (0..len)
-            .map(|i| if csd.contains(&i) { EngineKind::Cse } else { EngineKind::Host })
+            .map(|i| {
+                if csd.contains(&i) {
+                    EngineKind::Cse
+                } else {
+                    EngineKind::Host
+                }
+            })
             .collect()
     }
 
@@ -1000,8 +1021,7 @@ mod tests {
             &st,
             &all,
             &mut starved_sys,
-            &ExecOptions::native_static()
-                .with_scenario(ContentionScenario::constant(0.1)),
+            &ExecOptions::native_static().with_scenario(ContentionScenario::constant(0.1)),
             None,
             &[],
         )
@@ -1031,11 +1051,11 @@ mod tests {
                 ops: 1_000_000_000,
             })
             .collect();
-        let opts = ExecOptions::activepy()
-            .with_scenario(ContentionScenario::after_progress(0.5, 0.01));
+        let opts =
+            ExecOptions::activepy().with_scenario(ContentionScenario::after_progress(0.5, 0.01));
         let mut sys = SystemConfig::paper_default().build();
-        let rep = execute(&program, &st, &all, &mut sys, &opts, Some(&estimates), &[])
-            .expect("run");
+        let rep =
+            execute(&program, &st, &all, &mut sys, &opts, Some(&estimates), &[]).expect("run");
         let mig = rep.migration.expect("should migrate under 1% availability");
         assert!(
             mig.after_line >= 1,
@@ -1080,7 +1100,11 @@ mod tests {
         )
         .expect("run");
         assert_eq!(rep.csd_lines_executed, 2);
-        assert_eq!(sys.queue().submitted_total(), 2, "one invocation per region");
+        assert_eq!(
+            sys.queue().submitted_total(),
+            2,
+            "one invocation per region"
+        );
         // The host lines in between pull their inputs across.
         let staged: u64 = rep.lines.iter().map(|l| l.staged_bytes).sum();
         assert!(staged > 0);
@@ -1165,7 +1189,9 @@ mod tests {
             &[],
         )
         .expect("preempted run");
-        let mig = rep.migration.expect("the Break command must force a migration");
+        let mig = rep
+            .migration
+            .expect("the Break command must force a migration");
         assert_eq!(mig.reason, MigrationReason::Preempted);
         assert!(
             mig.at_secs >= t_mid,

@@ -103,8 +103,11 @@ pub fn fit_series(points: &[(f64, f64)]) -> Result<FittedCurve> {
             message: format!("need at least 2 points, got {}", points.len()),
         });
     }
-    let positive: Vec<(f64, f64)> =
-        points.iter().copied().filter(|(n, y)| *y > 0.0 && *n > 0.0).collect();
+    let positive: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(n, y)| *y > 0.0 && *n > 0.0)
+        .collect();
     if positive.len() < 2 {
         // An (almost) everywhere-zero series: predict zero.
         return Ok(FittedCurve {
@@ -116,11 +119,12 @@ pub fn fit_series(points: &[(f64, f64)]) -> Result<FittedCurve> {
     let mut best: Option<FittedCurve> = None;
     for complexity in Complexity::ALL {
         // ln c = mean(ln y − ln g(n)); residual = RMS in log space.
-        let logs: Vec<f64> =
-            positive.iter().map(|(n, y)| y.ln() - complexity.g(*n).ln()).collect();
+        let logs: Vec<f64> = positive
+            .iter()
+            .map(|(n, y)| y.ln() - complexity.g(*n).ln())
+            .collect();
         let ln_c = logs.iter().sum::<f64>() / logs.len() as f64;
-        let mse =
-            logs.iter().map(|l| (l - ln_c) * (l - ln_c)).sum::<f64>() / logs.len() as f64;
+        let mse = logs.iter().map(|l| (l - ln_c) * (l - ln_c)).sum::<f64>() / logs.len() as f64;
         let candidate = FittedCurve {
             complexity,
             coefficient: ln_c.exp(),
@@ -134,7 +138,9 @@ pub fn fit_series(points: &[(f64, f64)]) -> Result<FittedCurve> {
             best = Some(candidate);
         }
     }
-    best.ok_or_else(|| ActivePyError::Fit { message: "no curve could be fit".into() })
+    best.ok_or_else(|| ActivePyError::Fit {
+        message: "no curve could be fit".into(),
+    })
 }
 
 /// The full-scale prediction for one line, with the curves that produced
@@ -164,7 +170,10 @@ pub fn predict_lines(samples: &[LineSamples]) -> Result<Vec<LinePrediction>> {
         .iter()
         .map(|ls| {
             let series = |f: &dyn Fn(&LineCost) -> u64| -> Vec<(f64, f64)> {
-                ls.points.iter().map(|p| (p.scale, f(&p.cost) as f64)).collect()
+                ls.points
+                    .iter()
+                    .map(|p| (p.scale, f(&p.cost) as f64))
+                    .collect()
             };
             let compute = fit_series(&series(&|c| c.compute_ops))?;
             let storage = fit_series(&series(&|c| c.storage_bytes))?;

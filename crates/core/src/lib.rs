@@ -60,6 +60,7 @@ pub mod estimate;
 pub mod exec;
 pub mod fit;
 pub mod monitor;
+pub mod plan;
 pub mod report;
 pub mod runtime;
 pub mod sampling;
@@ -69,6 +70,7 @@ pub use error::ActivePyError;
 pub use estimate::{Calibration, LineEstimate};
 pub use exec::{ExecOptions, RunReport};
 pub use monitor::MonitorConfig;
+pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
 pub use runtime::{ActivePy, ActivePyOptions, ActivePyOutcome};
 pub use sampling::InputSource;
 
@@ -80,5 +82,7 @@ mod tests {
         assert_send_sync::<crate::ActivePy>();
         assert_send_sync::<crate::RunReport>();
         assert_send_sync::<crate::Assignment>();
+        assert_send_sync::<crate::OffloadPlan>();
+        assert_send_sync::<crate::PlanCache>();
     }
 }

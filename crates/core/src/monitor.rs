@@ -27,7 +27,11 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { degradation_threshold: 0.85, decreasing_streak: 3, smoothing: 0.35 }
+        MonitorConfig {
+            degradation_threshold: 0.85,
+            decreasing_streak: 3,
+            smoothing: 0.35,
+        }
     }
 }
 
@@ -63,7 +67,14 @@ impl Monitor {
     /// with `baseline` being the engine counters at region entry.
     #[must_use]
     pub fn new(config: MonitorConfig, expected_rate: f64, baseline: PerfCounters) -> Self {
-        Monitor { config, expected_rate, baseline, last_rate: None, last_raw: None, decreases: 0 }
+        Monitor {
+            config,
+            expected_rate,
+            baseline,
+            last_rate: None,
+            last_raw: None,
+            decreases: 0,
+        }
     }
 
     /// The throughput the monitor expects.
@@ -162,7 +173,10 @@ mod tests {
     #[test]
     fn healthy_at_expected_rate() {
         let mut m = Monitor::new(MonitorConfig::default(), 1e9, PerfCounters::new());
-        assert_eq!(m.observe(&counters(1_000_000_000, 1.0)), Observation::Healthy);
+        assert_eq!(
+            m.observe(&counters(1_000_000_000, 1.0)),
+            Observation::Healthy
+        );
         assert_eq!(m.measured_rate(), Some(1e9));
     }
 
@@ -184,13 +198,26 @@ mod tests {
 
     #[test]
     fn decreasing_streak_triggers_even_above_threshold() {
-        let cfg = MonitorConfig { degradation_threshold: 0.5, decreasing_streak: 3, smoothing: 1.0 };
+        let cfg = MonitorConfig {
+            degradation_threshold: 0.5,
+            decreasing_streak: 3,
+            smoothing: 1.0,
+        };
         let mut m = Monitor::new(cfg, 1e9, PerfCounters::new());
         // Rates: 1.0, 0.95, 0.90, 0.86 of expected — all above the 0.5
         // threshold, but monotonically decreasing.
-        assert_eq!(m.observe(&counters(1_000_000_000, 1.0)), Observation::Healthy);
-        assert_eq!(m.observe(&counters(1_900_000_000, 2.0)), Observation::Healthy);
-        assert_eq!(m.observe(&counters(2_700_000_000, 3.0)), Observation::Healthy);
+        assert_eq!(
+            m.observe(&counters(1_000_000_000, 1.0)),
+            Observation::Healthy
+        );
+        assert_eq!(
+            m.observe(&counters(1_900_000_000, 2.0)),
+            Observation::Healthy
+        );
+        assert_eq!(
+            m.observe(&counters(2_700_000_000, 3.0)),
+            Observation::Healthy
+        );
         assert!(matches!(
             m.observe(&counters(3_440_000_000, 4.0)),
             Observation::Degraded { .. }

@@ -1,0 +1,330 @@
+//! Offload plans and the keyed plan cache.
+//!
+//! Planning — sampling at the paper's down-scales, curve fitting,
+//! calibration, Eq.1 estimation, and Algorithm 1 — depends only on the
+//! program, the workload's input generator, the platform
+//! [`SystemConfig`], and the planning-relevant runtime options (sampling
+//! scales and cost-model constants). It does *not* depend on the
+//! contention scenario, the monitoring policy, or preemption timing:
+//! those only shape execution. [`OffloadPlan`] captures the full planning
+//! product once, so every execution variant of the same (workload,
+//! platform) pair — contended, uncontended, with or without migration —
+//! replays it instead of re-sampling.
+//!
+//! [`PlanCache`] keys plans by workload name plus a fingerprint of the
+//! platform config and planning options, computes misses under the cache
+//! lock so each key is planned exactly once even under concurrent sweeps,
+//! and counts hits, misses, and host wall-clock spent planning.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::assign::Assignment;
+use crate::error::Result;
+use crate::estimate::{Calibration, LineEstimate};
+use crate::fit::LinePrediction;
+use crate::runtime::ActivePy;
+use crate::sampling::{InputSource, SamplingReport};
+use alang::builtins::Storage;
+use alang::Program;
+use csd_sim::SystemConfig;
+
+/// Host wall-clock spent in each planning phase, in nanoseconds.
+///
+/// These are *real* (measurement-host) times for the cache's bookkeeping,
+/// distinct from the simulated seconds charged to the virtual clock
+/// (`sampling_secs` / `compile_secs` on [`OffloadPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanTimings {
+    /// Sampling runs over the down-scaled inputs.
+    pub sampling_nanos: u64,
+    /// Complexity fitting and full-scale extrapolation.
+    pub fit_nanos: u64,
+    /// Calibration, copy-elimination analysis, Eq.1 estimation, and
+    /// Algorithm 1 assignment.
+    pub assign_nanos: u64,
+    /// Materializing the full-scale input.
+    pub materialize_nanos: u64,
+}
+
+impl PlanTimings {
+    /// Total planning wall-clock in nanoseconds.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.sampling_nanos + self.fit_nanos + self.assign_nanos + self.materialize_nanos
+    }
+}
+
+/// The complete product of the planning half of the pipeline.
+///
+/// Everything needed to execute under any contention scenario: the
+/// program, the fitted predictions and estimates, the Algorithm-1
+/// assignment, the simulated pipeline overheads, and the materialized
+/// full-scale input.
+#[derive(Debug, Clone)]
+pub struct OffloadPlan {
+    /// The planned program.
+    pub program: Program,
+    /// Raw sampling measurements at the down-scales.
+    pub sampling: SamplingReport,
+    /// Full-scale predictions with their fitted curves.
+    pub predictions: Vec<LinePrediction>,
+    /// The calibrated CSE-slowdown constant.
+    pub calibration: Calibration,
+    /// Per-line copy-elimination decisions for the generated code.
+    pub copy_elim: Vec<bool>,
+    /// Per-line estimates fed to Algorithm 1 and the monitor.
+    pub estimates: Vec<LineEstimate>,
+    /// The Algorithm-1 assignment.
+    pub assignment: Assignment,
+    /// Simulated seconds spent in the sampling phase.
+    pub sampling_secs: f64,
+    /// Simulated seconds spent generating code.
+    pub compile_secs: f64,
+    /// The materialized full-scale input.
+    pub full_storage: Storage,
+    /// Host wall-clock spent building this plan.
+    pub timings: PlanTimings,
+}
+
+/// Snapshot of a [`PlanCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Host wall-clock nanoseconds spent building plans.
+    pub planning_nanos: u64,
+}
+
+impl PlanCacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is unused).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type PlanKey = (String, u64);
+
+/// A thread-safe cache of [`OffloadPlan`]s keyed by workload name and a
+/// fingerprint of the platform config plus planning options.
+///
+/// Misses are computed while holding the cache lock, so concurrent
+/// lookups of the same key plan exactly once; the loser of the race
+/// observes a hit. Execution-only options (monitoring, preemption,
+/// overhead charging) are deliberately outside the key: runs that differ
+/// only in those share one plan.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<OffloadPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    planning_nanos: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Returns the cached plan for (`name`, `runtime`'s planning options,
+    /// `config`), building it via [`ActivePy::plan`] on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures; failed plans are not cached.
+    pub fn plan_for(
+        &self,
+        runtime: &ActivePy,
+        name: &str,
+        program: &Program,
+        input: &dyn InputSource,
+        config: &SystemConfig,
+    ) -> Result<Arc<OffloadPlan>> {
+        let key = (name.to_string(), Self::fingerprint(runtime, config));
+        let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(plan) = plans.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let plan = Arc::new(runtime.plan(program, input, config)?);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.planning_nanos.fetch_add(nanos, Ordering::Relaxed);
+        plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            planning_nanos: self.planning_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct plans held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache holds no plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// FNV-1a over the `Debug` forms of the platform config and the
+    /// planning-relevant options. `Debug` output of the plain-data config
+    /// structs is deterministic, which is all a cache key needs.
+    fn fingerprint(runtime: &ActivePy, config: &SystemConfig) -> u64 {
+        let opts = runtime.options();
+        let text = format!("{config:?}|{:?}|{:?}", opts.scales, opts.params);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in text.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alang::parser::parse;
+    use alang::value::ArrayVal;
+    use alang::Value;
+    use csd_sim::ContentionScenario;
+
+    fn input() -> impl InputSource {
+        |scale: f64| {
+            let logical = (scale * 1e9).round().max(100.0) as u64;
+            let actual = (((logical / 100_000).clamp(100, 8000) / 100) * 100) as usize;
+            let data: Vec<f64> = (0..actual).map(|i| (i % 100) as f64).collect();
+            let mut st = Storage::new();
+            st.insert("v", Value::Array(ArrayVal::with_logical(data, logical)));
+            st
+        }
+    }
+
+    const SRC: &str = "a = scan('v')\ns = sum(a)\n";
+
+    #[test]
+    fn same_key_hits_and_plans_once() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let first = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("plan");
+        let second = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("plan");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup must reuse the plan"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(stats.planning_nanos > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_config_misses() {
+        let program = parse(SRC).expect("parse");
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let base = SystemConfig::paper_default();
+        let degraded = SystemConfig::nvmeof_default();
+        cache
+            .plan_for(&rt, "w", &program, &input(), &base)
+            .expect("plan");
+        cache
+            .plan_for(&rt, "w", &program, &input(), &degraded)
+            .expect("plan");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 2),
+            "same workload under a different SystemConfig must be a distinct plan"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn different_workload_name_misses() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        cache
+            .plan_for(&rt, "w1", &program, &input(), &config)
+            .expect("plan");
+        cache
+            .plan_for(&rt, "w2", &program, &input(), &config)
+            .expect("plan");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn execution_only_options_share_a_plan_key() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let cache = PlanCache::new();
+        let with_migration = ActivePy::new();
+        let without_migration =
+            ActivePy::with_options(crate::runtime::ActivePyOptions::default().without_migration());
+        cache
+            .plan_for(&with_migration, "w", &program, &input(), &config)
+            .expect("plan");
+        cache
+            .plan_for(&without_migration, "w", &program, &input(), &config)
+            .expect("plan");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "monitor policy must not split the plan key"
+        );
+    }
+
+    #[test]
+    fn cached_plan_executes_identically_to_direct_run() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let direct = rt
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("direct run");
+        let cache = PlanCache::new();
+        let plan = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("plan");
+        let via_plan = rt
+            .execute_plan(&plan, &config, ContentionScenario::none())
+            .expect("execute plan");
+        assert_eq!(direct, via_plan);
+    }
+}

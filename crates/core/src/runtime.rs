@@ -8,12 +8,15 @@
 //! clock, so end-to-end latencies include them (the paper reports ≈0.1 s /
 //! ≈1 %).
 
+use std::time::Instant;
+
 use crate::assign::{assign_refined, Assignment};
 use crate::error::Result;
 use crate::estimate::{estimate_lines, Calibration, LineEstimate};
 use crate::exec::{execute, ExecOptions, RunReport};
 use crate::fit::{predict_lines, LinePrediction};
 use crate::monitor::MonitorConfig;
+use crate::plan::{OffloadPlan, PlanTimings};
 use crate::sampling::{paper_scales, run_sampling, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
 use alang::copyelim::eliminable_lines;
@@ -100,7 +103,9 @@ impl ActivePy {
     /// A runtime with the paper's default configuration.
     #[must_use]
     pub fn new() -> Self {
-        ActivePy { options: ActivePyOptions::default() }
+        ActivePy {
+            options: ActivePyOptions::default(),
+        }
     }
 
     /// A runtime with custom options.
@@ -118,6 +123,12 @@ impl ActivePy {
     /// Runs the complete pipeline on `program` with inputs from `input`,
     /// on a platform described by `config`, under `scenario` contention.
     ///
+    /// Equivalent to [`ActivePy::plan`] followed by
+    /// [`ActivePy::execute_plan`]; callers that run the same (program,
+    /// workload, platform) under several scenarios should plan once —
+    /// ideally through a [`crate::plan::PlanCache`] — and execute the plan
+    /// per scenario.
+    ///
     /// # Errors
     ///
     /// Propagates sampling, fitting, and execution failures.
@@ -128,14 +139,41 @@ impl ActivePy {
         config: &SystemConfig,
         scenario: ContentionScenario,
     ) -> Result<ActivePyOutcome> {
+        let plan = self.plan(program, input, config)?;
+        self.execute_plan(&plan, config, scenario)
+    }
+
+    /// Runs the planning half of the pipeline: sampling at the configured
+    /// down-scales, curve fitting, calibration, copy-elimination analysis,
+    /// Eq.1 estimation, Algorithm 1, and full-scale input
+    /// materialization. The result depends on the contention scenario and
+    /// monitoring policy in no way, so one plan serves every execution
+    /// variant of the same (program, workload, platform).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and fitting failures.
+    pub fn plan(
+        &self,
+        program: &Program,
+        input: &dyn InputSource,
+        config: &SystemConfig,
+    ) -> Result<OffloadPlan> {
+        let mut timings = PlanTimings::default();
+
         // 1. Sampling phase on down-scaled inputs.
+        let phase = Instant::now();
         let sampling = run_sampling(program, input, &self.options.scales)?;
         let sampling_secs = self.sampling_secs(&sampling, config);
+        timings.sampling_nanos = phase_nanos(phase);
 
         // 2. Fit the five candidate curves and extrapolate to full scale.
+        let phase = Instant::now();
         let predictions = predict_lines(&sampling.lines)?;
+        timings.fit_nanos = phase_nanos(phase);
 
         // 3. Calibrate the CSE slowdown from performance counters.
+        let phase = Instant::now();
         let calibration = Calibration::from_counters(config);
 
         // 4. Decide copy elimination from the dataset types sampling
@@ -150,8 +188,11 @@ impl ActivePy {
             &calibration,
             &copy_elim,
         );
-        let assignment =
-            assign_refined(program, &estimates, config.d2h_bandwidth().as_bytes_per_sec());
+        let assignment = assign_refined(
+            program,
+            &estimates,
+            config.d2h_bandwidth().as_bytes_per_sec(),
+        );
         let csd_line_count = assignment.csd_lines.len();
         let compile_secs = CompiledProgram::compile_secs_for(program.len())
             + if csd_line_count > 0 {
@@ -159,12 +200,44 @@ impl ActivePy {
             } else {
                 0.0
             };
+        timings.assign_nanos = phase_nanos(phase);
 
-        // 6. Execute at full scale with monitoring and migration.
-        let storage = input.storage_at(1.0);
+        // 5. Materialize the full-scale input the plan will execute on.
+        let phase = Instant::now();
+        let full_storage = input.storage_at(1.0);
+        timings.materialize_nanos = phase_nanos(phase);
+
+        Ok(OffloadPlan {
+            program: program.clone(),
+            sampling,
+            predictions,
+            calibration,
+            copy_elim,
+            estimates,
+            assignment,
+            sampling_secs,
+            compile_secs,
+            full_storage,
+            timings,
+        })
+    }
+
+    /// Executes a prepared plan under `scenario` contention on a fresh
+    /// system built from `config`, applying this runtime's execution
+    /// options (monitoring policy, preemption, overhead charging).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn execute_plan(
+        &self,
+        plan: &OffloadPlan,
+        config: &SystemConfig,
+        scenario: ContentionScenario,
+    ) -> Result<ActivePyOutcome> {
         let mut system = config.build();
         if self.options.charge_pipeline_overheads {
-            system.advance(Duration::from_secs(sampling_secs + compile_secs));
+            system.advance(Duration::from_secs(plan.sampling_secs + plan.compile_secs));
         }
         let opts = ExecOptions {
             tier: ExecTier::CompiledCopyElim,
@@ -174,26 +247,26 @@ impl ActivePy {
             offload_overheads: true,
             preempt_at: self.options.preempt_at,
         };
-        let placements = assignment.placements(program.len());
+        let placements = plan.assignment.placements(plan.program.len());
         let report = execute(
-            program,
-            &storage,
+            &plan.program,
+            &plan.full_storage,
             &placements,
             &mut system,
             &opts,
-            Some(&estimates),
-            &copy_elim,
+            Some(&plan.estimates),
+            &plan.copy_elim,
         )?;
 
         Ok(ActivePyOutcome {
             report,
-            assignment,
-            estimates,
-            predictions,
-            sampling,
-            sampling_secs,
-            compile_secs,
-            calibration,
+            assignment: plan.assignment.clone(),
+            estimates: plan.estimates.clone(),
+            predictions: plan.predictions.clone(),
+            sampling: plan.sampling.clone(),
+            sampling_secs: plan.sampling_secs,
+            compile_secs: plan.compile_secs,
+            calibration: plan.calibration,
         })
     }
 
@@ -205,9 +278,13 @@ impl ActivePy {
             .effective_ops(ExecTier::Interpreted, &self.options.params);
         let host_rate = config.host.nominal_rate().as_ops_per_sec();
         let storage_bw = config.host_storage_bandwidth().as_bytes_per_sec();
-        ops as f64 / host_rate
-            + sampling.total_sampling_cost.storage_bytes as f64 / storage_bw
+        ops as f64 / host_rate + sampling.total_sampling_cost.storage_bytes as f64 / storage_bw
     }
+}
+
+/// Host wall-clock elapsed since `start`, saturating into `u64` nanos.
+fn phase_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

@@ -90,7 +90,10 @@ pub fn run_sampling(
         return Err(ActivePyError::sampling("no sampling scales provided"));
     }
     let mut lines: Vec<LineSamples> = (0..program.len())
-        .map(|line| LineSamples { line, points: Vec::with_capacity(scales.len()) })
+        .map(|line| LineSamples {
+            line,
+            points: Vec::with_capacity(scales.len()),
+        })
         .collect();
     let mut total = LineCost::zero();
     let mut dataset_types = DatasetTypes::new();
@@ -108,10 +111,17 @@ pub fn run_sampling(
         let records = interp.run(program, &[])?;
         for rec in records {
             total += rec.cost;
-            lines[rec.index].points.push(SamplePoint { scale, cost: rec.cost });
+            lines[rec.index].points.push(SamplePoint {
+                scale,
+                cost: rec.cost,
+            });
         }
     }
-    Ok(SamplingReport { lines, dataset_types, total_sampling_cost: total })
+    Ok(SamplingReport {
+        lines,
+        dataset_types,
+        total_sampling_cost: total,
+    })
 }
 
 /// Observes the static types of every dataset in `storage` — what a
@@ -122,7 +132,10 @@ pub fn observe_dataset_types(storage: &Storage) -> DatasetTypes {
     storage
         .names()
         .filter_map(|name| {
-            storage.get(name).ok().map(|v| (name.to_owned(), observe_type(v)))
+            storage
+                .get(name)
+                .ok()
+                .map(|v| (name.to_owned(), observe_type(v)))
         })
         .collect()
 }
@@ -172,8 +185,7 @@ mod tests {
     #[test]
     fn sampling_collects_one_point_per_scale_per_line() {
         let program = parse("a = scan('v')\nb = a * 2\ns = sum(b)\n").expect("parse");
-        let rep =
-            run_sampling(&program, &linear_input(), &paper_scales()).expect("sampling");
+        let rep = run_sampling(&program, &linear_input(), &paper_scales()).expect("sampling");
         assert_eq!(rep.lines.len(), 3);
         for ls in &rep.lines {
             assert_eq!(ls.points.len(), 4);
@@ -193,19 +205,19 @@ mod tests {
     #[test]
     fn sampling_cost_is_small_relative_to_full_run() {
         let program = parse("a = scan('v')\ns = sum(a)\n").expect("parse");
-        let rep =
-            run_sampling(&program, &linear_input(), &paper_scales()).expect("sampling");
+        let rep = run_sampling(&program, &linear_input(), &paper_scales()).expect("sampling");
         // Full-scale run for comparison.
         let storage = linear_input().storage_at(1.0);
         let mut interp = Interpreter::new(&storage);
-        let full: LineCost =
-            interp.run(&program, &[]).expect("run").iter().map(|r| r.cost).sum();
+        let full: LineCost = interp
+            .run(&program, &[])
+            .expect("run")
+            .iter()
+            .map(|r| r.cost)
+            .sum();
         // Four samples at <= 2^-7 each: total sampling compute should be a
         // few percent of the real run.
-        assert!(
-            (rep.total_sampling_cost.compute_ops as f64)
-                < 0.05 * full.compute_ops as f64
-        );
+        assert!((rep.total_sampling_cost.compute_ops as f64) < 0.05 * full.compute_ops as f64);
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl AvailabilityTrace {
     #[must_use]
     pub fn full() -> Self {
         AvailabilityTrace {
-            segments: vec![Segment { start: SimTime::ZERO, fraction: 1.0 }],
+            segments: vec![Segment {
+                start: SimTime::ZERO,
+                fraction: 1.0,
+            }],
         }
     }
 
@@ -63,7 +66,10 @@ impl AvailabilityTrace {
     #[must_use]
     pub fn constant(fraction: f64) -> Self {
         AvailabilityTrace {
-            segments: vec![Segment { start: SimTime::ZERO, fraction: clamp_fraction(fraction) }],
+            segments: vec![Segment {
+                start: SimTime::ZERO,
+                fraction: clamp_fraction(fraction),
+            }],
         }
     }
 
@@ -78,7 +84,10 @@ impl AvailabilityTrace {
     pub fn with_change(mut self, at: SimTime, fraction: f64) -> Self {
         let fraction = clamp_fraction(fraction);
         self.segments.retain(|s| s.start < at);
-        self.segments.push(Segment { start: at, fraction });
+        self.segments.push(Segment {
+            start: at,
+            fraction,
+        });
         self
     }
 
@@ -241,7 +250,11 @@ mod tests {
         let tr = AvailabilityTrace::full().with_change(SimTime::from_secs(2.0), 0.1);
         // 5 effective seconds: 2 at full rate + 3 more at 0.1 => 2 + 30 = 32 wall.
         let wall = tr.invert(SimTime::ZERO, 5.0);
-        assert!((wall.as_secs() - 32.0).abs() < 1e-9, "got {}", wall.as_secs());
+        assert!(
+            (wall.as_secs() - 32.0).abs() < 1e-9,
+            "got {}",
+            wall.as_secs()
+        );
         // And integration round-trips.
         let eff = tr.integrate(SimTime::ZERO, wall);
         assert!((eff - 5.0).abs() < 1e-9);
@@ -274,7 +287,10 @@ mod tests {
     #[test]
     fn next_change_after_finds_boundaries() {
         let tr = AvailabilityTrace::full().with_change(SimTime::from_secs(4.0), 0.5);
-        assert_eq!(tr.next_change_after(SimTime::ZERO), Some(SimTime::from_secs(4.0)));
+        assert_eq!(
+            tr.next_change_after(SimTime::ZERO),
+            Some(SimTime::from_secs(4.0))
+        );
         assert_eq!(tr.next_change_after(SimTime::from_secs(4.0)), None);
     }
 

@@ -207,8 +207,7 @@ mod tests {
         assert!((c.d2h_bandwidth().as_bytes_per_sec() - 4e9).abs() < 1.0);
         // Internal bandwidth is richer than external: the ISP premise.
         assert!(
-            c.flash_internal_bandwidth.as_bytes_per_sec()
-                > c.d2h_bandwidth().as_bytes_per_sec()
+            c.flash_internal_bandwidth.as_bytes_per_sec() > c.d2h_bandwidth().as_bytes_per_sec()
         );
     }
 
@@ -225,12 +224,14 @@ mod tests {
         let local = SystemConfig::paper_default();
         let fabric = SystemConfig::nvmeof_default();
         assert!(
-            fabric.d2h_bandwidth().as_bytes_per_sec()
-                < local.d2h_bandwidth().as_bytes_per_sec()
+            fabric.d2h_bandwidth().as_bytes_per_sec() < local.d2h_bandwidth().as_bytes_per_sec()
         );
         assert!(fabric.nvme_latency > local.nvme_latency);
         // The internal side is untouched: the ISP premise strengthens.
-        assert_eq!(fabric.flash_internal_bandwidth, local.flash_internal_bandwidth);
+        assert_eq!(
+            fabric.flash_internal_bandwidth,
+            local.flash_internal_bandwidth
+        );
     }
 
     #[test]

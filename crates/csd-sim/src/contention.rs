@@ -40,7 +40,11 @@ impl ContentionScenario {
     /// Figure 4 condition).
     #[must_use]
     pub fn none() -> Self {
-        ContentionScenario { trigger: Trigger::AtStart, fraction: 1.0, affects_storage: false }
+        ContentionScenario {
+            trigger: Trigger::AtStart,
+            fraction: 1.0,
+            affects_storage: false,
+        }
     }
 
     /// Constant CSE availability `fraction` for the whole run (Figure 2:
@@ -52,7 +56,11 @@ impl ContentionScenario {
     #[must_use]
     pub fn constant(fraction: f64) -> Self {
         check_fraction(fraction);
-        ContentionScenario { trigger: Trigger::AtStart, fraction, affects_storage: false }
+        ContentionScenario {
+            trigger: Trigger::AtStart,
+            fraction,
+            affects_storage: false,
+        }
     }
 
     /// Availability drops to `fraction` once the ISP task reaches
@@ -65,7 +73,10 @@ impl ContentionScenario {
     /// `(0, 1]`.
     #[must_use]
     pub fn after_progress(progress: f64, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&progress), "progress must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&progress),
+            "progress must be in [0, 1]"
+        );
         check_fraction(fraction);
         ContentionScenario {
             trigger: Trigger::AtProgress(progress),
@@ -84,7 +95,11 @@ impl ContentionScenario {
     #[must_use]
     pub fn at_time(at: SimTime, fraction: f64) -> Self {
         check_fraction(fraction);
-        ContentionScenario { trigger: Trigger::AtTime(at), fraction, affects_storage: true }
+        ContentionScenario {
+            trigger: Trigger::AtTime(at),
+            fraction,
+            affects_storage: true,
+        }
     }
 
     /// Overrides whether the scenario degrades the internal flash data
@@ -163,11 +178,20 @@ impl fmt::Display for ContentionScenario {
         if self.is_none() {
             return write!(f, "no contention");
         }
-        let scope = if self.affects_storage { "CSE+flash" } else { "CSE" };
+        let scope = if self.affects_storage {
+            "CSE+flash"
+        } else {
+            "CSE"
+        };
         match self.trigger {
             Trigger::AtStart => write!(f, "{}% {scope} from start", self.fraction * 100.0),
             Trigger::AtProgress(p) => {
-                write!(f, "{}% {scope} after {}% progress", self.fraction * 100.0, p * 100.0)
+                write!(
+                    f,
+                    "{}% {scope} after {}% progress",
+                    self.fraction * 100.0,
+                    p * 100.0
+                )
             }
             Trigger::AtTime(t) => {
                 write!(f, "{}% {scope} from t={t}", self.fraction * 100.0)
@@ -205,7 +229,10 @@ mod tests {
         assert!(s.active_at_progress(0.5));
         assert_eq!(s.availability_at_progress(0.25), 1.0);
         assert_eq!(s.availability_at_progress(0.75), 0.1);
-        assert!(s.affects_storage(), "Figure 5 tenants are full ISP workloads");
+        assert!(
+            s.affects_storage(),
+            "Figure 5 tenants are full ISP workloads"
+        );
     }
 
     #[test]

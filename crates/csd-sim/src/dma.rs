@@ -31,7 +31,12 @@ impl DmaEngine {
     /// Creates a DMA engine with per-descriptor `setup` cost.
     #[must_use]
     pub fn new(setup: Duration) -> Self {
-        DmaEngine { setup, h2d_bytes: Bytes::ZERO, d2h_bytes: Bytes::ZERO, transfers: 0 }
+        DmaEngine {
+            setup,
+            h2d_bytes: Bytes::ZERO,
+            d2h_bytes: Bytes::ZERO,
+            transfers: 0,
+        }
     }
 
     /// Per-descriptor setup cost.
@@ -107,7 +112,12 @@ mod tests {
     fn transfer_includes_setup_and_link_time() {
         let mut dma = DmaEngine::new(Duration::from_micros(1.0));
         let mut p = path();
-        let t = dma.transfer(&mut p, SimTime::ZERO, Direction::DeviceToHost, Bytes::from_gb_f64(5.0));
+        let t = dma.transfer(
+            &mut p,
+            SimTime::ZERO,
+            Direction::DeviceToHost,
+            Bytes::from_gb_f64(5.0),
+        );
         // 1us setup + 5us link latency + 1s payload.
         assert!((t.as_secs() - (1.0 + 6e-6)).abs() < 1e-9);
         assert_eq!(dma.d2h_bytes(), Bytes::from_gb_f64(5.0));
@@ -118,8 +128,18 @@ mod tests {
     fn directional_accounting() {
         let mut dma = DmaEngine::default();
         let mut p = path();
-        dma.transfer(&mut p, SimTime::ZERO, Direction::HostToDevice, Bytes::from_mib(1));
-        dma.transfer(&mut p, SimTime::ZERO, Direction::DeviceToHost, Bytes::from_mib(2));
+        dma.transfer(
+            &mut p,
+            SimTime::ZERO,
+            Direction::HostToDevice,
+            Bytes::from_mib(1),
+        );
+        dma.transfer(
+            &mut p,
+            SimTime::ZERO,
+            Direction::DeviceToHost,
+            Bytes::from_mib(2),
+        );
         assert_eq!(dma.h2d_bytes(), Bytes::from_mib(1));
         assert_eq!(dma.d2h_bytes(), Bytes::from_mib(2));
         dma.reset_counters();

@@ -207,7 +207,10 @@ mod tests {
         let cse = default_cse_spec().nominal_rate().as_ops_per_sec();
         assert!(cse < host, "cse {cse} must be slower than host {host}");
         let ratio = host / cse;
-        assert!(ratio > 1.2 && ratio < 6.0, "slowdown ratio {ratio} out of plausible range");
+        assert!(
+            ratio > 1.2 && ratio < 6.0,
+            "slowdown ratio {ratio} out of plausible range"
+        );
     }
 
     #[test]
@@ -237,7 +240,11 @@ mod tests {
         eng.degrade_from(SimTime::from_secs(1.0), 0.5);
         let wall = eng.time_to_execute(SimTime::ZERO, ops);
         // 1s at full + 1s of effective work at 50% = 1 + 2 = 3s.
-        assert!((wall.as_secs() - 3.0).abs() < 1e-6, "got {}", wall.as_secs());
+        assert!(
+            (wall.as_secs() - 3.0).abs() < 1e-6,
+            "got {}",
+            wall.as_secs()
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl GcSchedule {
             residual_fraction > 0.0 && residual_fraction <= 1.0,
             "residual fraction must be in (0, 1]"
         );
-        GcSchedule { period, window, residual_fraction }
+        GcSchedule {
+            period,
+            window,
+            residual_fraction,
+        }
     }
 
     /// Long-run average fraction of bandwidth available to the ISP task.
@@ -160,9 +164,8 @@ impl FlashArray {
                         .with_change(start + gc.window, 1.0);
                 }
                 // Beyond the horizon, fall back to the long-run mean.
-                let tail = SimTime::from_secs(
-                    f64::from(first_period + horizon) * gc.period.as_secs(),
-                );
+                let tail =
+                    SimTime::from_secs(f64::from(first_period + horizon) * gc.period.as_secs());
                 tr.with_change(tail, gc.mean_availability())
             }
         }
@@ -176,7 +179,8 @@ impl FlashArray {
     pub fn time_to_read(&self, start: SimTime, bytes: Bytes) -> Duration {
         let effective_secs = self.internal_bandwidth.transfer_time(bytes).as_secs();
         let hint = Duration::from_secs(effective_secs * 4.0 + 1.0);
-        self.effective_trace(start, hint).invert(start, effective_secs)
+        self.effective_trace(start, hint)
+            .invert(start, effective_secs)
     }
 
     /// Time for the *host-facing controller port* to stream `bytes`
@@ -247,7 +251,11 @@ mod tests {
     fn gc_slows_reads() {
         let mut fl = array();
         let base = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(18.0));
-        fl.set_gc(GcSchedule::new(Duration::from_secs(1.0), Duration::from_secs(0.5), 0.5));
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(1.0),
+            Duration::from_secs(0.5),
+            0.5,
+        ));
         let slowed = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(18.0));
         assert!(slowed > base, "GC must slow reads: {slowed} vs {base}");
         // Long-run mean availability is 0.75, so expect ~base/0.75.
@@ -275,7 +283,11 @@ mod tests {
     #[test]
     fn clear_gc_restores_peak() {
         let mut fl = array();
-        fl.set_gc(GcSchedule::new(Duration::from_secs(1.0), Duration::from_secs(0.9), 0.1));
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(1.0),
+            Duration::from_secs(0.9),
+            0.1,
+        ));
         fl.clear_gc();
         let t = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(9.0));
         assert!((t.as_secs() - 1.0).abs() < 1e-9);
@@ -286,8 +298,15 @@ mod tests {
         let mut fl = array();
         fl.set_contention(AvailabilityTrace::constant(0.5));
         let t = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(9.0));
-        assert!((t.as_secs() - 2.0).abs() < 1e-9, "50% contention doubles: {t}");
-        fl.set_gc(GcSchedule::new(Duration::from_secs(1.0), Duration::from_secs(1.0), 0.5));
+        assert!(
+            (t.as_secs() - 2.0).abs() < 1e-9,
+            "50% contention doubles: {t}"
+        );
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(1.0),
+            Duration::from_secs(1.0),
+            0.5,
+        ));
         // GC residual 0.5 everywhere x contention 0.5 = 0.25 effective.
         let t = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(9.0));
         assert!((t.as_secs() - 4.0).abs() < 0.1, "composed: {t}");
@@ -299,19 +318,39 @@ mod tests {
         fl.set_contention(AvailabilityTrace::constant(0.1));
         let internal = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(9.0));
         let external = fl.time_to_read_external(SimTime::ZERO, Bytes::from_gb_f64(9.0));
-        assert!((internal.as_secs() - 10.0).abs() < 1e-6, "internal contended: {internal}");
-        assert!((external.as_secs() - 1.0).abs() < 1e-6, "external clean: {external}");
-        fl.set_gc(GcSchedule::new(Duration::from_secs(1.0), Duration::from_secs(1.0), 0.5));
+        assert!(
+            (internal.as_secs() - 10.0).abs() < 1e-6,
+            "internal contended: {internal}"
+        );
+        assert!(
+            (external.as_secs() - 1.0).abs() < 1e-6,
+            "external clean: {external}"
+        );
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(1.0),
+            Duration::from_secs(1.0),
+            0.5,
+        ));
         let external = fl.time_to_read_external(SimTime::ZERO, Bytes::from_gb_f64(9.0));
-        assert!((external.as_secs() - 2.0).abs() < 0.1, "GC applies externally: {external}");
+        assert!(
+            (external.as_secs() - 2.0).abs() < 0.1,
+            "GC applies externally: {external}"
+        );
     }
 
     #[test]
     fn read_starting_inside_gc_window_is_slower() {
         let mut fl = array();
-        fl.set_gc(GcSchedule::new(Duration::from_secs(10.0), Duration::from_secs(5.0), 0.1));
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(10.0),
+            Duration::from_secs(5.0),
+            0.1,
+        ));
         // Small read fully inside the first GC window.
         let t = fl.time_to_read(SimTime::from_secs(1.0), Bytes::from_gb_f64(0.9));
-        assert!((t.as_secs() - 1.0).abs() < 1e-9, "0.1s of work at 10% = 1s, got {t}");
+        assert!(
+            (t.as_secs() - 1.0).abs() < 1e-9,
+            "0.1s of work at 10% = 1s, got {t}"
+        );
     }
 }

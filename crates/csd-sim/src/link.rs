@@ -71,7 +71,10 @@ impl Link {
     #[must_use]
     pub fn time_to_transfer(&self, start: SimTime, bytes: Bytes) -> Duration {
         let effective_secs = self.bandwidth.transfer_time(bytes).as_secs();
-        self.latency + self.availability.invert(start + self.latency, effective_secs)
+        self.latency
+            + self
+                .availability
+                .invert(start + self.latency, effective_secs)
     }
 
     /// Moves `bytes` starting at `start`: returns the wall-clock duration and

@@ -54,9 +54,7 @@ impl fmt::Display for Region {
 }
 
 /// Stable handle to an allocated object.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ObjectId(u64);
 
 impl ObjectId {
@@ -101,8 +99,15 @@ pub enum MemoryError {
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemoryError::OutOfMemory { region, requested, free } => {
-                write!(f, "{region} out of memory: requested {requested}, free {free}")
+            MemoryError::OutOfMemory {
+                region,
+                requested,
+                free,
+            } => {
+                write!(
+                    f,
+                    "{region} out of memory: requested {requested}, free {free}"
+                )
             }
             MemoryError::UnknownObject(id) => write!(f, "unknown object {id}"),
         }
@@ -162,7 +167,11 @@ impl SharedAddressSpace {
     pub fn alloc(&mut self, region: Region, size: Bytes) -> Result<ObjectId, MemoryError> {
         let free = self.free(region);
         if size > free {
-            return Err(MemoryError::OutOfMemory { region, requested: size, free });
+            return Err(MemoryError::OutOfMemory {
+                region,
+                requested: size,
+                free,
+            });
         }
         let id = ObjectId(self.next_id);
         self.next_id += 1;
@@ -193,7 +202,10 @@ impl SharedAddressSpace {
     ///
     /// Returns [`MemoryError::UnknownObject`] when `id` is not live.
     pub fn get(&self, id: ObjectId) -> Result<Allocation, MemoryError> {
-        self.objects.get(&id).copied().ok_or(MemoryError::UnknownObject(id))
+        self.objects
+            .get(&id)
+            .copied()
+            .ok_or(MemoryError::UnknownObject(id))
     }
 
     /// Moves a live object to `target`, returning the number of bytes that
@@ -211,11 +223,21 @@ impl SharedAddressSpace {
         }
         let free = self.free(target);
         if alloc.size > free {
-            return Err(MemoryError::OutOfMemory { region: target, requested: alloc.size, free });
+            return Err(MemoryError::OutOfMemory {
+                region: target,
+                requested: alloc.size,
+                free,
+            });
         }
         self.discharge(alloc.region, alloc.size);
         self.charge(target, alloc.size);
-        self.objects.insert(id, Allocation { region: target, size: alloc.size });
+        self.objects.insert(
+            id,
+            Allocation {
+                region: target,
+                size: alloc.size,
+            },
+        );
         Ok(alloc.size)
     }
 
@@ -225,7 +247,10 @@ impl SharedAddressSpace {
     ///
     /// Returns [`MemoryError::UnknownObject`] for a dead id.
     pub fn dealloc(&mut self, id: ObjectId) -> Result<(), MemoryError> {
-        let alloc = self.objects.remove(&id).ok_or(MemoryError::UnknownObject(id))?;
+        let alloc = self
+            .objects
+            .remove(&id)
+            .ok_or(MemoryError::UnknownObject(id))?;
         self.discharge(alloc.region, alloc.size);
         Ok(())
     }
@@ -233,7 +258,11 @@ impl SharedAddressSpace {
     /// Total bytes of live objects in `region` (equal to [`Self::used`]).
     #[must_use]
     pub fn live_bytes(&self, region: Region) -> Bytes {
-        self.objects.values().filter(|a| a.region == region).map(|a| a.size).sum()
+        self.objects
+            .values()
+            .filter(|a| a.region == region)
+            .map(|a| a.size)
+            .sum()
     }
 
     /// Number of live objects.
@@ -277,7 +306,9 @@ mod tests {
     #[test]
     fn alloc_and_lookup() {
         let mut m = space();
-        let id = m.alloc(Region::HostDram, Bytes::from_mib(100)).expect("alloc");
+        let id = m
+            .alloc(Region::HostDram, Bytes::from_mib(100))
+            .expect("alloc");
         let a = m.get(id).expect("lookup");
         assert_eq!(a.region, Region::HostDram);
         assert_eq!(a.size, Bytes::from_mib(100));
@@ -287,8 +318,12 @@ mod tests {
     #[test]
     fn alloc_near_places_in_consumer_region() {
         let mut m = space();
-        let h = m.alloc_near(EngineKind::Host, Bytes::from_mib(1)).expect("host alloc");
-        let d = m.alloc_near(EngineKind::Cse, Bytes::from_mib(1)).expect("cse alloc");
+        let h = m
+            .alloc_near(EngineKind::Host, Bytes::from_mib(1))
+            .expect("host alloc");
+        let d = m
+            .alloc_near(EngineKind::Cse, Bytes::from_mib(1))
+            .expect("cse alloc");
         assert_eq!(m.get(h).expect("h").region, Region::HostDram);
         assert_eq!(m.get(d).expect("d").region, Region::DeviceDram);
     }
@@ -298,7 +333,11 @@ mod tests {
         let mut m = SharedAddressSpace::new(Bytes::from_mib(1), Bytes::from_mib(1));
         let err = m.alloc(Region::HostDram, Bytes::from_mib(2)).unwrap_err();
         match err {
-            MemoryError::OutOfMemory { region, requested, free } => {
+            MemoryError::OutOfMemory {
+                region,
+                requested,
+                free,
+            } => {
                 assert_eq!(region, Region::HostDram);
                 assert_eq!(requested, Bytes::from_mib(2));
                 assert_eq!(free, Bytes::from_mib(1));
@@ -310,7 +349,9 @@ mod tests {
     #[test]
     fn migrate_moves_accounting_and_reports_traffic() {
         let mut m = space();
-        let id = m.alloc(Region::DeviceDram, Bytes::from_mib(64)).expect("alloc");
+        let id = m
+            .alloc(Region::DeviceDram, Bytes::from_mib(64))
+            .expect("alloc");
         let moved = m.migrate(id, Region::HostDram).expect("migrate");
         assert_eq!(moved, Bytes::from_mib(64));
         assert_eq!(m.used(Region::DeviceDram), Bytes::ZERO);
@@ -322,7 +363,9 @@ mod tests {
     #[test]
     fn dealloc_releases_space() {
         let mut m = space();
-        let id = m.alloc(Region::HostDram, Bytes::from_mib(10)).expect("alloc");
+        let id = m
+            .alloc(Region::HostDram, Bytes::from_mib(10))
+            .expect("alloc");
         m.dealloc(id).expect("dealloc");
         assert_eq!(m.used(Region::HostDram), Bytes::ZERO);
         assert!(matches!(m.get(id), Err(MemoryError::UnknownObject(_))));

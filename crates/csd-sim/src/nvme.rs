@@ -175,7 +175,11 @@ impl QueuePair {
         let id = CommandId(self.next_id);
         self.next_id += 1;
         self.submitted_total += 1;
-        self.submission.push_back(Command { id, kind, submitted_at: now });
+        self.submission.push_back(Command {
+            id,
+            kind,
+            submitted_at: now,
+        });
         Ok(id)
     }
 
@@ -200,7 +204,9 @@ impl QueuePair {
     /// Whether a [`CommandKind::Break`] specifically is waiting.
     #[must_use]
     pub fn has_pending_break(&self) -> bool {
-        self.submission.iter().any(|c| matches!(c.kind, CommandKind::Break))
+        self.submission
+            .iter()
+            .any(|c| matches!(c.kind, CommandKind::Break))
     }
 
     /// Device posts a completion/status record.
@@ -274,7 +280,10 @@ mod tests {
         assert!(q.has_pending());
         let cmd = q.fetch().expect("fetch");
         assert_eq!(cmd.id, id);
-        assert!(matches!(cmd.kind, CommandKind::InvokeFunction { entry_line: 3 }));
+        assert!(matches!(
+            cmd.kind,
+            CommandKind::InvokeFunction { entry_line: 3 }
+        ));
         q.post_completion(Completion {
             id,
             completed_at: SimTime::from_secs(1.0),
@@ -291,7 +300,12 @@ mod tests {
         let mut q = qp();
         let a = q.submit(SimTime::ZERO, CommandKind::Break).expect("a");
         let b = q
-            .submit(SimTime::ZERO, CommandKind::LoadBinary { size: Bytes::from_kib(64) })
+            .submit(
+                SimTime::ZERO,
+                CommandKind::LoadBinary {
+                    size: Bytes::from_kib(64),
+                },
+            )
             .expect("b");
         assert!(a < b);
         assert_eq!(q.fetch().expect("first").id, a);
@@ -301,7 +315,8 @@ mod tests {
     #[test]
     fn full_queue_rejects() {
         let mut q = QueuePair::new(1, QueueLatencies::default());
-        q.submit(SimTime::ZERO, CommandKind::Break).expect("first fits");
+        q.submit(SimTime::ZERO, CommandKind::Break)
+            .expect("first fits");
         assert_eq!(
             q.submit(SimTime::ZERO, CommandKind::Break),
             Err(QueueError::SubmissionFull)
@@ -320,7 +335,8 @@ mod tests {
         q.submit(SimTime::ZERO, CommandKind::InvokeFunction { entry_line: 0 })
             .expect("submit");
         assert!(!q.has_pending_break());
-        q.submit(SimTime::ZERO, CommandKind::Break).expect("submit break");
+        q.submit(SimTime::ZERO, CommandKind::Break)
+            .expect("submit break");
         assert!(q.has_pending_break());
     }
 

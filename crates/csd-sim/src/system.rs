@@ -44,7 +44,17 @@ impl System {
         dma: DmaEngine,
         memory: SharedAddressSpace,
     ) -> Self {
-        System { config, clock: SimTime::ZERO, host, cse, flash, d2h_path, queue, dma, memory }
+        System {
+            config,
+            clock: SimTime::ZERO,
+            host,
+            cse,
+            flash,
+            d2h_path,
+            queue,
+            dma,
+            memory,
+        }
     }
 
     /// Convenience constructor for the paper's platform.
@@ -226,7 +236,10 @@ mod tests {
     fn cse_storage_read_uses_internal_bandwidth() {
         let mut sys = System::paper_default();
         let wall = sys.storage_read(EngineKind::Cse, Bytes::from_gb_f64(9.0));
-        assert!((wall.as_secs() - 1.0).abs() < 1e-6, "internal 9 GB/s, got {wall}");
+        assert!(
+            (wall.as_secs() - 1.0).abs() < 1e-6,
+            "internal 9 GB/s, got {wall}"
+        );
     }
 
     #[test]
@@ -280,7 +293,9 @@ mod tests {
         let mut sys = System::paper_default();
         let ops = Ops::new(sys.engine(EngineKind::Cse).nominal_rate().as_ops_per_sec() as u64);
         let mut degraded = sys.clone();
-        degraded.engine_mut(EngineKind::Cse).degrade_from(SimTime::ZERO, 0.1);
+        degraded
+            .engine_mut(EngineKind::Cse)
+            .degrade_from(SimTime::ZERO, 0.1);
         let base = sys.compute(EngineKind::Cse, ops);
         let slow = degraded.compute(EngineKind::Cse, ops);
         assert!((slow.as_secs() / base.as_secs() - 10.0).abs() < 1e-3);

@@ -35,7 +35,10 @@ impl SimTime {
     /// Panics if `secs` is negative or not finite.
     #[must_use]
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "sim time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "sim time must be finite and non-negative"
+        );
         SimTime(secs)
     }
 
@@ -259,7 +262,10 @@ impl Bytes {
     /// the paper's Table I (e.g. `9.1` GB for blackscholes).
     #[must_use]
     pub fn from_gb_f64(gb: f64) -> Self {
-        assert!(gb.is_finite() && gb >= 0.0, "byte count must be non-negative");
+        assert!(
+            gb.is_finite() && gb >= 0.0,
+            "byte count must be non-negative"
+        );
         Bytes((gb * 1e9).round() as u64)
     }
 
@@ -285,7 +291,10 @@ impl Bytes {
     /// byte.
     #[must_use]
     pub fn scale(self, factor: f64) -> Bytes {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative"
+        );
         Bytes((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -364,7 +373,10 @@ impl Ops {
     /// operation.
     #[must_use]
     pub fn scale(self, factor: f64) -> Ops {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative"
+        );
         Ops((self.0 as f64 * factor).round() as u64)
     }
 
@@ -412,7 +424,10 @@ impl Bandwidth {
     /// Panics if `bps` is not finite and strictly positive.
     #[must_use]
     pub fn from_bytes_per_sec(bps: f64) -> Self {
-        assert!(bps.is_finite() && bps > 0.0, "bandwidth must be positive, got {bps}");
+        assert!(
+            bps.is_finite() && bps > 0.0,
+            "bandwidth must be positive, got {bps}"
+        );
         Bandwidth(bps)
     }
 
@@ -602,7 +617,10 @@ mod tests {
 
     #[test]
     fn duration_sum_and_ratio() {
-        let total: Duration = [1.0, 2.0, 3.0].iter().map(|s| Duration::from_secs(*s)).sum();
+        let total: Duration = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|s| Duration::from_secs(*s))
+            .sum();
         assert!((total.as_secs() - 6.0).abs() < 1e-12);
         assert!((Duration::from_secs(3.0) / Duration::from_secs(1.5) - 2.0).abs() < 1e-12);
     }

@@ -156,9 +156,7 @@ impl Expr {
     pub fn contains_scan(&self) -> bool {
         match self {
             Expr::Num(_) | Expr::Str(_) | Expr::Ident(_) => false,
-            Expr::Call { name, args } => {
-                name == "scan" || args.iter().any(Expr::contains_scan)
-            }
+            Expr::Call { name, args } => name == "scan" || args.iter().any(Expr::contains_scan),
             Expr::Binary { lhs, rhs, .. } => lhs.contains_scan() || rhs.contains_scan(),
             Expr::Unary { expr, .. } => expr.contains_scan(),
         }
@@ -258,7 +256,11 @@ impl Program {
     /// The line defining `name`, if any (last definition wins).
     #[must_use]
     pub fn def_site(&self, name: &str) -> Option<usize> {
-        self.lines.iter().rev().find(|l| l.target == name).map(|l| l.index)
+        self.lines
+            .iter()
+            .rev()
+            .find(|l| l.target == name)
+            .map(|l| l.index)
     }
 
     /// Indices of the lines that read variable `name` after line `after`.
@@ -301,7 +303,6 @@ impl fmt::Display for Program {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::parser::parse;
 
     const PROG: &str = "\

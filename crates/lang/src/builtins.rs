@@ -85,7 +85,9 @@ impl Storage {
     pub fn get(&self, name: &str) -> Result<&Value> {
         self.datasets
             .get(name)
-            .ok_or_else(|| LangError::UnknownDataset { name: name.to_owned() })
+            .ok_or_else(|| LangError::UnknownDataset {
+                name: name.to_owned(),
+            })
     }
 
     /// Names of all datasets.
@@ -113,16 +115,46 @@ pub struct BuiltinOutput {
 
 impl BuiltinOutput {
     fn new(value: Value, ops: u64) -> Self {
-        BuiltinOutput { value, ops, storage_bytes: 0 }
+        BuiltinOutput {
+            value,
+            ops,
+            storage_bytes: 0,
+        }
     }
 }
 
 /// All builtin names, for diagnostics and the copy-elimination type tables.
 pub const BUILTIN_NAMES: &[&str] = &[
-    "scan", "col", "filter", "select", "len", "sum", "mean", "minv", "maxv", "count", "exp",
-    "log", "sqrt", "erf", "abs", "sort", "dot", "where", "group_sum", "matmul", "gemm_batch",
-    "to_csr", "spmv", "pagerank_step", "kmeans_assign", "kmeans_update", "forest_score",
-    "gather", "frob", "gram",
+    "scan",
+    "col",
+    "filter",
+    "select",
+    "len",
+    "sum",
+    "mean",
+    "minv",
+    "maxv",
+    "count",
+    "exp",
+    "log",
+    "sqrt",
+    "erf",
+    "abs",
+    "sort",
+    "dot",
+    "where",
+    "group_sum",
+    "matmul",
+    "gemm_batch",
+    "to_csr",
+    "spmv",
+    "pagerank_step",
+    "kmeans_assign",
+    "kmeans_update",
+    "forest_score",
+    "gather",
+    "frob",
+    "gram",
 ];
 
 /// Whether `name` is a registered builtin.
@@ -144,7 +176,11 @@ pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutp
             let [a] = expect_args::<1>(name, args)?;
             let value = storage.get(a.as_str()?)?.clone();
             let bytes = value.virtual_bytes();
-            Ok(BuiltinOutput { value, ops: 0, storage_bytes: bytes })
+            Ok(BuiltinOutput {
+                value,
+                ops: 0,
+                storage_bytes: bytes,
+            })
         }
         "col" => {
             let [t, c] = expect_args::<2>(name, args)?;
@@ -166,8 +202,7 @@ pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutp
             let table = t.as_table()?;
             let mask = m.as_bool_array()?;
             let out = table.filter(mask.data())?;
-            let ops =
-                table.logical_rows() * (1 + table.column_count() as u64 * weights::GATHER);
+            let ops = table.logical_rows() * (1 + table.column_count() as u64 * weights::GATHER);
             Ok(BuiltinOutput::new(Value::Table(out), ops))
         }
         "select" => {
@@ -203,8 +238,7 @@ pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutp
         "count" => {
             let [m] = expect_args::<1>(name, args)?;
             let mask = m.as_bool_array()?;
-            let logical_count =
-                (mask.logical_len() as f64 * mask.selectivity()).round();
+            let logical_count = (mask.logical_len() as f64 * mask.selectivity()).round();
             Ok(BuiltinOutput::new(
                 Value::Num(logical_count),
                 mask.logical_len() * weights::REDUCE,
@@ -290,8 +324,7 @@ pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutp
             let ranks = r.as_array()?;
             let damping = d.as_num()?;
             let next = csr.pagerank_step(ranks.data(), damping)?;
-            let ops = weights::PR_EDGE * csr.logical_nnz()
-                + weights::PR_NODE * csr.logical_rows();
+            let ops = weights::PR_EDGE * csr.logical_nnz() + weights::PR_NODE * csr.logical_rows();
             Ok(BuiltinOutput::new(
                 Value::Array(ArrayVal::with_logical(next, csr.logical_rows())),
                 ops,
@@ -328,8 +361,8 @@ pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutp
             let m = a.as_matrix()?;
             let ss: f64 = m.data().iter().map(|x| x * x).sum();
             // Extrapolate the sum of squares to logical scale, like `sum`.
-            let ratio = (m.logical_rows() * m.logical_cols()) as f64
-                / (m.rows() * m.cols()).max(1) as f64;
+            let ratio =
+                (m.logical_rows() * m.logical_cols()) as f64 / (m.rows() * m.cols()).max(1) as f64;
             Ok(BuiltinOutput::new(
                 Value::Num((ss * ratio).sqrt()),
                 m.logical_rows() * m.logical_cols() * weights::REDUCE,
@@ -359,7 +392,10 @@ pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutp
                 *v *= ratio;
             }
             let ops = weights::MADD * m.logical_rows() * (d as u64) * (d as u64);
-            Ok(BuiltinOutput::new(Value::Matrix(Matrix::new(out, d, d)?), ops))
+            Ok(BuiltinOutput::new(
+                Value::Matrix(Matrix::new(out, d, d)?),
+                ops,
+            ))
         }
         other => Err(LangError::runtime(format!("`{other}` is not a builtin"))),
     }
@@ -390,7 +426,10 @@ fn reduce(name: &str, args: &[Value]) -> Result<BuiltinOutput> {
         "maxv" => data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         _ => unreachable!("reduce called with {name}"),
     };
-    Ok(BuiltinOutput::new(Value::Num(v), arr.logical_len() * weights::REDUCE))
+    Ok(BuiltinOutput::new(
+        Value::Num(v),
+        arr.logical_len() * weights::REDUCE,
+    ))
 }
 
 fn unary_math(
@@ -423,8 +462,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -518,10 +556,8 @@ fn kmeans_assign(args: &[Value]) -> Result<BuiltinOutput> {
         }
         assign.push(best as f64);
     }
-    let ops = weights::KMEANS
-        * points.logical_rows()
-        * centroids.rows() as u64
-        * points.cols() as u64;
+    let ops =
+        weights::KMEANS * points.logical_rows() * centroids.rows() as u64 * points.cols() as u64;
     Ok(BuiltinOutput::new(
         Value::Array(ArrayVal::with_logical(assign, points.logical_rows())),
         ops,
@@ -534,7 +570,9 @@ fn kmeans_update(args: &[Value]) -> Result<BuiltinOutput> {
     let assign = a.as_array()?;
     let k = k.as_num()? as usize;
     if assign.len() != points.rows() {
-        return Err(LangError::runtime("kmeans_update: assignment length mismatch"));
+        return Err(LangError::runtime(
+            "kmeans_update: assignment length mismatch",
+        ));
     }
     if k == 0 {
         return Err(LangError::runtime("kmeans_update: k must be positive"));
@@ -562,7 +600,10 @@ fn kmeans_update(args: &[Value]) -> Result<BuiltinOutput> {
         }
     }
     let ops = weights::REDUCE * points.logical_rows() * d as u64;
-    Ok(BuiltinOutput::new(Value::Matrix(Matrix::new(sums, k, d)?), ops))
+    Ok(BuiltinOutput::new(
+        Value::Matrix(Matrix::new(sums, k, d)?),
+        ops,
+    ))
 }
 
 fn forest_score(args: &[Value]) -> Result<BuiltinOutput> {
@@ -585,8 +626,8 @@ fn forest_score(args: &[Value]) -> Result<BuiltinOutput> {
     } else {
         visited_total as f64 / feats.rows() as f64
     };
-    let ops = (weights::TREE_NODE as f64 * mean_visited * feats.logical_rows() as f64)
-        .round() as u64;
+    let ops =
+        (weights::TREE_NODE as f64 * mean_visited * feats.logical_rows() as f64).round() as u64;
     Ok(BuiltinOutput::new(
         Value::Array(ArrayVal::with_logical(scores, feats.logical_rows())),
         ops,
@@ -627,11 +668,11 @@ mod tests {
     fn reductions_extrapolate_to_logical_scale() {
         let st = Storage::new();
         let a = arr_logical(vec![1.0, 2.0, 3.0, 4.0], 4000);
-        let sum = call("sum", &[a.clone()], &st).expect("sum");
+        let sum = call("sum", std::slice::from_ref(&a), &st).expect("sum");
         assert!((sum.value.as_num().expect("num") - 10_000.0).abs() < 1e-6);
-        let mean = call("mean", &[a.clone()], &st).expect("mean");
+        let mean = call("mean", std::slice::from_ref(&a), &st).expect("mean");
         assert!((mean.value.as_num().expect("num") - 2.5).abs() < 1e-12);
-        let mn = call("minv", &[a.clone()], &st).expect("min");
+        let mn = call("minv", std::slice::from_ref(&a), &st).expect("min");
         assert_eq!(mn.value.as_num().expect("num"), 1.0);
         let mx = call("maxv", &[a], &st).expect("max");
         assert_eq!(mx.value.as_num().expect("num"), 4.0);
@@ -670,9 +711,12 @@ mod tests {
             vec![true, false, true, false],
             4000,
         ));
-        let out =
-            call("select", &[arr_logical(vec![1.0, 2.0, 3.0, 4.0], 4000), mask], &st)
-                .expect("select");
+        let out = call(
+            "select",
+            &[arr_logical(vec![1.0, 2.0, 3.0, 4.0], 4000), mask],
+            &st,
+        )
+        .expect("select");
         let a = out.value.as_array().expect("arr");
         assert_eq!(a.data(), &[1.0, 3.0]);
         assert_eq!(a.logical_len(), 2000);
@@ -681,8 +725,10 @@ mod tests {
     #[test]
     fn count_extrapolates() {
         let st = Storage::new();
-        let mask =
-            Value::BoolArray(BoolArrayVal::with_logical(vec![true, true, false, false], 4000));
+        let mask = Value::BoolArray(BoolArrayVal::with_logical(
+            vec![true, true, false, false],
+            4000,
+        ));
         let out = call("count", &[mask], &st).expect("count");
         assert_eq!(out.value.as_num().expect("num"), 2000.0);
     }
@@ -708,9 +754,8 @@ mod tests {
     #[test]
     fn gemm_batch_multiplies_ops_by_batches() {
         let st = Storage::new();
-        let a = Value::Matrix(
-            Matrix::with_logical(vec![1.0, 0.0, 0.0, 1.0], 2, 2, 200, 2).expect("a"),
-        );
+        let a =
+            Value::Matrix(Matrix::with_logical(vec![1.0, 0.0, 0.0, 1.0], 2, 2, 200, 2).expect("a"));
         let b = Value::Matrix(Matrix::new(vec![3.0, 4.0, 5.0, 6.0], 2, 2).expect("b"));
         let out = call("gemm_batch", &[a, b], &st).expect("gemm");
         // 100 batches × 2·2·2·2 madds × weight 2.
@@ -723,9 +768,7 @@ mod tests {
     #[test]
     fn gemm_batch_rejects_ragged_logical_rows() {
         let st = Storage::new();
-        let a = Value::Matrix(
-            Matrix::with_logical(vec![1.0; 4], 2, 2, 201, 2).expect("a"),
-        );
+        let a = Value::Matrix(Matrix::with_logical(vec![1.0; 4], 2, 2, 201, 2).expect("a"));
         let b = Value::Matrix(Matrix::new(vec![1.0; 4], 2, 2).expect("b"));
         assert!(call("gemm_batch", &[a, b], &st).is_err());
     }
@@ -734,14 +777,12 @@ mod tests {
     fn kmeans_assign_and_update_round_trip() {
         let st = Storage::new();
         // Four points in 1-D: two clusters around 0 and 10.
-        let points =
-            Value::Matrix(Matrix::new(vec![0.0, 1.0, 10.0, 11.0], 4, 1).expect("pts"));
+        let points = Value::Matrix(Matrix::new(vec![0.0, 1.0, 10.0, 11.0], 4, 1).expect("pts"));
         let cents = Value::Matrix(Matrix::new(vec![0.5, 10.5], 2, 1).expect("cents"));
         let out = call("kmeans_assign", &[points.clone(), cents], &st).expect("assign");
         let assign = out.value.clone();
         assert_eq!(assign.as_array().expect("a").data(), &[0.0, 0.0, 1.0, 1.0]);
-        let upd = call("kmeans_update", &[points, assign, Value::Num(2.0)], &st)
-            .expect("update");
+        let upd = call("kmeans_update", &[points, assign, Value::Num(2.0)], &st).expect("update");
         let m = upd.value.as_matrix().expect("m");
         assert!((m.get(0, 0) - 0.5).abs() < 1e-12);
         assert!((m.get(1, 0) - 10.5).abs() < 1e-12);
@@ -757,9 +798,8 @@ mod tests {
         ])
         .expect("tree");
         let forest = Value::Forest(Forest::new(vec![tree], 1).expect("forest"));
-        let feats = Value::Matrix(
-            Matrix::with_logical(vec![0.0, 1.0], 2, 1, 2000, 1).expect("feats"),
-        );
+        let feats =
+            Value::Matrix(Matrix::with_logical(vec![0.0, 1.0], 2, 1, 2000, 1).expect("feats"));
         let out = call("forest_score", &[forest, feats], &st).expect("score");
         assert_eq!(out.value.as_array().expect("a").data(), &[-1.0, 1.0]);
         // 2 nodes visited per row, 2000 logical rows.
@@ -808,7 +848,14 @@ mod tests {
     fn arity_errors_name_the_function() {
         let st = Storage::new();
         let e = call("sum", &[], &st).unwrap_err();
-        assert!(matches!(e, LangError::Arity { expected: 1, got: 0, .. }));
+        assert!(matches!(
+            e,
+            LangError::Arity {
+                expected: 1,
+                got: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

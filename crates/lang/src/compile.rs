@@ -47,7 +47,11 @@ impl CompiledProgram {
             ExecTier::CompiledCopyElim => copyelim::eliminable_lines(&program, types),
             _ => vec![false; program.len()],
         };
-        CompiledProgram { program, tier, copy_elim }
+        CompiledProgram {
+            program,
+            tier,
+            copy_elim,
+        }
     }
 
     /// The underlying program.
@@ -103,7 +107,10 @@ impl CompiledProgram {
     /// Total effective operations of a run under this artifact's tier.
     #[must_use]
     pub fn total_effective_ops(&self, records: &[LineRecord], params: &CostParams) -> u64 {
-        records.iter().map(|r| r.cost.effective_ops(self.tier, params)).sum()
+        records
+            .iter()
+            .map(|r| r.cost.effective_ops(self.tier, params))
+            .sum()
     }
 
     /// Sum of raw line costs of a run.
@@ -200,11 +207,7 @@ mod tests {
 
     #[test]
     fn total_cost_sums_lines() {
-        let cp = CompiledProgram::compile(
-            parse(SRC).expect("parse"),
-            ExecTier::Compiled,
-            &types(),
-        );
+        let cp = CompiledProgram::compile(parse(SRC).expect("parse"), ExecTier::Compiled, &types());
         let rec = cp.run(&storage()).expect("run");
         let total = CompiledProgram::total_cost(&rec);
         assert_eq!(total.storage_bytes, 4_000_000 * 8);

@@ -86,7 +86,10 @@ fn infer_expr(
     match expr {
         Expr::Num(_) => StaticType::Num,
         Expr::Str(_) => StaticType::Str,
-        Expr::Ident(name) => env.get(name.as_str()).copied().unwrap_or(StaticType::Unknown),
+        Expr::Ident(name) => env
+            .get(name.as_str())
+            .copied()
+            .unwrap_or(StaticType::Unknown),
         Expr::Unary { op, expr } => {
             let t = infer_expr(expr, env, datasets);
             match op {
@@ -143,9 +146,7 @@ fn builtin_return_type(
 ) -> StaticType {
     match name {
         "scan" => match args.first() {
-            Some(Expr::Str(ds)) => {
-                datasets.get(ds).copied().unwrap_or(StaticType::Unknown)
-            }
+            Some(Expr::Str(ds)) => datasets.get(ds).copied().unwrap_or(StaticType::Unknown),
             _ => StaticType::Unknown,
         },
         "col" | "select" | "sort" | "where" | "spmv" | "pagerank_step" | "kmeans_assign"
@@ -170,10 +171,10 @@ pub fn eliminable_lines(program: &Program, datasets: &DatasetTypes) -> Vec<bool>
     let mut env: BTreeMap<&str, StaticType> = BTreeMap::new();
     let mut out = Vec::with_capacity(program.len());
     for (line, ty) in program.lines().iter().zip(&types) {
-        let inputs_known = line
-            .inputs()
-            .iter()
-            .all(|name| env.get(name.as_str()).is_some_and(|t| *t != StaticType::Unknown));
+        let inputs_known = line.inputs().iter().all(|name| {
+            env.get(name.as_str())
+                .is_some_and(|t| *t != StaticType::Unknown)
+        });
         let scan_known = !line.accesses_storage() || scan_types_known(&line.expr, datasets);
         out.push(inputs_known && scan_known && *ty != StaticType::Unknown);
         env.insert(line.target.as_str(), *ty);
@@ -253,14 +254,21 @@ s = sum(col(f, 'price'))
         assert!(!without[0], "scan of unseeded dataset is not eliminable");
         assert!(!without[1], "consumer of unknown-typed t is not eliminable");
         let with = eliminable_lines(&p, &seeds());
-        assert_eq!(with, vec![true; 5], "all lines eliminable once types are known");
+        assert_eq!(
+            with,
+            vec![true; 5],
+            "all lines eliminable once types are known"
+        );
     }
 
     #[test]
     fn arithmetic_type_rules() {
         let p = parse("a = 1 + 2\nb = a < 3\nc = b and b\n").expect("parse");
         let types = infer_types(&p, &DatasetTypes::new());
-        assert_eq!(types, vec![StaticType::Num, StaticType::Bool, StaticType::Bool]);
+        assert_eq!(
+            types,
+            vec![StaticType::Num, StaticType::Bool, StaticType::Bool]
+        );
     }
 
     #[test]

@@ -210,16 +210,28 @@ mod tests {
 
     #[test]
     fn interpreted_applies_dispatch_surcharge() {
-        let c = LineCost { compute_ops: 1000, ..LineCost::zero() };
-        let p = CostParams { dispatch_overhead: 0.5, ..CostParams::paper_default() };
+        let c = LineCost {
+            compute_ops: 1000,
+            ..LineCost::zero()
+        };
+        let p = CostParams {
+            dispatch_overhead: 0.5,
+            ..CostParams::paper_default()
+        };
         assert_eq!(c.effective_ops(ExecTier::Interpreted, &p), 1500);
         assert_eq!(c.effective_ops(ExecTier::Compiled, &p), 1000);
     }
 
     #[test]
     fn scan_ops_charged_in_all_tiers() {
-        let c = LineCost { storage_bytes: 1000, ..LineCost::zero() };
-        let p = CostParams { scan_ops_per_byte: 0.5, ..CostParams::paper_default() };
+        let c = LineCost {
+            storage_bytes: 1000,
+            ..LineCost::zero()
+        };
+        let p = CostParams {
+            scan_ops_per_byte: 0.5,
+            ..CostParams::paper_default()
+        };
         assert_eq!(c.effective_ops(ExecTier::Native, &p), 500);
     }
 

@@ -64,13 +64,17 @@ impl LangError {
     /// Shorthand for a runtime error.
     #[must_use]
     pub fn runtime(message: impl Into<String>) -> Self {
-        LangError::Runtime { message: message.into() }
+        LangError::Runtime {
+            message: message.into(),
+        }
     }
 
     /// Shorthand for a type error.
     #[must_use]
     pub fn type_error(message: impl Into<String>) -> Self {
-        LangError::Type { message: message.into() }
+        LangError::Type {
+            message: message.into(),
+        }
     }
 }
 
@@ -87,7 +91,11 @@ impl fmt::Display for LangError {
             LangError::UnknownFunction { line, name } => {
                 write!(f, "line {line}: unknown function `{name}`")
             }
-            LangError::Arity { name, expected, got } => {
+            LangError::Arity {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "`{name}` expects {expected} argument(s), got {got}")
             }
             LangError::Type { message } => write!(f, "type error: {message}"),
@@ -108,11 +116,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = LangError::Parse { line: 3, message: "expected `=`".into() };
+        let e = LangError::Parse {
+            line: 3,
+            message: "expected `=`".into(),
+        };
         assert!(format!("{e}").contains("line 3"));
-        let e = LangError::Arity { name: "sum".into(), expected: 1, got: 2 };
+        let e = LangError::Arity {
+            name: "sum".into(),
+            expected: 1,
+            got: 2,
+        };
         assert!(format!("{e}").contains("sum"));
-        let e = LangError::UnknownDataset { name: "lineitem".into() };
+        let e = LangError::UnknownDataset {
+            name: "lineitem".into(),
+        };
         assert!(format!("{e}").contains("lineitem"));
     }
 

@@ -39,13 +39,25 @@ impl TreeNode {
     /// Constructs a leaf.
     #[must_use]
     pub fn leaf(value: f64) -> Self {
-        TreeNode { feature: 0, threshold: 0.0, left: Self::LEAF, right: Self::LEAF, value }
+        TreeNode {
+            feature: 0,
+            threshold: 0.0,
+            left: Self::LEAF,
+            right: Self::LEAF,
+            value,
+        }
     }
 
     /// Constructs an internal split node.
     #[must_use]
     pub fn split(feature: u32, threshold: f64, left: u32, right: u32) -> Self {
-        TreeNode { feature, threshold, left, right, value: 0.0 }
+        TreeNode {
+            feature,
+            threshold,
+            left,
+            right,
+            value: 0.0,
+        }
     }
 }
 
@@ -113,7 +125,11 @@ impl Tree {
                 return (node.value, visited);
             }
             let x = features.get(node.feature as usize).copied().unwrap_or(0.0);
-            idx = if x < node.threshold { node.left as usize } else { node.right as usize };
+            idx = if x < node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
         }
     }
 
@@ -149,7 +165,10 @@ impl Forest {
         if trees.is_empty() {
             return Err(LangError::runtime("a forest needs at least one tree"));
         }
-        Ok(Forest { trees: Arc::new(trees), features })
+        Ok(Forest {
+            trees: Arc::new(trees),
+            features,
+        })
     }
 
     /// Number of trees.
@@ -200,7 +219,12 @@ impl Forest {
 
 impl fmt::Display for Forest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "forest[{} trees, {} nodes]", self.tree_count(), self.node_count())
+        write!(
+            f,
+            "forest[{} trees, {} nodes]",
+            self.tree_count(),
+            self.node_count()
+        )
     }
 }
 
@@ -227,11 +251,8 @@ mod tests {
 
     #[test]
     fn forest_sums_trees() {
-        let f = Forest::new(
-            vec![stump(0, 0.5, -1.0, 1.0), stump(1, 10.0, 5.0, 7.0)],
-            2,
-        )
-        .expect("forest");
+        let f = Forest::new(vec![stump(0, 0.5, -1.0, 1.0), stump(1, 10.0, 5.0, 7.0)], 2)
+            .expect("forest");
         let (score, visited) = f.score(&[0.9, 3.0]);
         assert_eq!(score, 1.0 + 5.0);
         assert_eq!(visited, 4);
@@ -249,10 +270,7 @@ mod tests {
     #[test]
     fn invalid_children_rejected() {
         // Child pointing backwards (cycle risk).
-        let e = Tree::new(vec![
-            TreeNode::split(0, 0.5, 0, 1),
-            TreeNode::leaf(1.0),
-        ]);
+        let e = Tree::new(vec![TreeNode::split(0, 0.5, 0, 1), TreeNode::leaf(1.0)]);
         assert!(e.is_err());
         // Child out of range.
         let e = Tree::new(vec![TreeNode::split(0, 0.5, 1, 9)]);

@@ -41,7 +41,10 @@ impl<'a> Interpreter<'a> {
     /// Creates an interpreter over the given storage.
     #[must_use]
     pub fn new(storage: &'a Storage) -> Self {
-        Interpreter { storage, vars: BTreeMap::new() }
+        Interpreter {
+            storage,
+            vars: BTreeMap::new(),
+        }
     }
 
     /// Current value of a variable, if defined.
@@ -96,29 +99,28 @@ impl<'a> Interpreter<'a> {
         for line in program.lines() {
             let elim = copy_elim.get(line.index).copied().unwrap_or(false);
             let cost = self.exec_line(line, elim)?;
-            out.push(LineRecord { index: line.index, target: line.target.clone(), cost });
+            out.push(LineRecord {
+                index: line.index,
+                target: line.target.clone(),
+                cost,
+            });
         }
         Ok(out)
     }
 
-    fn eval(
-        &self,
-        expr: &Expr,
-        cost: &mut LineCost,
-        elim: bool,
-        line_no: usize,
-    ) -> Result<Value> {
+    fn eval(&self, expr: &Expr, cost: &mut LineCost, elim: bool, line_no: usize) -> Result<Value> {
         match expr {
             Expr::Num(n) => Ok(Value::Num(*n)),
             Expr::Str(s) => Ok(Value::Str(s.clone())),
-            Expr::Ident(name) => self
-                .vars
-                .get(name)
-                .cloned()
-                .ok_or_else(|| LangError::UnknownVariable {
-                    line: line_no + 1,
-                    name: name.clone(),
-                }),
+            Expr::Ident(name) => {
+                self.vars
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| LangError::UnknownVariable {
+                        line: line_no + 1,
+                        name: name.clone(),
+                    })
+            }
             Expr::Unary { op, expr } => {
                 let v = self.eval(expr, cost, elim, line_no)?;
                 let out = apply_unary(*op, &v)?;
@@ -236,7 +238,11 @@ fn numeric_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 )));
             }
             Ok(Value::Array(ArrayVal::with_logical(
-                a.data().iter().zip(b.data()).map(|(x, y)| arith(op, *x, *y)).collect(),
+                a.data()
+                    .iter()
+                    .zip(b.data())
+                    .map(|(x, y)| arith(op, *x, *y))
+                    .collect(),
                 a.logical_len().max(b.logical_len()),
             )))
         }
@@ -282,7 +288,11 @@ fn comparison_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 )));
             }
             Ok(Value::BoolArray(BoolArrayVal::with_logical(
-                a.data().iter().zip(b.data()).map(|(x, y)| cmp(op, *x, *y)).collect(),
+                a.data()
+                    .iter()
+                    .zip(b.data())
+                    .map(|(x, y)| cmp(op, *x, *y))
+                    .collect(),
                 a.logical_len().max(b.logical_len()),
             )))
         }
@@ -312,22 +322,22 @@ fn logical_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 )));
             }
             Ok(Value::BoolArray(BoolArrayVal::with_logical(
-                a.data().iter().zip(b.data()).map(|(x, y)| f(*x, *y)).collect(),
+                a.data()
+                    .iter()
+                    .zip(b.data())
+                    .map(|(x, y)| f(*x, *y))
+                    .collect(),
                 a.logical_len().max(b.logical_len()),
             )))
         }
-        (Value::BoolArray(a), Value::Bool(b)) => Ok(Value::BoolArray(
-            BoolArrayVal::with_logical(
-                a.data().iter().map(|x| f(*x, *b)).collect(),
-                a.logical_len(),
-            ),
-        )),
-        (Value::Bool(a), Value::BoolArray(b)) => Ok(Value::BoolArray(
-            BoolArrayVal::with_logical(
-                b.data().iter().map(|x| f(*a, *x)).collect(),
-                b.logical_len(),
-            ),
-        )),
+        (Value::BoolArray(a), Value::Bool(b)) => Ok(Value::BoolArray(BoolArrayVal::with_logical(
+            a.data().iter().map(|x| f(*x, *b)).collect(),
+            a.logical_len(),
+        ))),
+        (Value::Bool(a), Value::BoolArray(b)) => Ok(Value::BoolArray(BoolArrayVal::with_logical(
+            b.data().iter().map(|x| f(*a, *x)).collect(),
+            b.logical_len(),
+        ))),
         (l, r) => Err(LangError::type_error(format!(
             "cannot apply {} to {} and {}",
             op.symbol(),
@@ -348,8 +358,14 @@ mod tests {
         let mut st = Storage::new();
         let table = Table::with_logical_rows(
             vec![
-                ("qty".into(), Column::F64(Arc::new(vec![10.0, 30.0, 5.0, 40.0]))),
-                ("price".into(), Column::F64(Arc::new(vec![100.0, 200.0, 50.0, 400.0]))),
+                (
+                    "qty".into(),
+                    Column::F64(Arc::new(vec![10.0, 30.0, 5.0, 40.0])),
+                ),
+                (
+                    "price".into(),
+                    Column::F64(Arc::new(vec![100.0, 200.0, 50.0, 400.0])),
+                ),
             ],
             4_000_000,
         )
@@ -382,8 +398,7 @@ mod tests {
     #[test]
     fn per_line_costs_have_expected_shape() {
         let st = lineitem_storage();
-        let prog = parse("t = scan('lineitem')\nq = col(t, 'qty')\nm = q < 24\n")
-            .expect("parse");
+        let prog = parse("t = scan('lineitem')\nq = col(t, 'qty')\nm = q < 24\n").expect("parse");
         let mut interp = Interpreter::new(&st);
         let rec = interp.run(&prog, &[]).expect("run");
         // scan: storage bytes, no copies, no inputs.
@@ -394,7 +409,10 @@ mod tests {
         // col: reads the table (bytes_in = table), produces an array.
         assert_eq!(rec[1].cost.bytes_in, 4_000_000 * 16);
         assert_eq!(rec[1].cost.bytes_out, 4_000_000 * 8);
-        assert!(rec[1].cost.copy_bytes > 0, "library boundary copies counted");
+        assert!(
+            rec[1].cost.copy_bytes > 0,
+            "library boundary copies counted"
+        );
         // compare: produces a mask of 1 byte per logical row.
         assert_eq!(rec[2].cost.bytes_out, 4_000_000);
         assert!(rec[2].cost.compute_ops >= 3 * 4_000_000);
@@ -415,15 +433,13 @@ mod tests {
     #[test]
     fn scalar_arithmetic_and_logic() {
         let st = Storage::new();
-        let prog = parse(
-            "a = 2 + 3 * 4\nb = a >= 14\nc = b and (a != 15)\nd = -a / 2\n",
-        )
-        .expect("parse");
+        let prog =
+            parse("a = 2 + 3 * 4\nb = a >= 14\nc = b and (a != 15)\nd = -a / 2\n").expect("parse");
         let mut interp = Interpreter::new(&st);
         interp.run(&prog, &[]).expect("run");
         assert_eq!(interp.var("a").expect("a").as_num().expect("n"), 14.0);
-        assert_eq!(interp.var("b").expect("b").as_bool().expect("b"), true);
-        assert_eq!(interp.var("c").expect("c").as_bool().expect("b"), true);
+        assert!(interp.var("b").expect("b").as_bool().expect("b"));
+        assert!(interp.var("c").expect("c").as_bool().expect("b"));
         assert_eq!(interp.var("d").expect("d").as_num().expect("n"), -7.0);
     }
 
@@ -439,7 +455,12 @@ mod tests {
             &[3.0, 5.0, 7.0]
         );
         assert_eq!(
-            interp.var("m").expect("m").as_bool_array().expect("mask").data(),
+            interp
+                .var("m")
+                .expect("m")
+                .as_bool_array()
+                .expect("mask")
+                .data(),
             &[false, false, true]
         );
     }

@@ -56,7 +56,13 @@ impl Matrix {
                 "logical dimensions must be at least the materialized dimensions",
             ));
         }
-        Ok(Matrix { data: Arc::new(data), rows, cols, logical_rows, logical_cols })
+        Ok(Matrix {
+            data: Arc::new(data),
+            rows,
+            cols,
+            logical_rows,
+            logical_cols,
+        })
     }
 
     /// Materialized row count.
@@ -131,7 +137,13 @@ impl Matrix {
                 }
             }
         }
-        Matrix::with_logical(out, self.rows, rhs.cols, self.logical_rows, rhs.logical_cols)
+        Matrix::with_logical(
+            out,
+            self.rows,
+            rhs.cols,
+            self.logical_rows,
+            rhs.logical_cols,
+        )
     }
 
     /// Fraction of materialized entries that are non-zero.
@@ -253,13 +265,13 @@ impl Csr {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, y_r) in y.iter_mut().enumerate() {
             let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] = acc;
+            *y_r = acc;
         }
         Ok(y)
     }
@@ -273,7 +285,9 @@ impl Csr {
     /// square.
     pub fn pagerank_step(&self, ranks: &[f64], damping: f64) -> Result<Vec<f64>> {
         if self.rows != self.cols {
-            return Err(LangError::runtime("pagerank needs a square adjacency matrix"));
+            return Err(LangError::runtime(
+                "pagerank needs a square adjacency matrix",
+            ));
         }
         if ranks.len() != self.rows {
             return Err(LangError::runtime(format!(
@@ -284,8 +298,8 @@ impl Csr {
         }
         // Out-degree per node (treating row r's entries as edges r -> c).
         let mut out_deg = vec![0u32; self.rows];
-        for r in 0..self.rows {
-            out_deg[r] = self.row_ptr[r + 1] - self.row_ptr[r];
+        for (r, deg) in out_deg.iter_mut().enumerate() {
+            *deg = self.row_ptr[r + 1] - self.row_ptr[r];
         }
         let n = self.rows as f64;
         let mut next = vec![(1.0 - damping) / n; self.rows];
@@ -376,8 +390,8 @@ mod tests {
 
     #[test]
     fn csr_logical_nnz_scales_with_density() {
-        let m = Matrix::with_logical(vec![1.0, 0.0, 2.0, 0.0, 3.0, 4.0], 2, 3, 2000, 3000)
-            .expect("m");
+        let m =
+            Matrix::with_logical(vec![1.0, 0.0, 2.0, 0.0, 3.0, 4.0], 2, 3, 2000, 3000).expect("m");
         let csr = m.to_csr();
         let expected = (2000u64 * 3000) as f64 * (4.0 / 6.0);
         assert!((csr.logical_nnz() as f64 - expected).abs() < 1.0);
@@ -393,12 +407,7 @@ mod tests {
     #[test]
     fn pagerank_conserves_mass() {
         // Ring graph 0->1->2->0.
-        let m = Matrix::new(
-            vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0],
-            3,
-            3,
-        )
-        .expect("m");
+        let m = Matrix::new(vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0], 3, 3).expect("m");
         let csr = m.to_csr();
         let r0 = vec![1.0 / 3.0; 3];
         let r1 = csr.pagerank_step(&r0, 0.85).expect("step");

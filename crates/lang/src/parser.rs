@@ -40,7 +40,11 @@ pub fn parse(source: &str) -> Result<Program> {
         if tokens.is_empty() {
             continue;
         }
-        let mut p = Parser { tokens, pos: 0, line_no: src_no + 1 };
+        let mut p = Parser {
+            tokens,
+            pos: 0,
+            line_no: src_no + 1,
+        };
         let line = p.parse_line(lines.len(), raw.trim().to_owned())?;
         lines.push(line);
     }
@@ -68,14 +72,23 @@ impl Parser {
             let tok = tok.clone();
             return Err(self.unexpected(Some(&tok), "end of line"));
         }
-        Ok(Line { index, target, expr, source })
+        Ok(Line {
+            index,
+            target,
+            expr,
+            source,
+        })
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.and_expr()?;
         while self.eat(&Token::Or) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -84,7 +97,11 @@ impl Parser {
         let mut lhs = self.cmp_expr()?;
         while self.eat(&Token::And) {
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -103,7 +120,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let rhs = self.add_expr()?;
-            Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
         } else {
             Ok(lhs)
         }
@@ -119,7 +140,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -134,7 +159,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -142,11 +171,17 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr> {
         if self.eat(&Token::Minus) {
             let expr = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+            });
         }
         if self.eat(&Token::Not) {
             let expr = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+            });
         }
         self.primary()
     }
@@ -166,11 +201,7 @@ impl Parser {
                             }
                             match self.next() {
                                 Some(Token::RParen) => break,
-                                other => {
-                                    return Err(
-                                        self.unexpected(other.as_ref(), "`,` or `)`")
-                                    )
-                                }
+                                other => return Err(self.unexpected(other.as_ref(), "`,` or `)`")),
                             }
                         }
                     }
@@ -229,7 +260,11 @@ mod tests {
     fn parses_precedence() {
         let p = parse("x = 1 + 2 * 3\n").expect("parse");
         match &p.lines()[0].expr {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("wrong tree: {other:?}"),
@@ -239,7 +274,10 @@ mod tests {
     #[test]
     fn parses_parentheses_override() {
         let p = parse("x = (1 + 2) * 3\n").expect("parse");
-        assert!(matches!(p.lines()[0].expr, Expr::Binary { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            p.lines()[0].expr,
+            Expr::Binary { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]
@@ -263,13 +301,19 @@ mod tests {
     #[test]
     fn parses_logical_chain() {
         let p = parse("m = a < 1 and b >= 2 or not c\n").expect("parse");
-        assert!(matches!(p.lines()[0].expr, Expr::Binary { op: BinOp::Or, .. }));
+        assert!(matches!(
+            p.lines()[0].expr,
+            Expr::Binary { op: BinOp::Or, .. }
+        ));
     }
 
     #[test]
     fn parses_unary_minus() {
         let p = parse("x = -y * 2\n").expect("parse");
-        assert!(matches!(p.lines()[0].expr, Expr::Binary { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            p.lines()[0].expr,
+            Expr::Binary { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]

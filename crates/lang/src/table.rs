@@ -72,14 +72,27 @@ impl Column {
     pub fn gather(&self, keep: &[bool]) -> Column {
         match self {
             Column::F64(v) => Column::F64(Arc::new(
-                v.iter().zip(keep).filter(|(_, k)| **k).map(|(x, _)| *x).collect(),
+                v.iter()
+                    .zip(keep)
+                    .filter(|(_, k)| **k)
+                    .map(|(x, _)| *x)
+                    .collect(),
             )),
             Column::I64(v) => Column::I64(Arc::new(
-                v.iter().zip(keep).filter(|(_, k)| **k).map(|(x, _)| *x).collect(),
+                v.iter()
+                    .zip(keep)
+                    .filter(|(_, k)| **k)
+                    .map(|(x, _)| *x)
+                    .collect(),
             )),
             Column::Dict { codes, dict } => Column::Dict {
                 codes: Arc::new(
-                    codes.iter().zip(keep).filter(|(_, k)| **k).map(|(c, _)| *c).collect(),
+                    codes
+                        .iter()
+                        .zip(keep)
+                        .filter(|(_, k)| **k)
+                        .map(|(c, _)| *c)
+                        .collect(),
                 ),
                 dict: Arc::clone(dict),
             },
@@ -118,10 +131,7 @@ impl Table {
     ///
     /// Returns an error if columns have differing lengths, the list is
     /// empty, or `logical_rows` is smaller than the materialized count.
-    pub fn with_logical_rows(
-        columns: Vec<(String, Column)>,
-        logical_rows: u64,
-    ) -> Result<Self> {
+    pub fn with_logical_rows(columns: Vec<(String, Column)>, logical_rows: u64) -> Result<Self> {
         let mut map = BTreeMap::new();
         let mut rows: Option<usize> = None;
         for (name, col) in columns {
@@ -143,7 +153,11 @@ impl Table {
                 "logical rows {logical_rows} smaller than materialized rows {rows}"
             )));
         }
-        Ok(Table { columns: map, rows, logical_rows })
+        Ok(Table {
+            columns: map,
+            rows,
+            logical_rows,
+        })
     }
 
     /// Materialized row count.
@@ -221,8 +235,14 @@ impl Table {
             )));
         }
         let kept = keep.iter().filter(|k| **k).count();
-        let selectivity = if self.rows == 0 { 0.0 } else { kept as f64 / self.rows as f64 };
-        let logical = (self.logical_rows as f64 * selectivity).round().max(kept as f64) as u64;
+        let selectivity = if self.rows == 0 {
+            0.0
+        } else {
+            kept as f64 / self.rows as f64
+        };
+        let logical = (self.logical_rows as f64 * selectivity)
+            .round()
+            .max(kept as f64) as u64;
         let columns: Vec<(String, Column)> = self
             .columns
             .iter()
@@ -251,7 +271,10 @@ mod tests {
     fn t() -> Table {
         Table::with_logical_rows(
             vec![
-                ("qty".into(), Column::F64(Arc::new(vec![1.0, 30.0, 10.0, 50.0]))),
+                (
+                    "qty".into(),
+                    Column::F64(Arc::new(vec![1.0, 30.0, 10.0, 50.0])),
+                ),
                 ("flag".into(), Column::I64(Arc::new(vec![0, 1, 0, 1]))),
                 (
                     "kind".into(),
@@ -332,11 +355,9 @@ mod tests {
 
     #[test]
     fn logical_smaller_than_actual_rejected() {
-        let e = Table::with_logical_rows(
-            vec![("a".into(), Column::F64(Arc::new(vec![1.0, 2.0])))],
-            1,
-        )
-        .unwrap_err();
+        let e =
+            Table::with_logical_rows(vec![("a".into(), Column::F64(Arc::new(vec![1.0, 2.0])))], 1)
+                .unwrap_err();
         assert!(format!("{e}").contains("logical"));
     }
 }

@@ -27,7 +27,10 @@ impl ArrayVal {
     #[must_use]
     pub fn new(data: Vec<f64>) -> Self {
         let logical_len = data.len() as u64;
-        ArrayVal { data: Arc::new(data), logical_len }
+        ArrayVal {
+            data: Arc::new(data),
+            logical_len,
+        }
     }
 
     /// Builds an array standing for `logical_len` paper-scale elements.
@@ -41,7 +44,10 @@ impl ArrayVal {
             logical_len >= data.len() as u64,
             "logical length must cover the materialized data"
         );
-        ArrayVal { data: Arc::new(data), logical_len }
+        ArrayVal {
+            data: Arc::new(data),
+            logical_len,
+        }
     }
 
     /// The materialized data.
@@ -91,7 +97,10 @@ impl BoolArrayVal {
     #[must_use]
     pub fn new(data: Vec<bool>) -> Self {
         let logical_len = data.len() as u64;
-        BoolArrayVal { data: Arc::new(data), logical_len }
+        BoolArrayVal {
+            data: Arc::new(data),
+            logical_len,
+        }
     }
 
     /// Builds a mask standing for `logical_len` paper-scale elements.
@@ -105,7 +114,10 @@ impl BoolArrayVal {
             logical_len >= data.len() as u64,
             "logical length must cover the materialized data"
         );
-        BoolArrayVal { data: Arc::new(data), logical_len }
+        BoolArrayVal {
+            data: Arc::new(data),
+            logical_len,
+        }
     }
 
     /// The materialized mask.

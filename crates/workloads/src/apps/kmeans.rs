@@ -37,7 +37,10 @@ pub fn workload() -> Workload {
         SOURCE,
         Arc::new(|scale| {
             let mut st = alang::Storage::new();
-            st.insert("points", clustered_points(5.3, scale, DIMS, K, ACTUAL_ROWS, SEED));
+            st.insert(
+                "points",
+                clustered_points(5.3, scale, DIMS, K, ACTUAL_ROWS, SEED),
+            );
             st.insert("centroids", initial_centroids(DIMS, K, SEED));
             st
         }),

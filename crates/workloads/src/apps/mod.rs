@@ -45,7 +45,9 @@ pub fn with_sparsemv() -> Vec<Workload> {
 /// Looks up a workload by (case-insensitive) name.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
-    with_sparsemv().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+    with_sparsemv()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -56,8 +58,10 @@ mod tests {
     fn table1_has_nine_apps_with_paper_sizes() {
         let apps = table1();
         assert_eq!(apps.len(), 9);
-        let sizes: Vec<(String, f64)> =
-            apps.iter().map(|w| (w.name().to_owned(), w.table1_gb())).collect();
+        let sizes: Vec<(String, f64)> = apps
+            .iter()
+            .map(|w| (w.name().to_owned(), w.table1_gb()))
+            .collect();
         let expect = [
             ("blackscholes", 9.1),
             ("KMeans", 5.3),
@@ -78,7 +82,9 @@ mod tests {
     #[test]
     fn all_programs_parse() {
         for w in with_sparsemv() {
-            let p = w.program().unwrap_or_else(|e| panic!("{} fails to parse: {e}", w.name()));
+            let p = w
+                .program()
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", w.name()));
             assert!(p.len() >= 3, "{} suspiciously short", w.name());
         }
     }

@@ -39,7 +39,10 @@ pub fn workload() -> Workload {
         SOURCE,
         Arc::new(|scale| {
             let mut st = alang::Storage::new();
-            st.insert("web_graph", adjacency(7.7, scale, ACTUAL_N, AVG_DEGREE, SEED));
+            st.insert(
+                "web_graph",
+                adjacency(7.7, scale, ACTUAL_N, AVG_DEGREE, SEED),
+            );
             st.insert("ranks", initial_ranks(7.7, scale, ACTUAL_N));
             st
         }),

@@ -38,7 +38,10 @@ pub fn workload() -> Workload {
         SOURCE,
         Arc::new(|scale| {
             let mut st = alang::Storage::new();
-            st.insert("sparse_matrix", adjacency(GB, scale, ACTUAL_N, AVG_DEGREE, SEED));
+            st.insert(
+                "sparse_matrix",
+                adjacency(GB, scale, ACTUAL_N, AVG_DEGREE, SEED),
+            );
             st.insert("xvec", dense_vector(GB, scale, ACTUAL_N, SEED));
             st
         }),

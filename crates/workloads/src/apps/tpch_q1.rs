@@ -93,7 +93,9 @@ mod tests {
         for name in ["sum_qty", "sum_base", "sum_disc", "sum_charge"] {
             let g = interp.var(name).expect(name).as_table().expect("table");
             match g.column("sum").expect("sum") {
-                Column::F64(v) => assert!(v.iter().all(|x| *x > 0.0), "{name} has nonpositive sums"),
+                Column::F64(v) => {
+                    assert!(v.iter().all(|x| *x > 0.0), "{name} has nonpositive sums")
+                }
                 other => panic!("wrong type {}", other.type_name()),
             }
         }

@@ -86,6 +86,9 @@ mod tests {
         let sel = interp.var("sel").expect("sel").as_array().expect("arr");
         let t = interp.var("t").expect("t").as_table().expect("table");
         let fraction = sel.logical_len() as f64 / t.logical_rows() as f64;
-        assert!(fraction < 0.06, "Q6 selects ~2% of lineitem, got {fraction}");
+        assert!(
+            fraction < 0.06,
+            "Q6 selects ~2% of lineitem, got {fraction}"
+        );
     }
 }

@@ -19,7 +19,10 @@ use rand::Rng;
 /// Panics if `trees`, `depth`, or `features` is zero.
 #[must_use]
 pub fn random_forest(trees: usize, depth: u32, features: u32, seed: u64) -> Value {
-    assert!(trees > 0 && depth > 0 && features > 0, "forest must be non-trivial");
+    assert!(
+        trees > 0 && depth > 0 && features > 0,
+        "forest must be non-trivial"
+    );
     let mut rng = rng_for(seed, 1.0);
     let mut out = Vec::with_capacity(trees);
     for _ in 0..trees {
@@ -56,7 +59,10 @@ mod tests {
         assert_eq!(f.feature_count(), 32);
         // Each depth-4 tree: 15 internal + 16 leaves = 31 nodes.
         assert_eq!(f.node_count(), 310);
-        assert!((f.mean_depth() - 5.0).abs() < 1e-9, "depth counts nodes on the path");
+        assert!(
+            (f.mean_depth() - 5.0).abs() < 1e-9,
+            "depth counts nodes on the path"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn initial_ranks(gb: f64, scale: f64, actual_n: usize) -> Value {
     let full_n = (gb * 1e9 / 8.0).sqrt();
     let logical_n = ((full_n * scale.sqrt()).round() as u64).max(actual_n as u64);
     let r = 1.0 / actual_n as f64;
-    Value::Array(alang::value::ArrayVal::with_logical(vec![r; actual_n], logical_n))
+    Value::Array(alang::value::ArrayVal::with_logical(
+        vec![r; actual_n],
+        logical_n,
+    ))
 }
 
 /// A dense input vector for SparseMV, sized like the rank vector.
@@ -103,11 +106,8 @@ mod tests {
             let m = v.as_matrix().expect("m");
             m.to_csr().logical_nnz() as f64
         };
-        let mean_log_ratio: f64 = scales
-            .iter()
-            .map(|s| (nnz_at(*s) / s).ln())
-            .sum::<f64>()
-            / scales.len() as f64;
+        let mean_log_ratio: f64 =
+            scales.iter().map(|s| (nnz_at(*s) / s).ln()).sum::<f64>() / scales.len() as f64;
         let predicted_full = mean_log_ratio.exp();
         let true_full = nnz_at(1.0);
         let factor = predicted_full / true_full;
@@ -130,6 +130,9 @@ mod tests {
     fn vector_lengths_match_graph_block() {
         let g = adjacency(6.4, 0.01, 384, 16.0, 2);
         let x = dense_vector(6.4, 0.01, 384, 2);
-        assert_eq!(g.as_matrix().expect("g").cols(), x.as_array().expect("x").len());
+        assert_eq!(
+            g.as_matrix().expect("g").cols(),
+            x.as_array().expect("x").len()
+        );
     }
 }

@@ -10,8 +10,9 @@ use rand::Rng;
 #[must_use]
 pub fn feature_matrix(gb: f64, scale: f64, cols: usize, actual_rows: usize, seed: u64) -> Value {
     let mut rng = rng_for(seed, scale);
-    let data: Vec<f64> =
-        (0..actual_rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let data: Vec<f64> = (0..actual_rows * cols)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     let logical = logical_rows(gb, cols as u64 * 8, scale, actual_rows);
     Value::Matrix(
         Matrix::with_logical(data, actual_rows, cols, logical, cols as u64)

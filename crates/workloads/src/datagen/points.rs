@@ -85,8 +85,7 @@ mod tests {
             let mut best = 0;
             let mut best_d = f64::INFINITY;
             for kc in 0..4 {
-                let d: f64 =
-                    (0..4).map(|j| (p.get(i, j) - c.get(kc, j)).powi(2)).sum();
+                let d: f64 = (0..4).map(|j| (p.get(i, j) - c.get(kc, j)).powi(2)).sum();
                 if d < best_d {
                     best_d = d;
                     best = kc;

@@ -93,7 +93,10 @@ impl fmt::Debug for Workload {
         f.debug_struct("Workload")
             .field("name", &self.name)
             .field("table1_gb", &self.table1_gb)
-            .field("lines", &self.source.lines().filter(|l| !l.trim().is_empty()).count())
+            .field(
+                "lines",
+                &self.source.lines().filter(|l| !l.trim().is_empty()).count(),
+            )
             .finish()
     }
 }

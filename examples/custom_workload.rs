@@ -78,16 +78,22 @@ worst = maxv(flagged)
 
     let config = SystemConfig::paper_default();
     let program = workload.program()?;
-    let outcome =
-        ActivePy::new().run(&program, &workload, &config, ContentionScenario::none())?;
+    let outcome = ActivePy::new().run(&program, &workload, &config, ContentionScenario::none())?;
 
-    println!("fraud-screen: {} lines, {} offloaded to the CSD", program.len(),
-             outcome.assignment.csd_lines.len());
+    println!(
+        "fraud-screen: {} lines, {} offloaded to the CSD",
+        program.len(),
+        outcome.assignment.csd_lines.len()
+    );
     for (pred, line) in outcome.predictions.iter().zip(program.lines()) {
         println!(
             "  line {:>2} [{}] {:<28} fit {} -> {:>12} B out",
             line.index,
-            if outcome.assignment.csd_lines.contains(&line.index) { "CSD " } else { "host" },
+            if outcome.assignment.csd_lines.contains(&line.index) {
+                "CSD "
+            } else {
+                "host"
+            },
             line.source.chars().take(28).collect::<String>(),
             pred.compute_curve.complexity,
             pred.cost.bytes_out,

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("no-CSD baseline:              {baseline:.2}s");
 
     // Uncontended reference run: find when half the CSD work is done.
-    let reference =
-        ActivePy::new().run(&program, &w, &config, ContentionScenario::none())?;
+    let reference = ActivePy::new().run(&program, &w, &config, ContentionScenario::none())?;
     println!(
         "ActivePy, quiet CSD:          {:.2}s ({:.2}x)",
         reference.report.total_secs,
@@ -69,10 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The other §III-D trigger: the device itself needs the CSE for a
     // high-priority request. No contention at all — the Break command in
     // the call queue forces the ISP task out at the next status update.
-    let preempting = ActivePy::with_options(
-        ActivePyOptions::default().with_preemption_at(t_half),
-    )
-    .run(&program, &w, &config, ContentionScenario::none())?;
+    let preempting = ActivePy::with_options(ActivePyOptions::default().with_preemption_at(t_half))
+        .run(&program, &w, &config, ContentionScenario::none())?;
     match preempting.report.migration {
         Some(m) => println!(
             "\nhigh-priority preemption at {t_half:.2}s: vacated after line {} ({:?}), \

@@ -20,7 +20,10 @@ impl InputSource for SensorLog {
         let logical = ((scale * 1e9) as u64).max(4000);
         let data: Vec<f64> = (0..4000).map(|i| f64::from((i * 37) % 100)).collect();
         let mut st = Storage::new();
-        st.insert("readings", Value::Array(ArrayVal::with_logical(data, logical)));
+        st.insert(
+            "readings",
+            Value::Array(ArrayVal::with_logical(data, logical)),
+        );
         st
     }
 }
@@ -36,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let config = SystemConfig::paper_default();
-    let outcome =
-        ActivePy::new().run(&program, &SensorLog, &config, ContentionScenario::none())?;
+    let outcome = ActivePy::new().run(&program, &SensorLog, &config, ContentionScenario::none())?;
 
     println!("ActivePy decided, per line:");
     for line in program.lines() {

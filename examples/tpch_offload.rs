@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // ActivePy: the same unannotated source, no search, no hints.
         let program = q.program()?;
-        let outcome =
-            ActivePy::new().run(&program, &q, &config, ContentionScenario::none())?;
+        let outcome = ActivePy::new().run(&program, &q, &config, ContentionScenario::none())?;
         let ap = outcome.report.total_secs;
 
         println!(

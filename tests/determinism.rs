@@ -28,10 +28,41 @@ fn contended_runs_are_deterministic_too() {
     let w = isp_workloads::by_name("KMeans").expect("registered");
     let program = w.program().expect("parse");
     let scenario = ContentionScenario::at_time(SimTime::from_secs(0.8), 0.1);
-    let a = ActivePy::new().run(&program, &w, &config, scenario).expect("first");
-    let b = ActivePy::new().run(&program, &w, &config, scenario).expect("second");
+    let a = ActivePy::new()
+        .run(&program, &w, &config, scenario)
+        .expect("first");
+    let b = ActivePy::new()
+        .run(&program, &w, &config, scenario)
+        .expect("second");
     assert_eq!(a.report.total_secs, b.report.total_secs);
     assert_eq!(a.report.migration, b.report.migration);
+}
+
+#[test]
+fn cached_fig5_matches_the_uncached_serial_path_byte_for_byte() {
+    let config = SystemConfig::paper_default();
+    let cached = isp_bench::experiments::fig5::run(&config);
+    let serial = isp_bench::experiments::fig5::run_serial(&config);
+    assert_eq!(
+        serde_json::to_string(&cached).expect("rows serialize"),
+        serde_json::to_string(&serial).expect("rows serialize"),
+        "plan caching and hoisting must not change a single output byte"
+    );
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_a_serial_map() {
+    let config = SystemConfig::paper_default();
+    let f = |w: isp_workloads::Workload| {
+        let program = w.program().expect("parse");
+        let outcome = ActivePy::new()
+            .run(&program, &w, &config, ContentionScenario::none())
+            .expect("run");
+        serde_json::to_string(&outcome.report).expect("report serializes")
+    };
+    let serial: Vec<String> = isp_workloads::table1().into_iter().map(f).collect();
+    let parallel = isp_bench::sweep::run_grid_with_threads(isp_workloads::table1(), 4, f);
+    assert_eq!(parallel, serial);
 }
 
 #[test]

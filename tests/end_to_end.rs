@@ -20,7 +20,10 @@ fn activepy_tracks_the_programmer_directed_optimum() {
             .run(&program, &w, &config, ContentionScenario::none())
             .expect("pipeline");
         let ap = outcome.report.total_secs;
-        assert!(ap < baseline, "{name}: ActivePy {ap} must beat the baseline {baseline}");
+        assert!(
+            ap < baseline,
+            "{name}: ActivePy {ap} must beat the baseline {baseline}"
+        );
         assert!(
             ap < pd * 1.12,
             "{name}: ActivePy {ap} strays from the hand-optimized {pd}"
@@ -44,7 +47,11 @@ fn every_workload_survives_the_full_pipeline() {
             "{}: the evaluated applications all benefit from the CSD",
             w.name()
         );
-        assert!(outcome.report.migration.is_none(), "{}: quiet CSD, no migration", w.name());
+        assert!(
+            outcome.report.migration.is_none(),
+            "{}: quiet CSD, no migration",
+            w.name()
+        );
     }
 }
 

@@ -120,10 +120,9 @@ proptest! {
 /// source (non-negative literals; identifiers that avoid the keywords).
 fn arb_expr() -> impl Strategy<Value = alang::ast::Expr> {
     use alang::ast::{BinOp, Expr, UnOp};
-    let ident = "[a-z][a-z0-9_]{0,6}"
-        .prop_filter("keywords are not identifiers", |s| {
-            !matches!(s.as_str(), "and" | "or" | "not")
-        });
+    let ident = "[a-z][a-z0-9_]{0,6}".prop_filter("keywords are not identifiers", |s| {
+        !matches!(s.as_str(), "and" | "or" | "not")
+    });
     let leaf = prop_oneof![
         (0.0..1e6f64).prop_map(Expr::Num),
         "[a-z ]{0,8}".prop_map(Expr::Str),
@@ -150,8 +149,12 @@ fn arb_expr() -> impl Strategy<Value = alang::ast::Expr> {
                 lhs: Box::new(l),
                 rhs: Box::new(r),
             }),
-            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
-                .prop_map(|(op, e)| Expr::Unary { op, expr: Box::new(e) }),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(|(op, e)| {
+                Expr::Unary {
+                    op,
+                    expr: Box::new(e),
+                }
+            }),
             ("[a-z][a-z0-9_]{0,6}", prop::collection::vec(inner, 0..3)).prop_filter_map(
                 "keywords are not function names",
                 |(name, args)| {

@@ -17,7 +17,11 @@ fn tiers_change_latency_never_results() {
         let final_var = &program.lines().last().expect("non-empty").target;
         let want = reference.var(final_var).expect("final value").clone();
         // The compiled tiers execute the same semantics.
-        for tier in [ExecTier::Compiled, ExecTier::CompiledCopyElim, ExecTier::Native] {
+        for tier in [
+            ExecTier::Compiled,
+            ExecTier::CompiledCopyElim,
+            ExecTier::Native,
+        ] {
             let compiled = alang::CompiledProgram::compile(
                 program.clone(),
                 tier,
@@ -27,7 +31,9 @@ fn tiers_change_latency_never_results() {
             // `CompiledProgram::run` re-executes through the interpreter, so
             // replay the values explicitly for the comparison.
             let mut interp = Interpreter::new(&storage);
-            interp.run(&program, compiled.copy_elim()).expect("tier run");
+            interp
+                .run(&program, compiled.copy_elim())
+                .expect("tier run");
             assert_eq!(
                 interp.var(final_var).expect("value"),
                 &want,
@@ -71,7 +77,11 @@ fn placement_never_changes_results_only_time() {
 
     // Same measured per-line data volumes, different wall clock.
     for (h, d) in host.lines.iter().zip(&isp.lines) {
-        assert_eq!(h.cost.bytes_out, d.cost.bytes_out, "line {} volume differs", h.line);
+        assert_eq!(
+            h.cost.bytes_out, d.cost.bytes_out,
+            "line {} volume differs",
+            h.line
+        );
         assert_eq!(h.cost.compute_ops, d.cost.compute_ops);
     }
     assert_ne!(host.total_secs, isp.total_secs);

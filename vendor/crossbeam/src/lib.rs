@@ -1,0 +1,110 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Exposes `crossbeam::thread::scope` with crossbeam 0.8's signature
+//! (closure receives `&Scope`, spawn closures receive `&Scope` too, and
+//! `scope` returns a `thread::Result`), implemented on top of
+//! `std::thread::scope`, which has provided equivalent structured
+//! concurrency since Rust 1.63.
+
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::thread as std_thread;
+
+    /// Scope handle passed to `scope` and to every spawned closure.
+    ///
+    /// Stores the address of the underlying `std::thread::Scope` so the
+    /// handle stays `Send` and can be re-materialized inside spawned
+    /// threads; the address is only dereferenced while the scope is alive.
+    pub struct Scope<'env> {
+        addr: usize,
+        _marker: PhantomData<fn(&'env ()) -> &'env ()>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns `Err` with the panic payload if the thread panicked.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it can
+        /// spawn further work, matching crossbeam's signature.
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let addr = self.addr;
+            // SAFETY: `addr` was taken from a live `std::thread::Scope`
+            // reference in `scope()`, and `'scope` here is bounded by the
+            // borrow of `self`, which cannot outlive the `scope()` call
+            // that owns the underlying scope.
+            let std_scope: &'scope std_thread::Scope<'scope, 'env> =
+                unsafe { &*(addr as *const std_thread::Scope<'scope, 'env>) };
+            let handle = std_scope.spawn(move || {
+                let scope = Scope {
+                    addr,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing environment; all threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if `f` or an unjoined spawned
+    /// thread panicked, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| {
+                let scope = Scope {
+                    addr: std::ptr::from_ref(s) as usize,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_surface_as_errors() {
+        let res = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(res);
+    }
+}

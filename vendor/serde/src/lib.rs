@@ -1,0 +1,506 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of serde it uses. Instead of real serde's visitor-based
+//! serializer architecture, values serialize into a [`Content`] tree —
+//! an ordered, JSON-shaped intermediate — which `vendor/serde_json`
+//! renders. The derive macros (re-exported from the sibling
+//! `serde_derive` crate) target the same two traits.
+//!
+//! Representation choices mirror real serde's external tagging so output
+//! stays familiar: unit enum variants are strings, data-carrying variants
+//! are single-entry maps, newtype structs are transparent.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// The serialized form of any value: an ordered JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also non-finite floats, as in serde_json).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// An ordered map (field order is declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items of a sequence, if this is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can serialize itself into a [`Content`] tree.
+pub trait Serialize {
+    /// The serialized form.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A value that can reconstruct itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `c` does not have the expected shape.
+    fn deserialize_content(c: &Content) -> Result<Self, Error>;
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        u64::deserialize_content(c)?
+            .try_into()
+            .map_err(|_| Error::custom("usize out of range"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        i64::deserialize_content(c)?
+            .try_into()
+            .map_err(|_| Error::custom("isize out of range"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(v) => Ok(*v),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        T::deserialize_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn serialize_content(&self) -> Content {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Content::Seq(
+            items
+                .into_iter()
+                .map(Serialize::serialize_content)
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+/// Renders a map key as the JSON object-key string. Like serde_json, only
+/// string-like and integer keys are representable.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.serialize_content() {
+        Content::Str(s) => s,
+        Content::U64(n) => n.to_string(),
+        Content::I64(n) => n.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string or integer, got {other:?}"),
+    }
+}
+
+/// Recovers a key from its object-key string, trying the key type's
+/// string form first and integer forms second (for numeric newtypes).
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize_content(&Content::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_content(&Content::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_content(&Content::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::deserialize_content(&Content::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("unparseable map key `{s}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let items = c.as_seq().ok_or_else(|| Error::custom("expected tuple"))?;
+                Ok(($($t::deserialize_content(
+                    items.get($idx).ok_or_else(|| Error::custom("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            let c = v.serialize_content();
+            assert_eq!(u64::deserialize_content(&c).unwrap(), v);
+        }
+        let c = (-5i64).serialize_content();
+        assert_eq!(i64::deserialize_content(&c).unwrap(), -5);
+        let c = 1.5f64.serialize_content();
+        assert_eq!(f64::deserialize_content(&c).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.0f64), (3, 4.0)];
+        let c = v.serialize_content();
+        assert_eq!(Vec::<(usize, f64)>::deserialize_content(&c).unwrap(), v);
+        let s: BTreeSet<usize> = [3, 1, 2].into_iter().collect();
+        let c = s.serialize_content();
+        assert_eq!(BTreeSet::<usize>::deserialize_content(&c).unwrap(), s);
+        let none: Option<u32> = None;
+        assert_eq!(none.serialize_content(), Content::Null);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let c = Content::Map(vec![
+            ("a".into(), Content::U64(1)),
+            ("b".into(), Content::Bool(true)),
+        ]);
+        assert_eq!(c.field("b"), Some(&Content::Bool(true)));
+        assert_eq!(c.field("z"), None);
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the narrow slice of serde it actually uses (see
+//! `vendor/serde`). This proc-macro crate derives that vendored crate's
+//! `Serialize`/`Deserialize` traits for plain structs and enums — named
+//! fields, tuple structs, and unit/newtype/tuple/struct enum variants.
+//! Generic types and `#[serde(...)]` attributes are intentionally
+//! unsupported: the derive fails loudly rather than guessing.
+//!
+//! No `syn`/`quote` either (also unavailable offline): the item is parsed
+//! directly from the `proc_macro::TokenStream` and the impl is emitted as
+//! a source string. That is robust precisely because only the shapes
+//! above are admitted.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => ser_named_struct(&item.name, fields),
+        Shape::TupleStruct(arity) => ser_tuple_struct(&item.name, *arity),
+        Shape::UnitStruct => {
+            format!("::serde::Content::Str(\"{}\".to_string())", item.name)
+        }
+        Shape::Enum(variants) => ser_enum(&item.name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}",
+        name = item.name,
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => de_named_struct(&item.name, fields),
+        Shape::TupleStruct(arity) => de_tuple_struct(&item.name, *arity),
+        Shape::UnitStruct => format!("Ok({})", item.name),
+        Shape::Enum(variants) => de_enum(&item.name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_content(c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        name = item.name,
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            _ => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, including expanded doc
+/// comments) and a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` / `(super)` / ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Counts tuple-struct / tuple-variant fields (top-level comma groups).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+/// Consumes a type expression up to (and including) the next top-level
+/// comma. Tracks `<`/`>` depth so commas inside generics don't split.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_struct(_name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_content(&self.{f}))"))
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn ser_tuple_struct(_name: &str, arity: usize) -> String {
+    match arity {
+        0 => "::serde::Content::Seq(vec![])".to_string(),
+        // Newtypes serialize transparently, as in real serde.
+        1 => "::serde::Serialize::serialize_content(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|k| format!("::serde::Serialize::serialize_content(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string())"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                     ::serde::Serialize::serialize_content(__f0))])"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize_content(__f{k})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Content::Seq(vec![{items}]))])",
+                        binds = binds.join(", "),
+                        items = items.join(", "),
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::serialize_content({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Content::Map(vec![{entries}]))])",
+                        entries = entries.join(", "),
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn de_named_struct(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_content(\
+                     c.field(\"{f}\").ok_or_else(|| ::serde::Error::custom(\
+                     \"missing field `{f}` of struct `{name}`\"))?)?"
+            )
+        })
+        .collect();
+    format!("Ok({name} {{ {} }})", inits.join(", "))
+}
+
+fn de_tuple_struct(name: &str, arity: usize) -> String {
+    match arity {
+        0 => format!("Ok({name}())"),
+        1 => format!("Ok({name}(::serde::Deserialize::deserialize_content(c)?))"),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::deserialize_content(items.get({k})\
+                         .ok_or_else(|| ::serde::Error::custom(\
+                         \"missing tuple field {k} of `{name}`\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = c.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected sequence for tuple struct `{name}`\"))?;\n\
+                 Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+    }
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => return Ok({name}::{vn}(\
+                     ::serde::Deserialize::deserialize_content(value)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::deserialize_content(items.get({k})\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"missing field {k} of variant `{vn}`\"))?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{ let items = value.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected sequence for variant `{vn}`\"))?; \
+                         return Ok({name}::{vn}({items})); }}",
+                        items = items.join(", "),
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize_content(\
+                                 value.field(\"{f}\").ok_or_else(|| ::serde::Error::custom(\
+                                 \"missing field `{f}` of variant `{vn}`\"))?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),",
+                        inits = inits.join(", "),
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "if let ::serde::Content::Str(tag) = c {{\n\
+             match tag.as_str() {{ {unit_arms} _ => {{}} }}\n\
+         }}\n\
+         if let Some(map) = c.as_map() {{\n\
+             if map.len() == 1 {{\n\
+                 let (tag, value) = &map[0];\n\
+                 let _ = value;\n\
+                 match tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+             }}\n\
+         }}\n\
+         Err(::serde::Error::custom(\"no variant of `{name}` matched\"))",
+        unit_arms = unit_arms.join(" "),
+        data_arms = data_arms.join(" "),
+    )
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored serde's [`Content`] tree as JSON text. Floats
+//! print through Rust's shortest-round-trip `Display`, so output is
+//! deterministic — the property the determinism tests byte-compare on.
+//! Non-finite floats render as `null`, matching real serde_json.
+
+use serde::{Content, Serialize};
+
+pub use serde::Error;
+
+/// A JSON value (the vendored serde's own content tree).
+pub type Value = Content;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the vendored data model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the vendored data model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_content(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Serializes `value` into its [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for the vendored data model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_content())
+}
+
+fn write_value(out: &mut String, v: &Content, indent: Option<&str>, depth: usize) {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(n) => write_f64(out, *n),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_f64(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Keep integral floats recognizably floating-point, like serde_json.
+    if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{n:.1}"));
+    } else {
+        out.push_str(&n.to_string());
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let v = Content::Map(vec![
+            ("name".into(), Content::Str("q6".into())),
+            ("secs".into(), Content::F64(1.25)),
+            (
+                "lines".into(),
+                Content::Seq(vec![Content::U64(0), Content::U64(1)]),
+            ),
+        ]);
+        assert_eq!(
+            to_string(&v.clone()).unwrap(),
+            r#"{"name":"q6","secs":1.25,"lines":[0,1]}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"q6\""));
+    }
+
+    #[test]
+    fn floats_are_deterministic_and_tagged() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+}
