@@ -130,6 +130,7 @@ pub fn run_plan(
         monitor: None,
         offload_overheads: true,
         preempt_at: None,
+        backend: alang::ExecBackend::default(),
     };
     let report = execute(
         &program,

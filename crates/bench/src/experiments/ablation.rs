@@ -14,10 +14,10 @@
 //! projected — end-to-end latency.
 
 use activepy::assign::{assign, assign_greedy, assign_optimal, assign_refined, Assignment};
-use activepy::exec::{execute, ExecOptions};
+use activepy::exec::{execute_lowered, ExecOptions};
 use activepy::runtime::ActivePy;
 use activepy::{OffloadPlan, PlanCache};
-use alang::{CostParams, ExecTier};
+use alang::{CostParams, ExecBackend, ExecTier};
 use csd_sim::SystemConfig;
 use serde::Serialize;
 
@@ -50,16 +50,18 @@ fn measure(plan: &OffloadPlan, config: &SystemConfig, assignment: &Assignment) -
         monitor: None,
         offload_overheads: true,
         preempt_at: None,
+        backend: ExecBackend::Vm,
     };
     let placements = assignment.placements(plan.program.len());
-    execute(
+    // The plan carries the lowered bytecode; all four variants reuse it.
+    execute_lowered(
         &plan.program,
+        &plan.lowered,
         &plan.full_storage,
         &placements,
         &mut system,
         &opts,
         None,
-        &plan.copy_elim,
     )
     .expect("plan executes")
     .total_secs

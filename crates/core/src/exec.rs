@@ -14,7 +14,9 @@ use crate::error::{ActivePyError, Result};
 use crate::estimate::LineEstimate;
 use crate::monitor::{Monitor, MonitorConfig, Observation};
 use alang::compile::CompiledProgram;
-use alang::{CostParams, ExecTier, Interpreter, LineCost, Program, Storage};
+use alang::{
+    CostParams, ExecBackend, ExecTier, Interpreter, LineCost, LoweredProgram, Program, Storage, Vm,
+};
 use csd_sim::availability::AvailabilityTrace;
 use csd_sim::contention::{ContentionScenario, Trigger};
 use csd_sim::nvme::CommandKind;
@@ -43,6 +45,10 @@ pub struct ExecOptions {
     /// the call queue, the status-update code sees it at the next chunk
     /// boundary, and the task migrates unconditionally.
     pub preempt_at: Option<f64>,
+    /// The per-line evaluation engine: the lowered register-bytecode VM
+    /// (default) or the tree-walking reference interpreter. Both produce
+    /// byte-identical reports; they differ only in repro wall-clock.
+    pub backend: ExecBackend,
 }
 
 impl ExecOptions {
@@ -57,6 +63,7 @@ impl ExecOptions {
             monitor: Some(MonitorConfig::default()),
             offload_overheads: true,
             preempt_at: None,
+            backend: ExecBackend::default(),
         }
     }
 
@@ -70,6 +77,7 @@ impl ExecOptions {
             monitor: None,
             offload_overheads: true,
             preempt_at: None,
+            backend: ExecBackend::default(),
         }
     }
 
@@ -91,6 +99,13 @@ impl ExecOptions {
     #[must_use]
     pub fn with_preemption_at(mut self, at_secs: f64) -> Self {
         self.preempt_at = Some(at_secs);
+        self
+    }
+
+    /// Selects the per-line evaluation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -222,6 +237,95 @@ pub fn execute(
     estimates: Option<&[LineEstimate]>,
     copy_elim: &[bool],
 ) -> Result<RunReport> {
+    match opts.backend {
+        ExecBackend::Vm => {
+            let lowered = alang::lower::lower_with(program, copy_elim)?;
+            let eval = Evaluator::Vm(Vm::new(&lowered, storage));
+            execute_impl(
+                program, placements, system, opts, estimates, copy_elim, eval,
+            )
+        }
+        ExecBackend::AstWalk => {
+            let eval = Evaluator::Ast(Interpreter::new(storage));
+            execute_impl(
+                program, placements, system, opts, estimates, copy_elim, eval,
+            )
+        }
+    }
+}
+
+/// Executes an already-lowered program on the bytecode VM, reusing the
+/// lowering (and its baked copy-elimination flags) across runs — how a
+/// cached [`crate::plan::OffloadPlan`] avoids re-lowering per contention
+/// scenario.
+///
+/// # Errors
+///
+/// As [`execute`]; additionally rejects a lowering whose line count does
+/// not match `program`.
+pub fn execute_lowered(
+    program: &Program,
+    lowered: &LoweredProgram,
+    storage: &Storage,
+    placements: &[EngineKind],
+    system: &mut System,
+    opts: &ExecOptions,
+    estimates: Option<&[LineEstimate]>,
+) -> Result<RunReport> {
+    if lowered.len() != program.len() {
+        return Err(ActivePyError::exec(format!(
+            "lowered program has {} lines, source has {}",
+            lowered.len(),
+            program.len()
+        )));
+    }
+    let eval = Evaluator::Vm(Vm::new(lowered, storage));
+    execute_impl(
+        program,
+        placements,
+        system,
+        opts,
+        estimates,
+        lowered.copy_elim(),
+        eval,
+    )
+}
+
+/// The per-line evaluation engine behind [`execute`]. Engine bookkeeping
+/// (variable locations, the shared address space, migration) stays
+/// name-keyed either way; only line evaluation and variable-size queries
+/// dispatch here.
+enum Evaluator<'a> {
+    Ast(Interpreter<'a>),
+    Vm(Vm<'a>),
+}
+
+impl Evaluator<'_> {
+    fn exec_line(&mut self, line: &alang::ast::Line, elim: bool) -> alang::error::Result<LineCost> {
+        match self {
+            Evaluator::Ast(interp) => interp.exec_line(line, elim),
+            Evaluator::Vm(vm) => vm.exec_line_with(line.index, elim),
+        }
+    }
+
+    fn var_bytes(&self, name: &str) -> u64 {
+        match self {
+            Evaluator::Ast(interp) => interp.var_bytes(name),
+            Evaluator::Vm(vm) => vm.var_bytes(name),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_impl(
+    program: &Program,
+    placements: &[EngineKind],
+    system: &mut System,
+    opts: &ExecOptions,
+    estimates: Option<&[LineEstimate]>,
+    copy_elim: &[bool],
+    mut eval: Evaluator<'_>,
+) -> Result<RunReport> {
     if placements.len() != program.len() {
         return Err(ActivePyError::exec(format!(
             "{} placements for {} lines",
@@ -230,7 +334,6 @@ pub fn execute(
         )));
     }
     let mut placements = placements.to_vec();
-    let mut interp = Interpreter::new(storage);
     let mut var_loc: BTreeMap<String, EngineKind> = BTreeMap::new();
     let mut vars = VarSpace::default();
     let mut lines_out = Vec::with_capacity(program.len());
@@ -276,13 +379,13 @@ pub fn execute(
                 line,
                 EngineKind::Host,
                 system,
-                &interp,
+                &eval,
                 &mut var_loc,
                 &mut vars,
                 true,
             )?;
             let elim = copy_elim.get(i).copied().unwrap_or(false);
-            let cost = interp.exec_line(line, elim)?;
+            let cost = eval.exec_line(line, elim)?;
             if cost.storage_bytes > 0 {
                 system.storage_read(EngineKind::Host, Bytes::new(cost.storage_bytes));
             }
@@ -295,7 +398,7 @@ pub fn execute(
                 system,
                 &line.target,
                 EngineKind::Host,
-                interp.var_bytes(&line.target),
+                eval.var_bytes(&line.target),
             )?;
             lines_out.push(LineOutcome {
                 line: i,
@@ -323,7 +426,7 @@ pub fn execute(
             i,
             end,
             system,
-            &mut interp,
+            &mut eval,
             &mut var_loc,
             &mut vars,
             opts,
@@ -352,7 +455,7 @@ pub fn execute(
     // The program's result must end up in host memory.
     if let Some(last) = program.lines().last() {
         if var_loc.get(&last.target) == Some(&EngineKind::Cse) {
-            let bytes = interp.var_bytes(&last.target);
+            let bytes = eval.var_bytes(&last.target);
             system.transfer(Direction::DeviceToHost, Bytes::new(bytes));
         }
     }
@@ -470,18 +573,18 @@ fn stage_inputs(
     line: &alang::ast::Line,
     engine: EngineKind,
     system: &mut System,
-    interp: &Interpreter<'_>,
+    eval: &Evaluator<'_>,
     var_loc: &mut BTreeMap<String, EngineKind>,
     vars: &mut VarSpace,
     move_allocation: bool,
 ) -> Result<u64> {
     let mut staged = 0u64;
     for name in line.inputs() {
-        let bytes = interp.var_bytes(&name);
+        let bytes = eval.var_bytes(name);
         if bytes == 0 {
             continue;
         }
-        if let Some(loc) = var_loc.get(&name) {
+        if let Some(loc) = var_loc.get(name) {
             if *loc != engine {
                 let dir = match engine {
                     EngineKind::Cse => Direction::HostToDevice,
@@ -491,7 +594,7 @@ fn stage_inputs(
                 staged += bytes;
                 var_loc.insert(name.clone(), engine);
                 if move_allocation {
-                    vars.move_to(system, &name, engine)?;
+                    vars.move_to(system, name, engine)?;
                 }
             }
         }
@@ -536,13 +639,12 @@ impl RegionRun {
     /// Stages inputs, invokes the CSD function through the queue pair, and
     /// computes the region's values and measured costs.
     #[allow(clippy::too_many_arguments)]
-    #[allow(clippy::too_many_arguments)]
     fn prepare(
         program: &Program,
         start: usize,
         end: usize,
         system: &mut System,
-        interp: &mut Interpreter<'_>,
+        eval: &mut Evaluator<'_>,
         var_loc: &mut BTreeMap<String, EngineKind>,
         vars: &mut VarSpace,
         opts: &ExecOptions,
@@ -575,13 +677,13 @@ impl RegionRun {
                     program.def_site(v).is_none_or(|d| d < start)
                         && var_loc.get(*v) == Some(&EngineKind::Host)
                 })
-                .map(|v| interp.var_bytes(v))
+                .map(|v| eval.var_bytes(v))
                 .sum();
-            let s = stage_inputs(line, EngineKind::Cse, system, interp, var_loc, vars, false)?;
+            let s = stage_inputs(line, EngineKind::Cse, system, eval, var_loc, vars, false)?;
             external_input_bytes += external;
             staged.push(s);
             let elim = copy_elim.get(line.index).copied().unwrap_or(false);
-            let cost = interp.exec_line(line, elim)?;
+            let cost = eval.exec_line(line, elim)?;
             ops.push(cost.effective_ops(opts.tier, &opts.params));
             costs.push(cost);
             targets.push(line.target.clone());
@@ -840,7 +942,8 @@ fn install_contention(system: &mut System, opts: &ExecOptions, at: csd_sim::unit
     }
 }
 
-/// Convenience: runs the whole program on the host (the no-CSD baseline).
+/// Convenience: runs the whole program on the host (the no-CSD baseline)
+/// using the default (VM) backend.
 ///
 /// # Errors
 ///
@@ -853,6 +956,32 @@ pub fn execute_all_host(
     params: &CostParams,
     copy_elim: &[bool],
 ) -> Result<RunReport> {
+    execute_all_host_with(
+        program,
+        storage,
+        system,
+        tier,
+        params,
+        copy_elim,
+        ExecBackend::default(),
+    )
+}
+
+/// As [`execute_all_host`], on an explicit evaluation backend.
+///
+/// # Errors
+///
+/// Propagates execution failures.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_all_host_with(
+    program: &Program,
+    storage: &Storage,
+    system: &mut System,
+    tier: ExecTier,
+    params: &CostParams,
+    copy_elim: &[bool],
+    backend: ExecBackend,
+) -> Result<RunReport> {
     let placements = vec![EngineKind::Host; program.len()];
     let opts = ExecOptions {
         tier,
@@ -861,6 +990,7 @@ pub fn execute_all_host(
         monitor: None,
         offload_overheads: false,
         preempt_at: None,
+        backend,
     };
     execute(
         program,
@@ -1218,6 +1348,107 @@ mod tests {
         )
         .expect("run");
         assert!(rep.migration.is_none());
+    }
+
+    /// Runs the same configuration on both backends and asserts
+    /// byte-identical reports (`RunReport` derives `PartialEq`, and the
+    /// simulator is deterministic, so any engine divergence shows up).
+    fn assert_backend_parity(opts: &ExecOptions, csd: &[usize], copy_elim: &[bool]) {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(csd, 4);
+        let estimates: Vec<LineEstimate> = (0..4)
+            .map(|line| LineEstimate {
+                line,
+                ct_host: 0.5,
+                ct_device: 0.3,
+                d_in: 1_000_000,
+                d_out: 1_000_000,
+                ops: 1_000_000_000,
+            })
+            .collect();
+        let mut vm_sys = SystemConfig::paper_default().build();
+        let vm = execute(
+            &program,
+            &st,
+            &pl,
+            &mut vm_sys,
+            &opts.clone().with_backend(ExecBackend::Vm),
+            Some(&estimates),
+            copy_elim,
+        )
+        .expect("vm run");
+        let mut ast_sys = SystemConfig::paper_default().build();
+        let ast = execute(
+            &program,
+            &st,
+            &pl,
+            &mut ast_sys,
+            &opts.clone().with_backend(ExecBackend::AstWalk),
+            Some(&estimates),
+            copy_elim,
+        )
+        .expect("ast run");
+        assert_eq!(vm, ast);
+    }
+
+    #[test]
+    fn backends_agree_on_host_only_runs() {
+        assert_backend_parity(&ExecOptions::native_static(), &[], &[]);
+    }
+
+    #[test]
+    fn backends_agree_on_full_offload_with_copy_elim() {
+        assert_backend_parity(
+            &ExecOptions::activepy(),
+            &[0, 1, 2, 3],
+            &[false, true, true, true],
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_split_placements_under_contention() {
+        assert_backend_parity(
+            &ExecOptions::activepy().with_scenario(ContentionScenario::after_progress(0.5, 0.01)),
+            &[0, 2],
+            &[],
+        );
+    }
+
+    #[test]
+    fn execute_lowered_matches_execute() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(&[0, 1], 4);
+        let flags = [false, true, true, true];
+        let lowered = alang::lower::lower_with(&program, &flags).expect("lower");
+        let opts = ExecOptions::native_static();
+        let mut sys_a = SystemConfig::paper_default().build();
+        let via_lowered =
+            execute_lowered(&program, &lowered, &st, &pl, &mut sys_a, &opts, None).expect("run");
+        let mut sys_b = SystemConfig::paper_default().build();
+        let direct = execute(&program, &st, &pl, &mut sys_b, &opts, None, &flags).expect("run");
+        assert_eq!(via_lowered, direct);
+    }
+
+    #[test]
+    fn lowered_line_count_mismatch_rejected() {
+        let program = parse(SRC).expect("parse");
+        let short = parse("a = 1\n").expect("parse");
+        let lowered = alang::lower::lower(&short).expect("lower");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let e = execute_lowered(
+            &program,
+            &lowered,
+            &st,
+            &placements(&[], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(e, ActivePyError::Exec { .. }));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::fit::LinePrediction;
 use crate::runtime::ActivePy;
 use crate::sampling::{InputSource, SamplingReport};
 use alang::builtins::Storage;
-use alang::Program;
+use alang::{LoweredProgram, Program};
 use csd_sim::SystemConfig;
 
 /// Host wall-clock spent in each planning phase, in nanoseconds.
@@ -67,6 +67,10 @@ impl PlanTimings {
 pub struct OffloadPlan {
     /// The planned program.
     pub program: Program,
+    /// The program lowered to register bytecode with this plan's
+    /// copy-elimination flags baked in — generated once while planning,
+    /// reused by every execution of the plan.
+    pub lowered: LoweredProgram,
     /// Raw sampling measurements at the down-scales.
     pub sampling: SamplingReport,
     /// Full-scale predictions with their fitted curves.
@@ -197,7 +201,10 @@ impl PlanCache {
     /// structs is deterministic, which is all a cache key needs.
     fn fingerprint(runtime: &ActivePy, config: &SystemConfig) -> u64 {
         let opts = runtime.options();
-        let text = format!("{config:?}|{:?}|{:?}", opts.scales, opts.params);
+        let text = format!(
+            "{config:?}|{:?}|{:?}|{:?}",
+            opts.scales, opts.params, opts.backend
+        );
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in text.as_bytes() {
             hash ^= u64::from(*byte);

@@ -13,14 +13,14 @@ use std::time::Instant;
 use crate::assign::{assign_refined, Assignment};
 use crate::error::Result;
 use crate::estimate::{estimate_lines, Calibration, LineEstimate};
-use crate::exec::{execute, ExecOptions, RunReport};
+use crate::exec::{execute, execute_lowered, ExecOptions, RunReport};
 use crate::fit::{predict_lines, LinePrediction};
 use crate::monitor::MonitorConfig;
 use crate::plan::{OffloadPlan, PlanTimings};
-use crate::sampling::{paper_scales, run_sampling, InputSource, SamplingReport};
+use crate::sampling::{paper_scales, run_sampling_with, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
 use alang::copyelim::eliminable_lines;
-use alang::{CostParams, ExecTier, Program};
+use alang::{CostParams, ExecBackend, ExecTier, Program};
 use csd_sim::contention::ContentionScenario;
 use csd_sim::units::Duration;
 use csd_sim::SystemConfig;
@@ -41,6 +41,11 @@ pub struct ActivePyOptions {
     /// signals through the command pages and the ISP task vacates at the
     /// next status update.
     pub preempt_at: Option<f64>,
+    /// The per-line evaluation engine used for sampling runs and plan
+    /// execution: the lowered register-bytecode VM (default) or the
+    /// tree-walking reference interpreter. The two produce byte-identical
+    /// outcomes.
+    pub backend: ExecBackend,
 }
 
 impl Default for ActivePyOptions {
@@ -51,6 +56,7 @@ impl Default for ActivePyOptions {
             monitor: Some(MonitorConfig::default()),
             charge_pipeline_overheads: true,
             preempt_at: None,
+            backend: ExecBackend::default(),
         }
     }
 }
@@ -67,6 +73,13 @@ impl ActivePyOptions {
     #[must_use]
     pub fn with_preemption_at(mut self, at_secs: f64) -> Self {
         self.preempt_at = Some(at_secs);
+        self
+    }
+
+    /// Selects the per-line evaluation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -163,7 +176,8 @@ impl ActivePy {
 
         // 1. Sampling phase on down-scaled inputs.
         let phase = Instant::now();
-        let sampling = run_sampling(program, input, &self.options.scales)?;
+        let sampling =
+            run_sampling_with(program, input, &self.options.scales, self.options.backend)?;
         let sampling_secs = self.sampling_secs(&sampling, config);
         timings.sampling_nanos = phase_nanos(phase);
 
@@ -180,6 +194,9 @@ impl ActivePy {
         //    observed (the generated code's optimization), then estimate
         //    per-line host/device times for that code and run Algorithm 1.
         let copy_elim = eliminable_lines(program, &sampling.dataset_types);
+        // Lower once while planning: every execution variant of this plan
+        // (per scenario, with or without migration) reuses the bytecode.
+        let lowered = alang::lower::lower_with(program, &copy_elim)?;
         let estimates = estimate_lines(
             &predictions,
             ExecTier::CompiledCopyElim,
@@ -209,6 +226,7 @@ impl ActivePy {
 
         Ok(OffloadPlan {
             program: program.clone(),
+            lowered,
             sampling,
             predictions,
             calibration,
@@ -246,17 +264,30 @@ impl ActivePy {
             monitor: self.options.monitor,
             offload_overheads: true,
             preempt_at: self.options.preempt_at,
+            backend: self.options.backend,
         };
         let placements = plan.assignment.placements(plan.program.len());
-        let report = execute(
-            &plan.program,
-            &plan.full_storage,
-            &placements,
-            &mut system,
-            &opts,
-            Some(&plan.estimates),
-            &plan.copy_elim,
-        )?;
+        let report = match self.options.backend {
+            // The plan carries the lowering; don't re-lower per scenario.
+            ExecBackend::Vm => execute_lowered(
+                &plan.program,
+                &plan.lowered,
+                &plan.full_storage,
+                &placements,
+                &mut system,
+                &opts,
+                Some(&plan.estimates),
+            )?,
+            ExecBackend::AstWalk => execute(
+                &plan.program,
+                &plan.full_storage,
+                &placements,
+                &mut system,
+                &opts,
+                Some(&plan.estimates),
+                &plan.copy_elim,
+            )?,
+        };
 
         Ok(ActivePyOutcome {
             report,
@@ -391,6 +422,28 @@ s = sum(b)
             )
             .expect("pipeline");
         assert!(outcome.report.migration.is_none());
+    }
+
+    #[test]
+    fn pipeline_outcomes_are_identical_across_backends() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        for scenario in [
+            ContentionScenario::none(),
+            ContentionScenario::after_progress(0.5, 0.1),
+        ] {
+            let vm = ActivePy::with_options(
+                ActivePyOptions::default().with_backend(alang::ExecBackend::Vm),
+            )
+            .run(&program, &input(), &config, scenario)
+            .expect("vm pipeline");
+            let ast = ActivePy::with_options(
+                ActivePyOptions::default().with_backend(alang::ExecBackend::AstWalk),
+            )
+            .run(&program, &input(), &config, scenario)
+            .expect("ast pipeline");
+            assert_eq!(vm, ast, "pipeline diverged under {scenario:?}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::error::{ActivePyError, Result};
 use alang::builtins::Storage;
 use alang::copyelim::{DatasetTypes, StaticType};
-use alang::{Interpreter, LineCost, Program, Value};
+use alang::{ExecBackend, Interpreter, LineCost, Program, Value, Vm};
 use serde::{Deserialize, Serialize};
 
 /// A provider of program inputs at arbitrary scale.
@@ -76,7 +76,7 @@ pub struct SamplingReport {
 }
 
 /// Runs the sampling phase: executes `program` once per scale factor and
-/// collects per-line statistics.
+/// collects per-line statistics. Uses the default (VM) backend.
 ///
 /// # Errors
 ///
@@ -86,9 +86,32 @@ pub fn run_sampling(
     input: &dyn InputSource,
     scales: &[f64],
 ) -> Result<SamplingReport> {
+    run_sampling_with(program, input, scales, ExecBackend::default())
+}
+
+/// Runs the sampling phase on a specific execution backend.
+///
+/// With [`ExecBackend::Vm`], the program is lowered once and each sample
+/// run reuses the same bytecode; the AST walker re-walks the tree per
+/// scale. Both produce identical reports.
+///
+/// # Errors
+///
+/// Returns an error if `scales` is empty, lowering fails, or any sample
+/// run fails.
+pub fn run_sampling_with(
+    program: &Program,
+    input: &dyn InputSource,
+    scales: &[f64],
+    backend: ExecBackend,
+) -> Result<SamplingReport> {
     if scales.is_empty() {
         return Err(ActivePyError::sampling("no sampling scales provided"));
     }
+    let lowered = match backend {
+        ExecBackend::Vm => Some(alang::lower::lower(program)?),
+        ExecBackend::AstWalk => None,
+    };
     let mut lines: Vec<LineSamples> = (0..program.len())
         .map(|line| LineSamples {
             line,
@@ -105,10 +128,12 @@ pub fn run_sampling(
         }
         let storage = input.storage_at(scale);
         dataset_types.extend(observe_dataset_types(&storage));
-        let mut interp = Interpreter::new(&storage);
-        // Sample runs execute the unoptimized interpreted program — the
-        // original code, before any code generation.
-        let records = interp.run(program, &[])?;
+        // Sample runs execute the unoptimized program — the original code,
+        // before any code generation — with copy elimination disabled.
+        let records = match &lowered {
+            Some(lowered) => Vm::new(lowered, &storage).run()?,
+            None => Interpreter::new(&storage).run(program, &[])?,
+        };
         for rec in records {
             total += rec.cost;
             lines[rec.index].points.push(SamplePoint {
@@ -218,6 +243,21 @@ mod tests {
         // Four samples at <= 2^-7 each: total sampling compute should be a
         // few percent of the real run.
         assert!((rep.total_sampling_cost.compute_ops as f64) < 0.05 * full.compute_ops as f64);
+    }
+
+    #[test]
+    fn backends_produce_identical_reports() {
+        let program = parse("a = scan('v')\nb = a * 2\ns = sum(b)\n").expect("parse");
+        let ast = run_sampling_with(
+            &program,
+            &linear_input(),
+            &paper_scales(),
+            ExecBackend::AstWalk,
+        )
+        .expect("ast");
+        let vm = run_sampling_with(&program, &linear_input(), &paper_scales(), ExecBackend::Vm)
+            .expect("vm");
+        assert_eq!(ast, vm);
     }
 
     #[test]

@@ -199,19 +199,45 @@ pub struct Line {
     pub expr: Expr,
     /// The original source text (for reports).
     pub source: String,
+    /// Free variables of `expr`, computed once at construction.
+    inputs: BTreeSet<String>,
+    /// Whether `expr` contains a `scan(...)`, computed once at construction.
+    scans_storage: bool,
 }
 
 impl Line {
-    /// Variables this line reads.
+    /// Builds a line, precomputing its input set and storage-access flag so
+    /// per-line execution never re-walks the expression tree.
     #[must_use]
-    pub fn inputs(&self) -> BTreeSet<String> {
-        self.expr.free_vars()
+    pub fn new(index: usize, target: String, expr: Expr, source: String) -> Self {
+        let inputs = expr.free_vars();
+        let scans_storage = expr.contains_scan();
+        Line {
+            index,
+            target,
+            expr,
+            source,
+            inputs,
+            scans_storage,
+        }
     }
 
-    /// Whether this line touches stored data.
+    /// Variables this line reads (cached at parse time).
+    #[must_use]
+    pub fn inputs(&self) -> &BTreeSet<String> {
+        &self.inputs
+    }
+
+    /// The variable this line defines (its only output).
+    #[must_use]
+    pub fn outputs(&self) -> &str {
+        &self.target
+    }
+
+    /// Whether this line touches stored data (cached at parse time).
     #[must_use]
     pub fn accesses_storage(&self) -> bool {
-        self.expr.contains_scan()
+        self.scans_storage
     }
 }
 

@@ -157,10 +157,176 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "gram",
 ];
 
+/// A builtin kernel: already-evaluated arguments plus storage in, value and
+/// analytic cost out. Function pointers (not trait objects) so the lowered
+/// VM dispatches with one indirect call and zero allocation.
+pub type KernelFn = fn(&[Value], &Storage) -> Result<BuiltinOutput>;
+
+struct Kernel {
+    name: &'static str,
+    func: KernelFn,
+}
+
+/// Dispatch table, index-aligned with [`BUILTIN_NAMES`] (asserted by a test).
+static KERNELS: &[Kernel] = &[
+    Kernel {
+        name: "scan",
+        func: k_scan,
+    },
+    Kernel {
+        name: "col",
+        func: k_col,
+    },
+    Kernel {
+        name: "filter",
+        func: k_filter,
+    },
+    Kernel {
+        name: "select",
+        func: k_select,
+    },
+    Kernel {
+        name: "len",
+        func: k_len,
+    },
+    Kernel {
+        name: "sum",
+        func: k_sum,
+    },
+    Kernel {
+        name: "mean",
+        func: k_mean,
+    },
+    Kernel {
+        name: "minv",
+        func: k_minv,
+    },
+    Kernel {
+        name: "maxv",
+        func: k_maxv,
+    },
+    Kernel {
+        name: "count",
+        func: k_count,
+    },
+    Kernel {
+        name: "exp",
+        func: k_exp,
+    },
+    Kernel {
+        name: "log",
+        func: k_log,
+    },
+    Kernel {
+        name: "sqrt",
+        func: k_sqrt,
+    },
+    Kernel {
+        name: "erf",
+        func: k_erf,
+    },
+    Kernel {
+        name: "abs",
+        func: k_abs,
+    },
+    Kernel {
+        name: "sort",
+        func: k_sort,
+    },
+    Kernel {
+        name: "dot",
+        func: k_dot,
+    },
+    Kernel {
+        name: "where",
+        func: k_where,
+    },
+    Kernel {
+        name: "group_sum",
+        func: group_sum,
+    },
+    Kernel {
+        name: "matmul",
+        func: k_matmul,
+    },
+    Kernel {
+        name: "gemm_batch",
+        func: gemm_batch,
+    },
+    Kernel {
+        name: "to_csr",
+        func: k_to_csr,
+    },
+    Kernel {
+        name: "spmv",
+        func: k_spmv,
+    },
+    Kernel {
+        name: "pagerank_step",
+        func: k_pagerank_step,
+    },
+    Kernel {
+        name: "kmeans_assign",
+        func: kmeans_assign,
+    },
+    Kernel {
+        name: "kmeans_update",
+        func: kmeans_update,
+    },
+    Kernel {
+        name: "forest_score",
+        func: forest_score,
+    },
+    Kernel {
+        name: "gather",
+        func: k_gather,
+    },
+    Kernel {
+        name: "frob",
+        func: k_frob,
+    },
+    Kernel {
+        name: "gram",
+        func: k_gram,
+    },
+];
+
+/// Dense identifier of a builtin kernel: an index into the dispatch table,
+/// resolved once at lower time so execution never re-matches name strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(u16);
+
+impl KernelId {
+    /// The kernel's surface name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        KERNELS[self.0 as usize].name
+    }
+
+    /// Invokes the kernel on already-evaluated arguments.
+    ///
+    /// # Errors
+    ///
+    /// Arity, type, and kernel-specific shape errors, exactly as
+    /// [`call`] with the same name would produce.
+    pub fn invoke(self, args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
+        (KERNELS[self.0 as usize].func)(args, storage)
+    }
+}
+
+/// Resolves a builtin name to its dense kernel id, if registered.
+#[must_use]
+pub fn kernel_id(name: &str) -> Option<KernelId> {
+    KERNELS
+        .iter()
+        .position(|k| k.name == name)
+        .map(|i| KernelId(i as u16))
+}
+
 /// Whether `name` is a registered builtin.
 #[must_use]
 pub fn is_builtin(name: &str) -> bool {
-    BUILTIN_NAMES.contains(&name)
+    kernel_id(name).is_some()
 }
 
 /// Invokes builtin `name` on already-evaluated `args`.
@@ -171,234 +337,275 @@ pub fn is_builtin(name: &str) -> bool {
 /// function returns [`LangError::Runtime`] for unknown names), arity errors,
 /// type errors, and any kernel-specific shape errors.
 pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
-    match name {
-        "scan" => {
-            let [a] = expect_args::<1>(name, args)?;
-            let value = storage.get(a.as_str()?)?.clone();
-            let bytes = value.virtual_bytes();
-            Ok(BuiltinOutput {
-                value,
-                ops: 0,
-                storage_bytes: bytes,
-            })
-        }
-        "col" => {
-            let [t, c] = expect_args::<2>(name, args)?;
-            let table = t.as_table()?;
-            let column = table.column(c.as_str()?)?;
-            let data: Vec<f64> = match column {
-                Column::F64(v) => v.to_vec(),
-                Column::I64(v) => v.iter().map(|x| *x as f64).collect(),
-                Column::Dict { codes, .. } => codes.iter().map(|c| f64::from(*c)).collect(),
-            };
-            let arr = ArrayVal::with_logical(data, table.logical_rows());
-            Ok(BuiltinOutput::new(
-                Value::Array(arr),
-                table.logical_rows() * weights::VIEW,
-            ))
-        }
-        "filter" => {
-            let [t, m] = expect_args::<2>(name, args)?;
-            let table = t.as_table()?;
-            let mask = m.as_bool_array()?;
-            let out = table.filter(mask.data())?;
-            let ops = table.logical_rows() * (1 + table.column_count() as u64 * weights::GATHER);
-            Ok(BuiltinOutput::new(Value::Table(out), ops))
-        }
-        "select" => {
-            let [a, m] = expect_args::<2>(name, args)?;
-            let arr = a.as_array()?;
-            let mask = m.as_bool_array()?;
-            if arr.len() != mask.len() {
-                return Err(LangError::runtime(format!(
-                    "select: array has {} elements, mask has {}",
-                    arr.len(),
-                    mask.len()
-                )));
-            }
-            let data: Vec<f64> = arr
-                .data()
-                .iter()
-                .zip(mask.data())
-                .filter(|(_, k)| **k)
-                .map(|(x, _)| *x)
-                .collect();
-            let logical = ((arr.logical_len() as f64 * mask.selectivity()).round() as u64)
-                .max(data.len() as u64);
-            Ok(BuiltinOutput::new(
-                Value::Array(ArrayVal::with_logical(data, logical)),
-                arr.logical_len() * weights::SELECT,
-            ))
-        }
-        "len" => {
-            let [x] = expect_args::<1>(name, args)?;
-            Ok(BuiltinOutput::new(Value::Num(x.logical_elems() as f64), 1))
-        }
-        "sum" | "mean" | "minv" | "maxv" => reduce(name, args),
-        "count" => {
-            let [m] = expect_args::<1>(name, args)?;
-            let mask = m.as_bool_array()?;
-            let logical_count = (mask.logical_len() as f64 * mask.selectivity()).round();
-            Ok(BuiltinOutput::new(
-                Value::Num(logical_count),
-                mask.logical_len() * weights::REDUCE,
-            ))
-        }
-        "exp" => unary_math(name, args, f64::exp, weights::TRANSCENDENTAL),
-        "log" => unary_math(name, args, f64::ln, weights::TRANSCENDENTAL),
-        "sqrt" => unary_math(name, args, f64::sqrt, weights::SQRT),
-        "erf" => unary_math(name, args, erf, weights::ERF),
-        "abs" => unary_math(name, args, f64::abs, weights::VIEW),
-        "sort" => {
-            let [a] = expect_args::<1>(name, args)?;
-            let arr = a.as_array()?;
-            let mut data = arr.data().to_vec();
-            data.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in sort inputs"));
-            let n = arr.logical_len();
-            let ops = weights::SORT * n * (n.max(2) as f64).log2().ceil() as u64;
-            Ok(BuiltinOutput::new(
-                Value::Array(ArrayVal::with_logical(data, n)),
-                ops,
-            ))
-        }
-        "dot" => {
-            let [a, b] = expect_args::<2>(name, args)?;
-            let (x, y) = (a.as_array()?, b.as_array()?);
-            if x.len() != y.len() {
-                return Err(LangError::runtime("dot: length mismatch"));
-            }
-            let v: f64 = x.data().iter().zip(y.data()).map(|(p, q)| p * q).sum();
-            Ok(BuiltinOutput::new(
-                Value::Num(v),
-                x.logical_len() * weights::REDUCE,
-            ))
-        }
-        "where" => {
-            let [m, a, b] = expect_args::<3>(name, args)?;
-            let mask = m.as_bool_array()?;
-            let (x, y) = (a.as_array()?, b.as_array()?);
-            if mask.len() != x.len() || x.len() != y.len() {
-                return Err(LangError::runtime("where: length mismatch"));
-            }
-            let data: Vec<f64> = mask
-                .data()
-                .iter()
-                .zip(x.data().iter().zip(y.data()))
-                .map(|(k, (p, q))| if *k { *p } else { *q })
-                .collect();
-            Ok(BuiltinOutput::new(
-                Value::Array(ArrayVal::with_logical(data, x.logical_len())),
-                x.logical_len() * weights::SELECT,
-            ))
-        }
-        "group_sum" => group_sum(args),
-        "matmul" => {
-            let [a, b] = expect_args::<2>(name, args)?;
-            let (x, y) = (a.as_matrix()?, b.as_matrix()?);
-            let out = x.matmul(y)?;
-            let ops = weights::MADD * x.logical_rows() * x.logical_cols() * y.logical_cols();
-            Ok(BuiltinOutput::new(Value::Matrix(out), ops))
-        }
-        "gemm_batch" => gemm_batch(args),
-        "to_csr" => {
-            let [a] = expect_args::<1>(name, args)?;
-            let m = a.as_matrix()?;
-            let csr = m.to_csr();
-            let ops = weights::TO_CSR * m.logical_rows() * m.logical_cols();
-            Ok(BuiltinOutput::new(Value::Csr(csr), ops))
-        }
-        "spmv" => {
-            let [a, x] = expect_args::<2>(name, args)?;
-            let csr = a.as_csr()?;
-            let vec = x.as_array()?;
-            let y = csr.spmv(vec.data())?;
-            let ops = weights::SPMV * csr.logical_nnz();
-            Ok(BuiltinOutput::new(
-                Value::Array(ArrayVal::with_logical(y, csr.logical_rows())),
-                ops,
-            ))
-        }
-        "pagerank_step" => {
-            let [a, r, d] = expect_args::<3>(name, args)?;
-            let csr = a.as_csr()?;
-            let ranks = r.as_array()?;
-            let damping = d.as_num()?;
-            let next = csr.pagerank_step(ranks.data(), damping)?;
-            let ops = weights::PR_EDGE * csr.logical_nnz() + weights::PR_NODE * csr.logical_rows();
-            Ok(BuiltinOutput::new(
-                Value::Array(ArrayVal::with_logical(next, csr.logical_rows())),
-                ops,
-            ))
-        }
-        "kmeans_assign" => kmeans_assign(args),
-        "kmeans_update" => kmeans_update(args),
-        "forest_score" => forest_score(args),
-        "gather" => {
-            // An array-index join: `gather(values, idx)[i] = values[idx[i]]`
-            // — how a dense-key hash join (TPC-H Q14's lineitem ⋈ part)
-            // probes its build side.
-            let [v, idx] = expect_args::<2>(name, args)?;
-            let values = v.as_array()?;
-            let indices = idx.as_array()?;
-            let mut out = Vec::with_capacity(indices.len());
-            for raw in indices.data() {
-                let i = *raw as usize;
-                let x = values.data().get(i).copied().ok_or_else(|| {
-                    LangError::runtime(format!(
-                        "gather: index {i} out of range for {} values",
-                        values.len()
-                    ))
-                })?;
-                out.push(x);
-            }
-            Ok(BuiltinOutput::new(
-                Value::Array(ArrayVal::with_logical(out, indices.logical_len())),
-                indices.logical_len() * weights::SELECT,
-            ))
-        }
-        "frob" => {
-            let [a] = expect_args::<1>(name, args)?;
-            let m = a.as_matrix()?;
-            let ss: f64 = m.data().iter().map(|x| x * x).sum();
-            // Extrapolate the sum of squares to logical scale, like `sum`.
-            let ratio =
-                (m.logical_rows() * m.logical_cols()) as f64 / (m.rows() * m.cols()).max(1) as f64;
-            Ok(BuiltinOutput::new(
-                Value::Num((ss * ratio).sqrt()),
-                m.logical_rows() * m.logical_cols() * weights::REDUCE,
-            ))
-        }
-        "gram" => {
-            // `gram(M) = Mᵀ·M`, the d×d Gram matrix of an n×d feature
-            // block; the classic second stage after a projection GEMM.
-            let [a] = expect_args::<1>(name, args)?;
-            let m = a.as_matrix()?;
-            let (n, d) = (m.rows(), m.cols());
-            let mut out = vec![0.0; d * d];
-            for r in 0..n {
-                for i in 0..d {
-                    let x = m.get(r, i);
-                    if x == 0.0 {
-                        continue;
-                    }
-                    for j in 0..d {
-                        out[i * d + j] += x * m.get(r, j);
-                    }
-                }
-            }
-            // Scale accumulated sums to logical row count.
-            let ratio = m.logical_rows() as f64 / n.max(1) as f64;
-            for v in &mut out {
-                *v *= ratio;
-            }
-            let ops = weights::MADD * m.logical_rows() * (d as u64) * (d as u64);
-            Ok(BuiltinOutput::new(
-                Value::Matrix(Matrix::new(out, d, d)?),
-                ops,
-            ))
-        }
-        other => Err(LangError::runtime(format!("`{other}` is not a builtin"))),
+    match kernel_id(name) {
+        Some(id) => id.invoke(args, storage),
+        None => Err(LangError::runtime(format!("`{name}` is not a builtin"))),
     }
+}
+
+fn k_scan(args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
+    let [a] = expect_args::<1>("scan", args)?;
+    let value = storage.get(a.as_str()?)?.clone();
+    let bytes = value.virtual_bytes();
+    Ok(BuiltinOutput {
+        value,
+        ops: 0,
+        storage_bytes: bytes,
+    })
+}
+
+fn k_col(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [t, c] = expect_args::<2>("col", args)?;
+    let table = t.as_table()?;
+    let column = table.column(c.as_str()?)?;
+    let data: Vec<f64> = match column {
+        Column::F64(v) => v.to_vec(),
+        Column::I64(v) => v.iter().map(|x| *x as f64).collect(),
+        Column::Dict { codes, .. } => codes.iter().map(|c| f64::from(*c)).collect(),
+    };
+    let arr = ArrayVal::with_logical(data, table.logical_rows());
+    Ok(BuiltinOutput::new(
+        Value::Array(arr),
+        table.logical_rows() * weights::VIEW,
+    ))
+}
+
+fn k_filter(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [t, m] = expect_args::<2>("filter", args)?;
+    let table = t.as_table()?;
+    let mask = m.as_bool_array()?;
+    let out = table.filter(mask.data())?;
+    let ops = table.logical_rows() * (1 + table.column_count() as u64 * weights::GATHER);
+    Ok(BuiltinOutput::new(Value::Table(out), ops))
+}
+
+fn k_select(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a, m] = expect_args::<2>("select", args)?;
+    let arr = a.as_array()?;
+    let mask = m.as_bool_array()?;
+    if arr.len() != mask.len() {
+        return Err(LangError::runtime(format!(
+            "select: array has {} elements, mask has {}",
+            arr.len(),
+            mask.len()
+        )));
+    }
+    let data: Vec<f64> = arr
+        .data()
+        .iter()
+        .zip(mask.data())
+        .filter(|(_, k)| **k)
+        .map(|(x, _)| *x)
+        .collect();
+    let logical =
+        ((arr.logical_len() as f64 * mask.selectivity()).round() as u64).max(data.len() as u64);
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(data, logical)),
+        arr.logical_len() * weights::SELECT,
+    ))
+}
+
+fn k_len(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [x] = expect_args::<1>("len", args)?;
+    Ok(BuiltinOutput::new(Value::Num(x.logical_elems() as f64), 1))
+}
+
+fn k_sum(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    reduce("sum", args)
+}
+
+fn k_mean(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    reduce("mean", args)
+}
+
+fn k_minv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    reduce("minv", args)
+}
+
+fn k_maxv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    reduce("maxv", args)
+}
+
+fn k_count(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [m] = expect_args::<1>("count", args)?;
+    let mask = m.as_bool_array()?;
+    let logical_count = (mask.logical_len() as f64 * mask.selectivity()).round();
+    Ok(BuiltinOutput::new(
+        Value::Num(logical_count),
+        mask.logical_len() * weights::REDUCE,
+    ))
+}
+
+fn k_exp(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    unary_math("exp", args, f64::exp, weights::TRANSCENDENTAL)
+}
+
+fn k_log(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    unary_math("log", args, f64::ln, weights::TRANSCENDENTAL)
+}
+
+fn k_sqrt(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    unary_math("sqrt", args, f64::sqrt, weights::SQRT)
+}
+
+fn k_erf(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    unary_math("erf", args, erf, weights::ERF)
+}
+
+fn k_abs(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    unary_math("abs", args, f64::abs, weights::VIEW)
+}
+
+fn k_sort(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a] = expect_args::<1>("sort", args)?;
+    let arr = a.as_array()?;
+    let mut data = arr.data().to_vec();
+    data.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in sort inputs"));
+    let n = arr.logical_len();
+    let ops = weights::SORT * n * (n.max(2) as f64).log2().ceil() as u64;
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(data, n)),
+        ops,
+    ))
+}
+
+fn k_dot(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a, b] = expect_args::<2>("dot", args)?;
+    let (x, y) = (a.as_array()?, b.as_array()?);
+    if x.len() != y.len() {
+        return Err(LangError::runtime("dot: length mismatch"));
+    }
+    let v: f64 = x.data().iter().zip(y.data()).map(|(p, q)| p * q).sum();
+    Ok(BuiltinOutput::new(
+        Value::Num(v),
+        x.logical_len() * weights::REDUCE,
+    ))
+}
+
+fn k_where(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [m, a, b] = expect_args::<3>("where", args)?;
+    let mask = m.as_bool_array()?;
+    let (x, y) = (a.as_array()?, b.as_array()?);
+    if mask.len() != x.len() || x.len() != y.len() {
+        return Err(LangError::runtime("where: length mismatch"));
+    }
+    let data: Vec<f64> = mask
+        .data()
+        .iter()
+        .zip(x.data().iter().zip(y.data()))
+        .map(|(k, (p, q))| if *k { *p } else { *q })
+        .collect();
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(data, x.logical_len())),
+        x.logical_len() * weights::SELECT,
+    ))
+}
+
+fn k_matmul(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a, b] = expect_args::<2>("matmul", args)?;
+    let (x, y) = (a.as_matrix()?, b.as_matrix()?);
+    let out = x.matmul(y)?;
+    let ops = weights::MADD * x.logical_rows() * x.logical_cols() * y.logical_cols();
+    Ok(BuiltinOutput::new(Value::Matrix(out), ops))
+}
+
+fn k_to_csr(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a] = expect_args::<1>("to_csr", args)?;
+    let m = a.as_matrix()?;
+    let csr = m.to_csr();
+    let ops = weights::TO_CSR * m.logical_rows() * m.logical_cols();
+    Ok(BuiltinOutput::new(Value::Csr(csr), ops))
+}
+
+fn k_spmv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a, x] = expect_args::<2>("spmv", args)?;
+    let csr = a.as_csr()?;
+    let vec = x.as_array()?;
+    let y = csr.spmv(vec.data())?;
+    let ops = weights::SPMV * csr.logical_nnz();
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(y, csr.logical_rows())),
+        ops,
+    ))
+}
+
+fn k_pagerank_step(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a, r, d] = expect_args::<3>("pagerank_step", args)?;
+    let csr = a.as_csr()?;
+    let ranks = r.as_array()?;
+    let damping = d.as_num()?;
+    let next = csr.pagerank_step(ranks.data(), damping)?;
+    let ops = weights::PR_EDGE * csr.logical_nnz() + weights::PR_NODE * csr.logical_rows();
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(next, csr.logical_rows())),
+        ops,
+    ))
+}
+
+fn k_gather(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    // An array-index join: `gather(values, idx)[i] = values[idx[i]]`
+    // — how a dense-key hash join (TPC-H Q14's lineitem ⋈ part)
+    // probes its build side.
+    let [v, idx] = expect_args::<2>("gather", args)?;
+    let values = v.as_array()?;
+    let indices = idx.as_array()?;
+    let mut out = Vec::with_capacity(indices.len());
+    for raw in indices.data() {
+        let i = *raw as usize;
+        let x = values.data().get(i).copied().ok_or_else(|| {
+            LangError::runtime(format!(
+                "gather: index {i} out of range for {} values",
+                values.len()
+            ))
+        })?;
+        out.push(x);
+    }
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(out, indices.logical_len())),
+        indices.logical_len() * weights::SELECT,
+    ))
+}
+
+fn k_frob(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    let [a] = expect_args::<1>("frob", args)?;
+    let m = a.as_matrix()?;
+    let ss: f64 = m.data().iter().map(|x| x * x).sum();
+    // Extrapolate the sum of squares to logical scale, like `sum`.
+    let ratio = (m.logical_rows() * m.logical_cols()) as f64 / (m.rows() * m.cols()).max(1) as f64;
+    Ok(BuiltinOutput::new(
+        Value::Num((ss * ratio).sqrt()),
+        m.logical_rows() * m.logical_cols() * weights::REDUCE,
+    ))
+}
+
+fn k_gram(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+    // `gram(M) = Mᵀ·M`, the d×d Gram matrix of an n×d feature
+    // block; the classic second stage after a projection GEMM.
+    let [a] = expect_args::<1>("gram", args)?;
+    let m = a.as_matrix()?;
+    let (n, d) = (m.rows(), m.cols());
+    let mut out = vec![0.0; d * d];
+    for r in 0..n {
+        for i in 0..d {
+            let x = m.get(r, i);
+            if x == 0.0 {
+                continue;
+            }
+            for j in 0..d {
+                out[i * d + j] += x * m.get(r, j);
+            }
+        }
+    }
+    // Scale accumulated sums to logical row count.
+    let ratio = m.logical_rows() as f64 / n.max(1) as f64;
+    for v in &mut out {
+        *v *= ratio;
+    }
+    let ops = weights::MADD * m.logical_rows() * (d as u64) * (d as u64);
+    Ok(BuiltinOutput::new(
+        Value::Matrix(Matrix::new(out, d, d)?),
+        ops,
+    ))
 }
 
 fn expect_args<'a, const N: usize>(name: &str, args: &'a [Value]) -> Result<&'a [Value; N]> {
@@ -469,7 +676,7 @@ fn erf(x: f64) -> f64 {
     sign * y
 }
 
-fn group_sum(args: &[Value]) -> Result<BuiltinOutput> {
+fn group_sum(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     let [k, v] = expect_args::<2>("group_sum", args)?;
     let keys = k.as_array()?;
     let vals = v.as_array()?;
@@ -506,7 +713,7 @@ fn group_sum(args: &[Value]) -> Result<BuiltinOutput> {
     ))
 }
 
-fn gemm_batch(args: &[Value]) -> Result<BuiltinOutput> {
+fn gemm_batch(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     let [a, b] = expect_args::<2>("gemm_batch", args)?;
     let (x, y) = (a.as_matrix()?, b.as_matrix()?);
     // The logical row count encodes the batch dimension: a logical
@@ -532,7 +739,7 @@ fn gemm_batch(args: &[Value]) -> Result<BuiltinOutput> {
     Ok(BuiltinOutput::new(Value::Matrix(out), ops))
 }
 
-fn kmeans_assign(args: &[Value]) -> Result<BuiltinOutput> {
+fn kmeans_assign(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     let [p, c] = expect_args::<2>("kmeans_assign", args)?;
     let points = p.as_matrix()?;
     let centroids = c.as_matrix()?;
@@ -564,7 +771,7 @@ fn kmeans_assign(args: &[Value]) -> Result<BuiltinOutput> {
     ))
 }
 
-fn kmeans_update(args: &[Value]) -> Result<BuiltinOutput> {
+fn kmeans_update(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     let [p, a, k] = expect_args::<3>("kmeans_update", args)?;
     let points = p.as_matrix()?;
     let assign = a.as_array()?;
@@ -606,7 +813,7 @@ fn kmeans_update(args: &[Value]) -> Result<BuiltinOutput> {
     ))
 }
 
-fn forest_score(args: &[Value]) -> Result<BuiltinOutput> {
+fn forest_score(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     let [f, x] = expect_args::<2>("forest_score", args)?;
     let forest = f.as_forest()?;
     let feats = x.as_matrix()?;
@@ -864,5 +1071,28 @@ mod tests {
             assert!(is_builtin(name));
         }
         assert!(!is_builtin("np_dot"));
+    }
+
+    #[test]
+    fn kernel_table_is_aligned_with_builtin_names() {
+        let table_names: Vec<&str> = KERNELS.iter().map(|k| k.name).collect();
+        assert_eq!(table_names, BUILTIN_NAMES);
+        for name in BUILTIN_NAMES {
+            let id = kernel_id(name).expect("registered");
+            assert_eq!(id.name(), *name);
+        }
+        assert!(kernel_id("np_dot").is_none());
+    }
+
+    #[test]
+    fn kernel_invoke_matches_call_by_name() {
+        let st = Storage::new();
+        let a = arr_logical(vec![1.0, 2.0, 3.0, 4.0], 4000);
+        let by_name = call("sum", std::slice::from_ref(&a), &st).expect("sum");
+        let by_id = kernel_id("sum")
+            .expect("id")
+            .invoke(std::slice::from_ref(&a), &st)
+            .expect("sum");
+        assert_eq!(by_name, by_id);
     }
 }

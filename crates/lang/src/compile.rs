@@ -12,10 +12,12 @@
 
 use crate::ast::Program;
 use crate::builtins::Storage;
+use crate::bytecode::LoweredProgram;
 use crate::copyelim::{self, DatasetTypes};
 use crate::cost::{CostParams, ExecTier, LineCost};
 use crate::error::Result;
 use crate::interp::{Interpreter, LineRecord};
+use crate::lower;
 
 /// Estimated machine-code bytes emitted per source line.
 const BINARY_BYTES_PER_LINE: u64 = 2048;
@@ -90,6 +92,19 @@ impl CompiledProgram {
     #[must_use]
     pub fn compile_secs(&self) -> f64 {
         Self::compile_secs_for(self.program.len())
+    }
+
+    /// Lowers the artifact to the register bytecode, baking in this tier's
+    /// per-line copy-elimination flags. The result runs on
+    /// [`crate::bytecode::Vm`] and produces byte-identical [`LineCost`]
+    /// records to [`CompiledProgram::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::LangError::UnknownFunction`] if any call site
+    /// references an unregistered builtin.
+    pub fn lower(&self) -> Result<LoweredProgram> {
+        lower::lower_with(&self.program, &self.copy_elim)
     }
 
     /// Executes the artifact against `storage`, returning per-line records

@@ -77,7 +77,7 @@ impl<'a> Interpreter<'a> {
         let mut cost = LineCost::zero();
         // D_in: the volumes of the variables this line reads.
         for name in line.inputs() {
-            cost.bytes_in += self.var_bytes(&name);
+            cost.bytes_in += self.var_bytes(name);
         }
         let value = self.eval(&line.expr, &mut cost, copy_elim, line.index)?;
         cost.bytes_out = value.virtual_bytes();
@@ -169,17 +169,17 @@ impl<'a> Interpreter<'a> {
     }
 }
 
-fn charge_elementwise(cost: &mut LineCost, out: &Value, weight: u64) {
+pub(crate) fn charge_elementwise(cost: &mut LineCost, out: &Value, weight: u64) {
     cost.compute_ops += out.logical_elems() * weight;
 }
 
-fn charge_temp(cost: &mut LineCost, out: &Value, elim: bool) {
+pub(crate) fn charge_temp(cost: &mut LineCost, out: &Value, elim: bool) {
     if out.is_bulk() {
         cost.add_copy(out.virtual_bytes(), elim);
     }
 }
 
-fn apply_unary(op: UnOp, v: &Value) -> Result<Value> {
+pub(crate) fn apply_unary(op: UnOp, v: &Value) -> Result<Value> {
     match (op, v) {
         (UnOp::Neg, Value::Num(n)) => Ok(Value::Num(-n)),
         (UnOp::Neg, Value::Array(a)) => Ok(Value::Array(ArrayVal::with_logical(
@@ -198,7 +198,7 @@ fn apply_unary(op: UnOp, v: &Value) -> Result<Value> {
     }
 }
 
-fn apply_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn apply_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use BinOp::*;
     match op {
         Add | Sub | Mul | Div => numeric_binary(op, l, r),

@@ -40,12 +40,14 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod bytecode;
 pub mod compile;
 pub mod copyelim;
 pub mod cost;
 pub mod error;
 pub mod forest;
 pub mod interp;
+pub mod lower;
 pub mod matrix;
 pub mod parser;
 pub mod table;
@@ -54,6 +56,7 @@ pub mod value;
 
 pub use ast::Program;
 pub use builtins::Storage;
+pub use bytecode::{ExecBackend, LoweredProgram, Vm};
 pub use compile::CompiledProgram;
 pub use cost::{CostParams, ExecTier, LineCost};
 pub use error::LangError;

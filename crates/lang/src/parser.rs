@@ -72,12 +72,7 @@ impl Parser {
             let tok = tok.clone();
             return Err(self.unexpected(Some(&tok), "end of line"));
         }
-        Ok(Line {
-            index,
-            target,
-            expr,
-            source,
-        })
+        Ok(Line::new(index, target, expr, source))
     }
 
     fn or_expr(&mut self) -> Result<Expr> {

@@ -16,10 +16,17 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A 1-D array of `f64` with a logical length.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ArrayVal {
     data: Arc<Vec<f64>>,
     logical_len: u64,
+}
+
+impl PartialEq for ArrayVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.logical_len == other.logical_len
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
 }
 
 impl ArrayVal {
@@ -86,10 +93,17 @@ impl ArrayVal {
 }
 
 /// A 1-D boolean mask with a logical length.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BoolArrayVal {
     data: Arc<Vec<bool>>,
     logical_len: u64,
+}
+
+impl PartialEq for BoolArrayVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.logical_len == other.logical_len
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
 }
 
 impl BoolArrayVal {
@@ -403,6 +417,23 @@ mod tests {
         let v = Value::Array(a);
         assert_eq!(v.virtual_bytes(), 16_000);
         assert!(v.is_bulk());
+    }
+
+    #[test]
+    fn array_eq_shares_and_compares() {
+        // Clones share the buffer: equal via the pointer fast path.
+        let a = ArrayVal::with_logical(vec![1.0, 2.0], 2000);
+        assert_eq!(a, a.clone());
+        // Same contents in distinct buffers still compare equal.
+        assert_eq!(a, ArrayVal::with_logical(vec![1.0, 2.0], 2000));
+        // Same buffer contents but different logical length differ.
+        assert_ne!(a, ArrayVal::with_logical(vec![1.0, 2.0], 3000));
+        assert_ne!(a, ArrayVal::with_logical(vec![1.0, 3.0], 2000));
+        let m = BoolArrayVal::with_logical(vec![true, false], 2000);
+        assert_eq!(m, m.clone());
+        assert_eq!(m, BoolArrayVal::with_logical(vec![true, false], 2000));
+        assert_ne!(m, BoolArrayVal::with_logical(vec![true, true], 2000));
+        assert_ne!(m, BoolArrayVal::with_logical(vec![true, false], 3000));
     }
 
     #[test]

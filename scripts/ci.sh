@@ -10,6 +10,9 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo bench --no-run =="
+cargo bench --no-run
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

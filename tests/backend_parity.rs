@@ -1,0 +1,44 @@
+//! The lowering pass must be invisible in every result: the register
+//! bytecode VM and the tree-walking reference interpreter have to produce
+//! byte-identical experiment rows, not merely close ones. These tests run
+//! repro-grade grids on both backends and compare serialized output.
+
+use alang::ExecBackend;
+use csd_sim::{ContentionScenario, SystemConfig};
+
+#[test]
+fn fig5_rows_are_byte_identical_across_backends() {
+    let config = SystemConfig::paper_default();
+    let vm = isp_bench::experiments::fig5::run_serial_with_backend(&config, ExecBackend::Vm);
+    let ast = isp_bench::experiments::fig5::run_serial_with_backend(&config, ExecBackend::AstWalk);
+    assert_eq!(
+        serde_json::to_string(&vm).expect("rows serialize"),
+        serde_json::to_string(&ast).expect("rows serialize"),
+        "the VM must not change a single byte of the Figure 5 grid"
+    );
+}
+
+#[test]
+fn every_workload_pipeline_is_identical_across_backends() {
+    use activepy::runtime::{ActivePy, ActivePyOptions};
+    let config = SystemConfig::paper_default();
+    for w in isp_workloads::table1() {
+        let program = w.program().expect("parse");
+        let vm = ActivePy::with_options(ActivePyOptions::default().with_backend(ExecBackend::Vm))
+            .run(&program, &w, &config, ContentionScenario::none())
+            .expect("vm pipeline");
+        let ast =
+            ActivePy::with_options(ActivePyOptions::default().with_backend(ExecBackend::AstWalk))
+                .run(&program, &w, &config, ContentionScenario::none())
+                .expect("ast pipeline");
+        assert_eq!(
+            serde_json::to_string(&vm.report).expect("report serializes"),
+            serde_json::to_string(&ast.report).expect("report serializes"),
+            "{}: execution reports diverged",
+            w.name()
+        );
+        assert_eq!(vm.assignment, ast.assignment, "{}", w.name());
+        assert_eq!(vm.estimates, ast.estimates, "{}", w.name());
+        assert_eq!(vm.sampling, ast.sampling, "{}", w.name());
+    }
+}
