@@ -1,79 +1,36 @@
-//! Error types for the baseline implementations.
+//! Error handling for the baseline implementations.
+//!
+//! The baselines used to carry their own near-duplicate error enum; it is
+//! now folded into the core taxonomy — [`activepy::ActivePyError`] grew a
+//! structured `Search` variant (plus the `Transient`/`DeviceFault` fault
+//! kinds), so this module is only the aliases keeping the baselines'
+//! vocabulary intact.
 
-use activepy::ActivePyError;
-use alang::LangError;
-use std::fmt;
-
-/// Failures raised while building or running a baseline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum BaselineError {
-    /// A program failed to parse or evaluate.
-    Lang(LangError),
-    /// The ActivePy execution engine reported a failure.
-    Exec(ActivePyError),
-    /// The offload search could not produce a plan.
-    Search {
-        /// Explanation.
-        message: String,
-    },
-}
-
-impl BaselineError {
-    /// Shorthand for a search failure.
-    #[must_use]
-    pub fn search(message: impl Into<String>) -> Self {
-        BaselineError::Search {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for BaselineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BaselineError::Lang(e) => write!(f, "language error: {e}"),
-            BaselineError::Exec(e) => write!(f, "execution error: {e}"),
-            BaselineError::Search { message } => write!(f, "offload search error: {message}"),
-        }
-    }
-}
-
-impl std::error::Error for BaselineError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            BaselineError::Lang(e) => Some(e),
-            BaselineError::Exec(e) => Some(e),
-            BaselineError::Search { .. } => None,
-        }
-    }
-}
-
-#[doc(hidden)]
-impl From<LangError> for BaselineError {
-    fn from(e: LangError) -> Self {
-        BaselineError::Lang(e)
-    }
-}
-
-#[doc(hidden)]
-impl From<ActivePyError> for BaselineError {
-    fn from(e: ActivePyError) -> Self {
-        BaselineError::Exec(e)
-    }
-}
+/// Failures raised while building or running a baseline — an alias for the
+/// unified runtime taxonomy.
+pub use activepy::error::ActivePyError as BaselineError;
 
 /// Convenience alias used throughout the crate.
-pub type Result<T> = std::result::Result<T, BaselineError>;
+pub use activepy::error::Result;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn display_and_source() {
+    fn search_errors_keep_their_shape_through_the_alias() {
+        let e = BaselineError::search("none");
+        assert!(matches!(e, BaselineError::Search { .. }));
+        let msg = format!("{e}");
+        assert!(msg.contains("offload search"), "got: {msg}");
+        assert!(msg.contains("none"), "got: {msg}");
+        assert!(!e.is_retryable(), "a failed search is not a device blip");
+    }
+
+    #[test]
+    fn lang_errors_still_convert() {
+        let e: BaselineError = alang::LangError::runtime("x").into();
         use std::error::Error;
-        let e: BaselineError = LangError::runtime("x").into();
         assert!(e.source().is_some());
-        assert!(format!("{}", BaselineError::search("none")).contains("none"));
     }
 }

@@ -131,6 +131,8 @@ pub fn run_plan(
         offload_overheads: true,
         preempt_at: None,
         backend: alang::ExecBackend::default(),
+        recovery: activepy::RecoveryPolicy::default(),
+        faults: csd_sim::fault::FaultPlan::none(),
     };
     let report = execute(
         &program,

@@ -47,12 +47,21 @@ struct InterpComparison {
 }
 
 #[derive(Serialize)]
+struct FaultsReport {
+    seed: u64,
+    rows: Vec<ex::faults::Row>,
+    fault_migrations: u64,
+    wrong_answers: usize,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     experiments: Vec<ExperimentTiming>,
     total_secs: f64,
     plan_cache: CacheReport,
     fig5_before_after: Fig5Comparison,
     interp: InterpComparison,
+    faults: FaultsReport,
 }
 
 /// Times per-line execution — the component of sampling wall-clock the
@@ -222,6 +231,12 @@ fn main() {
     let gc = ex::flexibility::run_gc_with(&cache);
     time("flexibility", t.elapsed().as_secs_f64());
     ex::flexibility::print(&bw, &gc);
+    println!();
+
+    let t = Instant::now();
+    let faults = ex::faults::run_with(&config, &cache);
+    time("faults", t.elapsed().as_secs_f64());
+    ex::faults::print(&faults);
 
     let total_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
@@ -280,6 +295,12 @@ fn main() {
             rows_identical,
         },
         interp,
+        faults: FaultsReport {
+            seed: ex::faults::FAULT_SEED,
+            fault_migrations: faults.iter().map(|r| r.fault_migrations).sum(),
+            wrong_answers: faults.iter().filter(|r| !r.values_match).count(),
+            rows: faults,
+        },
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_repro.json", rendered).expect("BENCH_repro.json is writable");

@@ -51,6 +51,8 @@ fn measure(plan: &OffloadPlan, config: &SystemConfig, assignment: &Assignment) -
         offload_overheads: true,
         preempt_at: None,
         backend: ExecBackend::Vm,
+        recovery: activepy::RecoveryPolicy::default(),
+        faults: csd_sim::fault::FaultPlan::none(),
     };
     let placements = assignment.placements(plan.program.len());
     // The plan carries the lowered bytecode; all four variants reuse it.

@@ -13,12 +13,14 @@
 use crate::error::{ActivePyError, Result};
 use crate::estimate::LineEstimate;
 use crate::monitor::{Monitor, MonitorConfig, Observation};
+use crate::recovery::{Recovery, RecoveryPolicy, RecoveryStats};
 use alang::compile::CompiledProgram;
 use alang::{
     CostParams, ExecBackend, ExecTier, Interpreter, LineCost, LoweredProgram, Program, Storage, Vm,
 };
 use csd_sim::availability::AvailabilityTrace;
 use csd_sim::contention::{ContentionScenario, Trigger};
+use csd_sim::fault::{DeviceFault, FaultPlan};
 use csd_sim::nvme::CommandKind;
 use csd_sim::units::{Bytes, Ops};
 use csd_sim::{Direction, EngineKind, System};
@@ -49,6 +51,12 @@ pub struct ExecOptions {
     /// (default) or the tree-walking reference interpreter. Both produce
     /// byte-identical reports; they differ only in repro wall-clock.
     pub backend: ExecBackend,
+    /// How the run responds to injected device faults (retry budget,
+    /// sim-time backoff, host fallback).
+    pub recovery: RecoveryPolicy,
+    /// The deterministic fault plan injected into the simulator for this
+    /// run; [`FaultPlan::none`] (the default) injects nothing.
+    pub faults: FaultPlan,
 }
 
 impl ExecOptions {
@@ -64,6 +72,8 @@ impl ExecOptions {
             offload_overheads: true,
             preempt_at: None,
             backend: ExecBackend::default(),
+            recovery: RecoveryPolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -78,6 +88,8 @@ impl ExecOptions {
             offload_overheads: true,
             preempt_at: None,
             backend: ExecBackend::default(),
+            recovery: RecoveryPolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -108,6 +120,20 @@ impl ExecOptions {
         self.backend = backend;
         self
     }
+
+    /// Replaces the recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Installs a deterministic fault plan for the run.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// What happened on one line.
@@ -127,7 +153,9 @@ pub struct LineOutcome {
     pub staged_bytes: u64,
 }
 
-/// Why a migration was initiated (§III-D distinguishes the two).
+/// Why a migration was initiated (§III-D distinguishes throughput
+/// degradation from preemption; device faults extend the same mechanism
+/// to hardware adversity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MigrationReason {
     /// The monitor observed degraded throughput and the re-estimate said
@@ -136,7 +164,15 @@ pub enum MigrationReason {
     /// The device signalled a high-priority request through the command
     /// pages; the task must vacate immediately.
     Preempted,
+    /// A hard device fault (CSE crash, or a transient fault that exhausted
+    /// its retry budget): the remaining work falls back to the host from
+    /// the last completed chunk-boundary checkpoint.
+    DeviceFault,
 }
+
+/// Alias emphasizing the causal reading of [`MigrationReason`] in fault
+/// reports and the bench sweep.
+pub type MigrationCause = MigrationReason;
 
 /// A migration that occurred during the run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -171,6 +207,14 @@ pub struct RunReport {
     /// Peak bytes of program state resident in device DRAM (BAR-mapped
     /// shared-address-space allocations).
     pub peak_device_bytes: u64,
+    /// What the recovery layer absorbed during the run (all zero on a
+    /// fault-free run).
+    pub recovery: RecoveryStats,
+    /// FNV-1a hash over every program variable's final value, in
+    /// first-assignment order — the cheap "did we compute the same
+    /// answer?" check the fault sweep and the chaos differential compare
+    /// across faulted and fault-free runs.
+    pub values_fingerprint: u64,
 }
 
 impl RunReport {
@@ -314,6 +358,50 @@ impl Evaluator<'_> {
             Evaluator::Vm(vm) => vm.var_bytes(name),
         }
     }
+
+    /// The debug rendering of a variable's current value; what the values
+    /// fingerprint hashes. Identical across backends because both render
+    /// the same [`alang::Value`].
+    fn var_debug(&self, name: &str) -> String {
+        match self {
+            Evaluator::Ast(interp) => format!("{:?}", interp.var(name)),
+            Evaluator::Vm(vm) => format!("{:?}", vm.var(name)),
+        }
+    }
+}
+
+/// FNV-1a over every program variable's final value (first-assignment
+/// order): the answer-integrity check compared between faulted and
+/// fault-free runs.
+fn values_fingerprint(program: &Program, eval: &Evaluator<'_>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for line in program.lines() {
+        if seen.contains(&line.target.as_str()) {
+            continue;
+        }
+        seen.push(&line.target);
+    }
+    for target in seen {
+        mix(target.as_bytes());
+        mix(eval.var_debug(target).as_bytes());
+    }
+    hash
+}
+
+/// A hard fault leaving the recovery layer: either a crash, or a transient
+/// fault that exhausted its retry budget — both escalate to the permanent
+/// [`ActivePyError::DeviceFault`] so callers never retry them again.
+fn escalate(fault: DeviceFault) -> ActivePyError {
+    ActivePyError::device_fault(fault.to_string())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -333,6 +421,17 @@ fn execute_impl(
             program.len()
         )));
     }
+    // Options are validated up front: a bad policy is a configuration
+    // error at the door, not a silent clamp mid-run.
+    if let Some(cfg) = opts.monitor {
+        cfg.validate()?;
+    }
+    opts.recovery.validate()?;
+    opts.faults.validate().map_err(ActivePyError::config)?;
+    if !opts.faults.is_none() {
+        system.install_faults(opts.faults.clone());
+    }
+    let mut recov = Recovery::new(opts.recovery);
     let mut placements = placements.to_vec();
     let mut var_loc: BTreeMap<String, EngineKind> = BTreeMap::new();
     let mut vars = VarSpace::default();
@@ -342,11 +441,12 @@ fn execute_impl(
     let csd_total = placements.iter().filter(|p| **p == EngineKind::Cse).count();
     let mut contention_applied = false;
 
-    // Distribute the CSD binary into device memory before execution starts.
+    // Distribute the CSD binary into device memory before execution
+    // starts. A must-complete transfer: DMA faults only delay it.
     if csd_total > 0 && opts.offload_overheads {
         let region_lines = csd_total;
         let binary = Bytes::new(16 * 1024 + region_lines as u64 * 2048);
-        system.transfer(Direction::HostToDevice, binary);
+        recov.run_to_completion(system, |s| s.try_transfer(Direction::HostToDevice, binary));
     }
 
     // Absolute-time contention is installed into the availability traces up
@@ -383,6 +483,7 @@ fn execute_impl(
                 &mut var_loc,
                 &mut vars,
                 true,
+                &mut recov,
             )?;
             let elim = copy_elim.get(i).copied().unwrap_or(false);
             let cost = eval.exec_line(line, elim)?;
@@ -421,7 +522,7 @@ fn execute_impl(
         while end + 1 < program.len() && placements[end + 1] == EngineKind::Cse {
             end += 1;
         }
-        let region = RegionRun::prepare(
+        let region = match RegionRun::prepare(
             program,
             i,
             end,
@@ -431,7 +532,38 @@ fn execute_impl(
             &mut vars,
             opts,
             copy_elim,
-        )?;
+            &mut recov,
+        ) {
+            Ok(region) => region,
+            Err(ActivePyError::DeviceFault { .. }) if opts.recovery.fallback_to_host => {
+                // The invocation itself hard-faulted, before any region
+                // state was computed or moved: fall back by re-placing the
+                // remaining CSD lines on the host and re-entering the loop
+                // at the same line. No live state to drain (checkpoint is
+                // the previous line boundary), only host code to regenerate.
+                let later = placements[i..]
+                    .iter()
+                    .filter(|p| **p == EngineKind::Cse)
+                    .count();
+                let regen_secs = CompiledProgram::compile_secs_for(later);
+                migration = Some(MigrationEvent {
+                    after_line: i.saturating_sub(1),
+                    state_bytes: 0,
+                    at_secs: system.now().as_secs(),
+                    regen_secs,
+                    reason: MigrationReason::DeviceFault,
+                });
+                system.advance(csd_sim::units::Duration::from_secs(regen_secs));
+                recov.stats.fault_migrations += 1;
+                for p in placements.iter_mut().skip(i) {
+                    if *p == EngineKind::Cse {
+                        *p = EngineKind::Host;
+                    }
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let outcome = region.execute(
             system,
             &mut var_loc,
@@ -442,6 +574,7 @@ fn execute_impl(
             &mut contention_applied,
             csd_executed,
             csd_total,
+            &mut recov,
         )?;
         lines_out.extend(outcome.lines);
         csd_executed += end - i + 1;
@@ -452,11 +585,13 @@ fn execute_impl(
         i = end + 1;
     }
 
-    // The program's result must end up in host memory.
+    // The program's result must end up in host memory (must-complete).
     if let Some(last) = program.lines().last() {
         if var_loc.get(&last.target) == Some(&EngineKind::Cse) {
             let bytes = eval.var_bytes(&last.target);
-            system.transfer(Direction::DeviceToHost, Bytes::new(bytes));
+            recov.run_to_completion(system, |s| {
+                s.try_transfer(Direction::DeviceToHost, Bytes::new(bytes))
+            });
         }
     }
 
@@ -468,6 +603,8 @@ fn execute_impl(
         d2h_bytes: system.dma().d2h_bytes().as_u64(),
         h2d_bytes: system.dma().h2d_bytes().as_u64(),
         peak_device_bytes: vars.peak_device,
+        recovery: recov.stats,
+        values_fingerprint: values_fingerprint(program, &eval),
     })
 }
 
@@ -569,6 +706,7 @@ impl VarSpace {
 /// chunk-pipelined CSD region *streams* its inputs — the transfer is
 /// charged but the device never holds more than chunk buffers, so the
 /// allocation stays put.
+#[allow(clippy::too_many_arguments)]
 fn stage_inputs(
     line: &alang::ast::Line,
     engine: EngineKind,
@@ -577,6 +715,7 @@ fn stage_inputs(
     var_loc: &mut BTreeMap<String, EngineKind>,
     vars: &mut VarSpace,
     move_allocation: bool,
+    recov: &mut Recovery,
 ) -> Result<u64> {
     let mut staged = 0u64;
     for name in line.inputs() {
@@ -590,7 +729,8 @@ fn stage_inputs(
                     EngineKind::Cse => Direction::HostToDevice,
                     EngineKind::Host => Direction::DeviceToHost,
                 };
-                system.transfer(dir, Bytes::new(bytes));
+                // Staging must complete; DMA faults only delay it.
+                recov.run_to_completion(system, |s| s.try_transfer(dir, Bytes::new(bytes)));
                 staged += bytes;
                 var_loc.insert(name.clone(), engine);
                 if move_allocation {
@@ -649,8 +789,16 @@ impl RegionRun {
         vars: &mut VarSpace,
         opts: &ExecOptions,
         copy_elim: &[bool],
+        recov: &mut Recovery,
     ) -> Result<RegionRun> {
         if opts.offload_overheads {
+            // The invocation command can be hit by injected NVMe errors (or
+            // observe the crash). Rolled — and hard-failed — *before* any
+            // region state is evaluated or relocated, so an aborted prepare
+            // needs no unwinding: the caller just re-places the lines.
+            recov
+                .run_bounded(system, |s| s.try_nvme_command())
+                .map_err(escalate)?;
             let now = system.now();
             system
                 .queue_mut()
@@ -679,7 +827,16 @@ impl RegionRun {
                 })
                 .map(|v| eval.var_bytes(v))
                 .sum();
-            let s = stage_inputs(line, EngineKind::Cse, system, eval, var_loc, vars, false)?;
+            let s = stage_inputs(
+                line,
+                EngineKind::Cse,
+                system,
+                eval,
+                var_loc,
+                vars,
+                false,
+                recov,
+            )?;
             external_input_bytes += external;
             staged.push(s);
             let elim = copy_elim.get(line.index).copied().unwrap_or(false);
@@ -735,6 +892,7 @@ impl RegionRun {
         contention_applied: &mut bool,
         csd_executed: usize,
         csd_total: usize,
+        recov: &mut Recovery,
     ) -> Result<RegionOutcome> {
         let len = self.end - self.start + 1;
         let region_t0 = system.now().as_secs();
@@ -785,18 +943,39 @@ impl RegionRun {
             }
             let chunk_t0 = system.now().as_secs();
             let mut chunk_ops = 0u64;
-            for k in 0..len {
+            // A hard fault mid-chunk ends the device stream; the completed
+            // work stays counted so the host replays only the remainder.
+            let mut fault: Option<DeviceFault> = None;
+            'lines: for k in 0..len {
                 let t0 = system.now().as_secs();
                 let rb = chunk_slice(self.costs[k].storage_bytes, c);
                 if rb > 0 {
-                    system.storage_read(EngineKind::Cse, Bytes::new(rb));
-                    done_storage[k] += rb;
+                    match recov.run_bounded(system, |s| {
+                        s.try_storage_read(EngineKind::Cse, Bytes::new(rb))
+                    }) {
+                        Ok(_) => done_storage[k] += rb,
+                        Err(f) => {
+                            durations[k] += system.now().as_secs() - t0;
+                            fault = Some(f);
+                            break 'lines;
+                        }
+                    }
                 }
                 let co = chunk_slice(self.ops[k], c);
                 if co > 0 {
-                    system.compute(EngineKind::Cse, Ops::new(co));
-                    done_ops[k] += co;
-                    chunk_ops += co;
+                    match recov
+                        .run_bounded(system, |s| s.try_compute(EngineKind::Cse, Ops::new(co)))
+                    {
+                        Ok(_) => {
+                            done_ops[k] += co;
+                            chunk_ops += co;
+                        }
+                        Err(f) => {
+                            durations[k] += system.now().as_secs() - t0;
+                            fault = Some(f);
+                            break 'lines;
+                        }
+                    }
                 }
                 if opts.offload_overheads {
                     system.charge_status_update();
@@ -804,62 +983,89 @@ impl RegionRun {
                 durations[k] += system.now().as_secs() - t0;
             }
             let chunk_wall = system.now().as_secs() - chunk_t0;
-            // Chunk boundary: the status-update code first checks the
-            // command pages for a high-priority request (§III-D case 1),
-            // then the host-side monitor checks throughput (case 2).
-            let done_fraction = (c + 1) as f64 / REGION_CHUNKS as f64;
-            if done_fraction >= 1.0 {
-                break;
-            }
-            if let Some(t) = opts.preempt_at {
-                if !break_submitted && system.now().as_secs() >= t {
-                    let now = system.now();
-                    // Host posts the Break; losing the slot on a full ring
-                    // only delays preemption to the next boundary.
-                    let _ = system.queue_mut().submit(now, CommandKind::Break);
-                    break_submitted = true;
+            // Chunk boundary (or mid-chunk hard fault): the status-update
+            // code first checks the command pages for a high-priority
+            // request (§III-D case 1), then the host-side monitor checks
+            // throughput (case 2); a hard device fault (case 3, this PR)
+            // bypasses both and breaks unconditionally.
+            let (reason, done_fraction) = if let Some(f) = fault {
+                if !opts.recovery.fallback_to_host {
+                    return Err(escalate(f));
                 }
-            }
-            let reason = if system.queue().has_pending_break() {
-                while system.queue_mut().fetch().is_ok() {}
-                Some(MigrationReason::Preempted)
-            } else if let (Some(mon), Some(est)) = (monitor.as_mut(), estimates) {
-                match mon.observe_window(chunk_ops as f64, chunk_wall) {
-                    Observation::Degraded { .. } => {
-                        let later_csd: Vec<&LineEstimate> = est
-                            .iter()
-                            .filter(|e| e.line > self.end && placements[e.line] == EngineKind::Cse)
-                            .collect();
-                        let region_est: Vec<&LineEstimate> = est
-                            .iter()
-                            .filter(|e| e.line >= self.start && e.line <= self.end)
-                            .collect();
-                        let remaining_device = (1.0 - done_fraction)
-                            * region_est.iter().map(|e| e.ct_device).sum::<f64>()
-                            + later_csd.iter().map(|e| e.ct_device).sum::<f64>();
-                        let reestimated = mon.reestimate_remaining(remaining_device);
-                        let state_est = (self
-                            .escaping_out
-                            .iter()
-                            .map(|b| (*b as f64 * done_fraction) as u64)
-                            .sum::<u64>())
-                            + self.external_input_bytes;
-                        let bw = system.d2h_bandwidth().as_bytes_per_sec();
-                        let regen = CompiledProgram::compile_secs_for(len + later_csd.len());
-                        let remaining_host = (1.0 - done_fraction)
-                            * region_est.iter().map(|e| e.ct_host).sum::<f64>()
-                            + later_csd.iter().map(|e| e.ct_host).sum::<f64>();
-                        let migrate_cost = state_est as f64 / bw + regen + remaining_host;
-                        (reestimated > migrate_cost).then_some(MigrationReason::Degraded)
-                    }
-                    _ => None,
-                }
+                recov.stats.fault_migrations += 1;
+                // The checkpoint is the last *completed* chunk boundary;
+                // the failed chunk's partial work is replayed on the host
+                // via the exact done_storage/done_ops remainders.
+                (
+                    Some(MigrationReason::DeviceFault),
+                    c as f64 / REGION_CHUNKS as f64,
+                )
             } else {
-                None
+                let done_fraction = (c + 1) as f64 / REGION_CHUNKS as f64;
+                if done_fraction >= 1.0 {
+                    break;
+                }
+                if let Some(t) = opts.preempt_at {
+                    if !break_submitted && system.now().as_secs() >= t {
+                        let now = system.now();
+                        // Host posts the Break; losing the slot on a full ring
+                        // only delays preemption to the next boundary.
+                        let _ = system.queue_mut().submit(now, CommandKind::Break);
+                        break_submitted = true;
+                    }
+                }
+                let reason = if system.queue().has_pending_break() {
+                    while system.queue_mut().fetch().is_ok() {}
+                    Some(MigrationReason::Preempted)
+                } else if let (Some(mon), Some(est)) = (monitor.as_mut(), estimates) {
+                    match mon.observe_window(chunk_ops as f64, chunk_wall) {
+                        Observation::Degraded { .. } => {
+                            let later_csd: Vec<&LineEstimate> = est
+                                .iter()
+                                .filter(|e| {
+                                    e.line > self.end && placements[e.line] == EngineKind::Cse
+                                })
+                                .collect();
+                            let region_est: Vec<&LineEstimate> = est
+                                .iter()
+                                .filter(|e| e.line >= self.start && e.line <= self.end)
+                                .collect();
+                            let remaining_device = (1.0 - done_fraction)
+                                * region_est.iter().map(|e| e.ct_device).sum::<f64>()
+                                + later_csd.iter().map(|e| e.ct_device).sum::<f64>();
+                            let reestimated = mon.reestimate_remaining(remaining_device);
+                            let state_est = (self
+                                .escaping_out
+                                .iter()
+                                .map(|b| (*b as f64 * done_fraction) as u64)
+                                .sum::<u64>())
+                                + self.external_input_bytes;
+                            let bw = system.d2h_bandwidth().as_bytes_per_sec();
+                            let regen = CompiledProgram::compile_secs_for(len + later_csd.len());
+                            let remaining_host = (1.0 - done_fraction)
+                                * region_est.iter().map(|e| e.ct_host).sum::<f64>()
+                                + later_csd.iter().map(|e| e.ct_host).sum::<f64>();
+                            let migrate_cost = state_est as f64 / bw + regen + remaining_host;
+                            (reestimated > migrate_cost).then_some(MigrationReason::Degraded)
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                (reason, done_fraction)
             };
             let Some(reason) = reason else {
                 continue;
             };
+            if reason == MigrationReason::Degraded {
+                // The Degraded observation is consumed by this migration:
+                // reset the monitor's streak so a stale count cannot
+                // instantly re-trigger after the move.
+                if let Some(mon) = monitor.as_mut() {
+                    mon.acknowledge_migration();
+                }
+            }
             let state_bytes = (self
                 .escaping_out
                 .iter()
@@ -872,9 +1078,13 @@ impl RegionRun {
                 .count();
             let regen_secs = CompiledProgram::compile_secs_for(len + later_count);
             // Break at this chunk boundary: move the live state, regenerate
-            // host code, and resume the remaining stream on the host.
+            // host code, and resume the remaining stream on the host. The
+            // state drain is controller-side DMA, which survives a CSE
+            // crash — a must-complete transfer.
             let decided_at = system.now().as_secs();
-            system.transfer(Direction::DeviceToHost, Bytes::new(state_bytes));
+            recov.run_to_completion(system, |s| {
+                s.try_transfer(Direction::DeviceToHost, Bytes::new(state_bytes))
+            });
             system.advance(csd_sim::units::Duration::from_secs(regen_secs));
             for k in 0..len {
                 let t0 = system.now().as_secs();
@@ -991,6 +1201,8 @@ pub fn execute_all_host_with(
         offload_overheads: false,
         preempt_at: None,
         backend,
+        recovery: RecoveryPolicy::default(),
+        faults: FaultPlan::none(),
     };
     execute(
         program,
@@ -1449,6 +1661,142 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e, ActivePyError::Exec { .. }));
+    }
+
+    #[test]
+    fn fault_free_runs_report_zero_recovery_activity() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let rep = execute(
+            &program,
+            &st,
+            &placements(&[0, 1, 2, 3], 4),
+            &mut sys,
+            &ExecOptions::activepy(),
+            None,
+            &[],
+        )
+        .expect("run");
+        assert_eq!(rep.recovery, RecoveryStats::default());
+        assert_ne!(rep.values_fingerprint, 0);
+    }
+
+    /// Runs SRC fully offloaded, fault-free and with `faults`, and returns
+    /// (fault-free report, faulted report).
+    fn run_with_faults(opts: &ExecOptions, faults: FaultPlan) -> (RunReport, RunReport) {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(&[0, 1, 2, 3], 4);
+        let mut clean_sys = SystemConfig::paper_default().build();
+        let clean = execute(&program, &st, &pl, &mut clean_sys, opts, None, &[]).expect("clean");
+        let mut faulted_sys = SystemConfig::paper_default().build();
+        let faulted = execute(
+            &program,
+            &st,
+            &pl,
+            &mut faulted_sys,
+            &opts.clone().with_faults(faults),
+            None,
+            &[],
+        )
+        .expect("faulted");
+        (clean, faulted)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_preserve_the_answer() {
+        let faults = FaultPlan::none()
+            .with_seed(11)
+            .with_flash_read_error_prob(0.05)
+            .with_nvme_error_prob(0.05)
+            .with_dma_error_prob(0.05);
+        let (clean, faulted) = run_with_faults(&ExecOptions::activepy(), faults);
+        assert!(
+            faulted.recovery.transient_faults > 0,
+            "5% per-op error over a 64-chunk stream must fire: {:?}",
+            faulted.recovery
+        );
+        assert!(faulted.recovery.recovered_ops > 0);
+        assert_eq!(faulted.values_fingerprint, clean.values_fingerprint);
+        assert!(
+            faulted.total_secs > clean.total_secs,
+            "detection latency and backoff are charged to sim time"
+        );
+    }
+
+    #[test]
+    fn cse_crash_migrates_to_host_with_identical_answer() {
+        let opts = ExecOptions::activepy();
+        // Crash mid-way through the CSD stream (reference run finds when).
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(&[0, 1, 2, 3], 4);
+        let mut ref_sys = SystemConfig::paper_default().build();
+        let reference = execute(&program, &st, &pl, &mut ref_sys, &opts, None, &[]).expect("ref");
+        let t_half = reference.time_at_csd_progress(0.5).expect("csd ran");
+        let faults = FaultPlan::none()
+            .with_seed(3)
+            .with_crash_at(csd_sim::units::SimTime::from_secs(t_half));
+        let (clean, faulted) = run_with_faults(&opts, faults);
+        let mig = faulted.migration.expect("crash must force a migration");
+        assert_eq!(mig.reason, MigrationCause::DeviceFault);
+        assert!(faulted.recovery.hard_faults >= 1);
+        assert!(faulted.recovery.fault_migrations >= 1);
+        assert_eq!(faulted.values_fingerprint, clean.values_fingerprint);
+        assert!(faulted.total_secs > clean.total_secs);
+    }
+
+    #[test]
+    fn disabling_fallback_turns_a_crash_into_a_device_fault_error() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(&[0, 1, 2, 3], 4);
+        let opts = ExecOptions::activepy()
+            .with_recovery(RecoveryPolicy::default().without_fallback())
+            .with_faults(
+                FaultPlan::none()
+                    .with_seed(3)
+                    .with_crash_at(csd_sim::units::SimTime::ZERO),
+            );
+        let mut sys = SystemConfig::paper_default().build();
+        let e = execute(&program, &st, &pl, &mut sys, &opts, None, &[]).unwrap_err();
+        assert!(matches!(e, ActivePyError::DeviceFault { .. }), "got {e}");
+    }
+
+    #[test]
+    fn invalid_policies_are_config_errors_at_the_door() {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(&[], 4);
+        let mut bad_recovery = ExecOptions::activepy();
+        bad_recovery.recovery.backoff_multiplier = 0.0;
+        let mut bad_faults = ExecOptions::activepy();
+        bad_faults.faults.flash_read_error_prob = 2.0;
+        for opts in [bad_recovery, bad_faults] {
+            let mut sys = SystemConfig::paper_default().build();
+            let e = execute(&program, &st, &pl, &mut sys, &opts, None, &[]).unwrap_err();
+            assert!(matches!(e, ActivePyError::Config { .. }), "got {e}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_under_injected_faults() {
+        let faults = FaultPlan::none()
+            .with_seed(29)
+            .with_flash_read_error_prob(0.1)
+            .with_nvme_error_prob(0.1)
+            .with_dma_error_prob(0.1)
+            .with_gc_burst(
+                csd_sim::units::SimTime::from_secs(0.05),
+                csd_sim::units::Duration::from_secs(0.1),
+                0.05,
+            );
+        assert_backend_parity(
+            &ExecOptions::activepy().with_faults(faults),
+            &[0, 1, 2, 3],
+            &[],
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod exec;
 pub mod fit;
 pub mod monitor;
 pub mod plan;
+pub mod recovery;
 pub mod report;
 pub mod runtime;
 pub mod sampling;
@@ -68,9 +69,10 @@ pub mod sampling;
 pub use assign::Assignment;
 pub use error::ActivePyError;
 pub use estimate::{Calibration, LineEstimate};
-pub use exec::{ExecOptions, RunReport};
+pub use exec::{ExecOptions, MigrationCause, MigrationReason, RunReport};
 pub use monitor::MonitorConfig;
 pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use runtime::{ActivePy, ActivePyOptions, ActivePyOutcome};
 pub use sampling::InputSource;
 

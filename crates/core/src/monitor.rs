@@ -7,6 +7,7 @@
 //! throughput. The [`Monitor`] implements exactly those two triggers over
 //! the simulator's performance counters.
 
+use crate::error::{ActivePyError, Result};
 use csd_sim::counters::PerfCounters;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +24,53 @@ pub struct MonitorConfig {
     /// Smoothing keeps transient dips (a single garbage-collection window)
     /// from reading as a permanent availability collapse.
     pub smoothing: f64,
+}
+
+impl MonitorConfig {
+    /// Builds a validated config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivePyError::Config`] under the same conditions as
+    /// [`MonitorConfig::validate`].
+    pub fn new(degradation_threshold: f64, decreasing_streak: u32, smoothing: f64) -> Result<Self> {
+        let config = MonitorConfig {
+            degradation_threshold,
+            decreasing_streak,
+            smoothing,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the config is usable: the threshold must be a positive
+    /// finite ratio, the streak at least 1, and the smoothing factor in
+    /// `(0, 1]`. Invalid values are rejected here instead of being
+    /// silently clamped at observation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivePyError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.degradation_threshold.is_finite() && self.degradation_threshold > 0.0) {
+            return Err(ActivePyError::config(format!(
+                "monitor degradation threshold must be positive and finite, got {}",
+                self.degradation_threshold
+            )));
+        }
+        if self.decreasing_streak == 0 {
+            return Err(ActivePyError::config(
+                "monitor decreasing streak must be at least 1",
+            ));
+        }
+        if !(self.smoothing.is_finite() && self.smoothing > 0.0 && self.smoothing <= 1.0) {
+            return Err(ActivePyError::config(format!(
+                "monitor smoothing must be in (0, 1], got {}",
+                self.smoothing
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for MonitorConfig {
@@ -67,6 +115,10 @@ impl Monitor {
     /// with `baseline` being the engine counters at region entry.
     #[must_use]
     pub fn new(config: MonitorConfig, expected_rate: f64, baseline: PerfCounters) -> Self {
+        debug_assert!(
+            config.validate().is_ok(),
+            "monitor config must be validated before reaching the monitor"
+        );
         Monitor {
             config,
             expected_rate,
@@ -126,7 +178,9 @@ impl Monitor {
             None => false,
         };
         self.last_raw = Some(raw);
-        let alpha = self.config.smoothing.clamp(0.01, 1.0);
+        // Validated at construction (MonitorConfig::validate): no silent
+        // clamp here.
+        let alpha = self.config.smoothing;
         let smoothed = match self.last_rate {
             Some(prev) => alpha * raw + (1.0 - alpha) * prev,
             None => raw,
@@ -138,6 +192,16 @@ impl Monitor {
         } else {
             Observation::Healthy
         }
+    }
+
+    /// Tells the monitor that a `Degraded` observation was consumed by a
+    /// migration: the decrease streak (and the raw-rate reference it
+    /// compares against) belongs to the pre-migration placement, so both
+    /// reset. Without this, a stale streak carried across the migration
+    /// could instantly re-trigger on the next region's first slow window.
+    pub fn acknowledge_migration(&mut self) {
+        self.decreases = 0;
+        self.last_raw = None;
     }
 
     /// The smoothed measured throughput (ops/sec of wall time).
@@ -264,5 +328,58 @@ mod tests {
         let mut m = Monitor::new(MonitorConfig::default(), 1e9, PerfCounters::new());
         assert_eq!(m.observe_window(0.0, 1.0), Observation::Warmup);
         assert_eq!(m.observe_window(1.0, 0.0), Observation::Warmup);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fields() {
+        assert!(MonitorConfig::default().validate().is_ok());
+        assert!(MonitorConfig::new(0.85, 3, 0.35).is_ok());
+        for (threshold, streak, smoothing) in [
+            (0.0, 3, 0.35),           // non-positive threshold
+            (-1.0, 3, 0.35),          // negative threshold
+            (f64::NAN, 3, 0.35),      // non-finite threshold
+            (0.85, 0, 0.35),          // zero streak
+            (0.85, 3, 0.0),           // smoothing below (0, 1]
+            (0.85, 3, 1.5),           // smoothing above (0, 1]
+            (0.85, 3, f64::INFINITY), // non-finite smoothing
+        ] {
+            let err = MonitorConfig::new(threshold, streak, smoothing);
+            assert!(
+                matches!(err, Err(ActivePyError::Config { .. })),
+                "({threshold}, {streak}, {smoothing}) must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn acknowledge_migration_resets_the_decrease_streak() {
+        let cfg = MonitorConfig {
+            degradation_threshold: 0.5,
+            decreasing_streak: 3,
+            smoothing: 1.0,
+        };
+        let mut m = Monitor::new(cfg, 1e9, PerfCounters::new());
+        // Build a 3-decrease streak that triggers Degraded.
+        assert_eq!(m.observe_window(1e9, 1.0), Observation::Healthy);
+        assert_eq!(m.observe_window(0.95e9, 1.0), Observation::Healthy);
+        assert_eq!(m.observe_window(0.90e9, 1.0), Observation::Healthy);
+        assert!(matches!(
+            m.observe_window(0.86e9, 1.0),
+            Observation::Degraded { .. }
+        ));
+        // The migration consumes the observation; the streak resets.
+        m.acknowledge_migration();
+        // One further decrease must NOT instantly re-trigger: it is the
+        // first decrease of a fresh streak (and the first window after the
+        // acknowledgement establishes a new raw-rate reference).
+        assert_eq!(m.observe_window(0.85e9, 1.0), Observation::Healthy);
+        assert_eq!(m.observe_window(0.84e9, 1.0), Observation::Healthy);
+        assert_eq!(m.observe_window(0.83e9, 1.0), Observation::Healthy);
+        // The streak still works from scratch: a third consecutive
+        // decrease re-triggers.
+        assert!(matches!(
+            m.observe_window(0.82e9, 1.0),
+            Observation::Degraded { .. }
+        ));
     }
 }

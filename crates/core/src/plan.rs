@@ -315,6 +315,26 @@ mod tests {
             (1, 1),
             "monitor policy must not split the plan key"
         );
+        // Faults and recovery are execution-only too: a runtime that will
+        // inject faults still reuses the fault-free plan.
+        let faulted = ActivePy::with_options(
+            crate::runtime::ActivePyOptions::default()
+                .with_recovery(crate::recovery::RecoveryPolicy::default().without_fallback())
+                .with_faults(
+                    csd_sim::fault::FaultPlan::none()
+                        .with_seed(9)
+                        .with_flash_read_error_prob(0.2),
+                ),
+        );
+        cache
+            .plan_for(&faulted, "w", &program, &input(), &config)
+            .expect("plan");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (2, 1),
+            "fault plan and recovery policy must not split the plan key"
+        );
     }
 
     #[test]

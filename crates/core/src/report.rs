@@ -78,6 +78,7 @@ pub fn render_timeline(program: &Program, report: &RunReport) -> String {
                 let why = match m.reason {
                     MigrationReason::Degraded => "throughput degraded",
                     MigrationReason::Preempted => "high-priority preemption",
+                    MigrationReason::DeviceFault => "device fault",
                 };
                 let _ = writeln!(
                     out,

@@ -17,11 +17,13 @@ use crate::exec::{execute, execute_lowered, ExecOptions, RunReport};
 use crate::fit::{predict_lines, LinePrediction};
 use crate::monitor::MonitorConfig;
 use crate::plan::{OffloadPlan, PlanTimings};
+use crate::recovery::RecoveryPolicy;
 use crate::sampling::{paper_scales, run_sampling_with, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
 use alang::copyelim::eliminable_lines;
 use alang::{CostParams, ExecBackend, ExecTier, Program};
 use csd_sim::contention::ContentionScenario;
+use csd_sim::fault::FaultPlan;
 use csd_sim::units::Duration;
 use csd_sim::SystemConfig;
 
@@ -46,6 +48,13 @@ pub struct ActivePyOptions {
     /// tree-walking reference interpreter. The two produce byte-identical
     /// outcomes.
     pub backend: ExecBackend,
+    /// How plan execution responds to injected device faults (retry
+    /// budget, sim-time backoff, host fallback).
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault plan injected into plan executions;
+    /// [`FaultPlan::none`] (the default) injects nothing. Execution-only:
+    /// it does not participate in plan-cache fingerprints.
+    pub faults: FaultPlan,
 }
 
 impl Default for ActivePyOptions {
@@ -57,6 +66,8 @@ impl Default for ActivePyOptions {
             charge_pipeline_overheads: true,
             preempt_at: None,
             backend: ExecBackend::default(),
+            recovery: RecoveryPolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -80,6 +91,20 @@ impl ActivePyOptions {
     #[must_use]
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Replaces the fault-recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Installs a deterministic fault plan for plan executions.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -265,6 +290,8 @@ impl ActivePy {
             offload_overheads: true,
             preempt_at: self.options.preempt_at,
             backend: self.options.backend,
+            recovery: self.options.recovery,
+            faults: self.options.faults.clone(),
         };
         let placements = plan.assignment.placements(plan.program.len());
         let report = match self.options.backend {

@@ -14,6 +14,31 @@
 
 use crate::units::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of fraction values clamped up to
+/// [`AvailabilityTrace::MIN_FRACTION`]. Clamping keeps the simulation
+/// live but silently rewrites the requested fraction, so it is counted
+/// (and, in debug builds, reported once) instead of passing unnoticed.
+static CLAMP_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one clamp event; emits a single debug-build diagnostic the
+/// first time it ever fires so test logs surface the rewrite without
+/// being spammed by property tests.
+fn record_clamp(requested: f64) {
+    let prev = CLAMP_EVENTS.fetch_add(1, Ordering::Relaxed);
+    #[cfg(debug_assertions)]
+    if prev == 0 {
+        eprintln!(
+            "csd-sim: availability fraction {requested} clamped to minimum {} \
+             (further clamp events are counted silently; see \
+             AvailabilityTrace::clamp_events)",
+            AvailabilityTrace::MIN_FRACTION
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (prev, requested);
+}
 
 /// One constant-availability segment, from [`Segment::start`] until the next
 /// segment's start (the last segment extends to infinity).
@@ -56,6 +81,22 @@ impl AvailabilityTrace {
                 fraction: 1.0,
             }],
         }
+    }
+
+    /// Whether this is the trivial full-throughput trace (one segment at
+    /// fraction 1.0) — lets hot paths skip composing it in.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.segments.len() == 1 && self.segments[0].fraction == 1.0
+    }
+
+    /// How many times, process-wide, a requested fraction has been
+    /// clamped up to [`AvailabilityTrace::MIN_FRACTION`]. Monotonic;
+    /// useful for asserting that a scenario did (or did not) hit the
+    /// floor.
+    #[must_use]
+    pub fn clamp_events() -> u64 {
+        CLAMP_EVENTS.load(Ordering::Relaxed)
     }
 
     /// A trace with a single constant fraction forever.
@@ -199,10 +240,15 @@ impl AvailabilityTrace {
         boundaries.dedup();
         let segments = boundaries
             .into_iter()
-            .map(|start| Segment {
-                start,
-                fraction: (self.fraction_at(start) * other.fraction_at(start))
-                    .max(Self::MIN_FRACTION),
+            .map(|start| {
+                let raw = self.fraction_at(start) * other.fraction_at(start);
+                if raw < Self::MIN_FRACTION {
+                    record_clamp(raw);
+                }
+                Segment {
+                    start,
+                    fraction: raw.max(Self::MIN_FRACTION),
+                }
             })
             .collect();
         AvailabilityTrace { segments }
@@ -220,6 +266,9 @@ fn clamp_fraction(fraction: f64) -> f64 {
         fraction.is_finite() && fraction > 0.0 && fraction <= 1.0,
         "availability fraction must be in (0, 1], got {fraction}"
     );
+    if fraction < AvailabilityTrace::MIN_FRACTION {
+        record_clamp(fraction);
+    }
     fraction.max(AvailabilityTrace::MIN_FRACTION)
 }
 
@@ -308,6 +357,79 @@ mod tests {
         assert!((p.fraction_at(SimTime::from_secs(1.0)) - 0.8).abs() < 1e-12);
         assert!((p.fraction_at(SimTime::from_secs(2.5)) - 0.4).abs() < 1e-12);
         assert!((p.fraction_at(SimTime::from_secs(5.0)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_full_only_for_the_trivial_trace() {
+        assert!(AvailabilityTrace::full().is_full());
+        assert!(!AvailabilityTrace::constant(0.5).is_full());
+        assert!(!AvailabilityTrace::full()
+            .with_change(SimTime::from_secs(1.0), 0.5)
+            .is_full());
+        assert!(AvailabilityTrace::full()
+            .product(&AvailabilityTrace::full())
+            .is_full());
+    }
+
+    #[test]
+    fn overlapping_with_change_at_identical_times_last_wins() {
+        // Two changes at exactly the same instant: the retain(start < at)
+        // in with_change drops the earlier one, so the last call wins and
+        // no duplicate segment survives.
+        let tr = AvailabilityTrace::full()
+            .with_change(SimTime::from_secs(2.0), 0.5)
+            .with_change(SimTime::from_secs(2.0), 0.25);
+        assert_eq!(tr.segments().len(), 2);
+        assert_eq!(tr.fraction_at(SimTime::from_secs(2.0)), 0.25);
+        assert_eq!(tr.fraction_at(SimTime::from_secs(3.0)), 0.25);
+    }
+
+    #[test]
+    fn queries_landing_exactly_on_a_boundary() {
+        let tr = AvailabilityTrace::full().with_change(SimTime::from_secs(2.0), 0.5);
+        // The boundary instant belongs to the new segment.
+        assert_eq!(tr.fraction_at(SimTime::from_secs(2.0)), 0.5);
+        // Integration starting exactly at the boundary sees only the new
+        // fraction...
+        let eff = tr.integrate(SimTime::from_secs(2.0), Duration::from_secs(4.0));
+        assert!((eff - 2.0).abs() < 1e-12);
+        // ...and inversion from the boundary is its exact inverse.
+        let wall = tr.invert(SimTime::from_secs(2.0), 2.0);
+        assert!((wall.as_secs() - 4.0).abs() < 1e-12);
+        // Integration *ending* exactly on the boundary never touches the
+        // degraded segment.
+        let eff = tr.integrate(SimTime::ZERO, Duration::from_secs(2.0));
+        assert!((eff - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_across_the_min_fraction_floor_clamps_and_counts() {
+        let before = AvailabilityTrace::clamp_events();
+        let tiny = AvailabilityTrace::constant(1e-4);
+        let p = tiny.product(&tiny); // raw 1e-8 < MIN_FRACTION
+        assert_eq!(
+            p.fraction_at(SimTime::ZERO),
+            AvailabilityTrace::MIN_FRACTION
+        );
+        assert!(
+            AvailabilityTrace::clamp_events() > before,
+            "clamping must be counted, not silent"
+        );
+        // The floor keeps the trace invertible: work still completes.
+        let wall = p.invert(SimTime::ZERO, 1e-6);
+        assert!(wall.as_secs().is_finite());
+        assert!((wall.as_secs() - 1.0).abs() < 1e-9, "1e-6 eff / 1e-6 frac");
+    }
+
+    #[test]
+    fn constant_below_the_floor_clamps_and_counts() {
+        let before = AvailabilityTrace::clamp_events();
+        let tr = AvailabilityTrace::constant(1e-9);
+        assert_eq!(
+            tr.fraction_at(SimTime::ZERO),
+            AvailabilityTrace::MIN_FRACTION
+        );
+        assert!(AvailabilityTrace::clamp_events() > before);
     }
 
     #[test]

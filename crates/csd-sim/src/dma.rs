@@ -25,6 +25,7 @@ pub struct DmaEngine {
     h2d_bytes: Bytes,
     d2h_bytes: Bytes,
     transfers: u64,
+    faulted_transfers: u64,
 }
 
 impl DmaEngine {
@@ -36,6 +37,7 @@ impl DmaEngine {
             h2d_bytes: Bytes::ZERO,
             d2h_bytes: Bytes::ZERO,
             transfers: 0,
+            faulted_transfers: 0,
         }
     }
 
@@ -80,11 +82,24 @@ impl DmaEngine {
         self.transfers
     }
 
+    /// Records one transfer attempt killed by an injected DMA error
+    /// (no payload moved, no descriptor charged).
+    pub fn record_fault(&mut self) {
+        self.faulted_transfers += 1;
+    }
+
+    /// Transfer attempts killed by injected errors.
+    #[must_use]
+    pub fn faulted_transfers(&self) -> u64 {
+        self.faulted_transfers
+    }
+
     /// Resets traffic counters.
     pub fn reset_counters(&mut self) {
         self.h2d_bytes = Bytes::ZERO;
         self.d2h_bytes = Bytes::ZERO;
         self.transfers = 0;
+        self.faulted_transfers = 0;
     }
 }
 

@@ -76,6 +76,7 @@ impl EngineSpec {
 pub struct ComputeEngine {
     spec: EngineSpec,
     availability: AvailabilityTrace,
+    fault: AvailabilityTrace,
     counters: PerfCounters,
 }
 
@@ -86,6 +87,7 @@ impl ComputeEngine {
         ComputeEngine {
             spec,
             availability: AvailabilityTrace::full(),
+            fault: AvailabilityTrace::full(),
             counters: PerfCounters::new(),
         }
     }
@@ -123,13 +125,34 @@ impl ComputeEngine {
         self.availability = self.availability.clone().with_change(at, fraction);
     }
 
+    /// Installs an injected-fault availability trace (e.g. GC bursts from
+    /// a fault plan). Kept separate from the contention trace because
+    /// contention scenarios replace that trace wholesale mid-run; the two
+    /// compose multiplicatively at query time.
+    pub fn install_fault_trace(&mut self, trace: AvailabilityTrace) {
+        self.fault = trace;
+    }
+
+    /// The injected-fault trace currently in force (full when no faults
+    /// are installed).
+    #[must_use]
+    pub fn fault_trace(&self) -> &AvailabilityTrace {
+        &self.fault
+    }
+
     /// Wall-clock time to retire `ops` when starting at `start`, under the
     /// current availability trace. Does **not** record counters; use
     /// [`ComputeEngine::execute`] for that.
     #[must_use]
     pub fn time_to_execute(&self, start: SimTime, ops: Ops) -> Duration {
         let effective_secs = self.nominal_rate().execute_time(ops).as_secs();
-        self.availability.invert(start, effective_secs)
+        if self.fault.is_full() {
+            self.availability.invert(start, effective_secs)
+        } else {
+            self.availability
+                .product(&self.fault)
+                .invert(start, effective_secs)
+        }
     }
 
     /// Executes `ops` starting at `start`: returns the wall-clock duration
@@ -256,6 +279,20 @@ mod tests {
             eng.spec().ipc * f64::from(eng.spec().cores) * eng.spec().parallel_efficiency;
         let measured = eng.counters().ipc(eng.spec().freq_hz).expect("ipc");
         assert!((measured / nominal_ipc - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_trace_composes_with_contention() {
+        let mut eng = ComputeEngine::new(default_cse_spec());
+        let base = eng.time_to_execute(SimTime::ZERO, Ops::new(1_000_000_000));
+        eng.degrade_from(SimTime::ZERO, 0.5);
+        eng.install_fault_trace(AvailabilityTrace::constant(0.5));
+        let slow = eng.time_to_execute(SimTime::ZERO, Ops::new(1_000_000_000));
+        assert!((slow.as_secs() / base.as_secs() - 4.0).abs() < 1e-6);
+        // Removing the fault trace restores pure contention timing.
+        eng.install_fault_trace(AvailabilityTrace::full());
+        let contended = eng.time_to_execute(SimTime::ZERO, Ops::new(1_000_000_000));
+        assert!((contended.as_secs() / base.as_secs() - 2.0).abs() < 1e-6);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub struct FlashArray {
     internal_bandwidth: Bandwidth,
     gc: Option<GcSchedule>,
     contention: AvailabilityTrace,
+    fault: AvailabilityTrace,
     bytes_read: Bytes,
     bytes_written: Bytes,
 }
@@ -83,6 +84,7 @@ impl FlashArray {
             internal_bandwidth,
             gc: None,
             contention: AvailabilityTrace::full(),
+            fault: AvailabilityTrace::full(),
             bytes_read: Bytes::ZERO,
             bytes_written: Bytes::ZERO,
         }
@@ -123,6 +125,21 @@ impl FlashArray {
         &self.contention
     }
 
+    /// Installs an injected-fault availability trace (GC bursts from a
+    /// fault plan). Unlike tenant contention, injected GC bursts are
+    /// device-internal — the flash itself stalls — so they throttle the
+    /// external controller port too.
+    pub fn install_fault_trace(&mut self, trace: AvailabilityTrace) {
+        self.fault = trace;
+    }
+
+    /// The injected-fault trace currently in force (full when no faults
+    /// are installed).
+    #[must_use]
+    pub fn fault_trace(&self) -> &AvailabilityTrace {
+        &self.fault
+    }
+
     /// The active GC schedule, if any.
     #[must_use]
     pub fn gc(&self) -> Option<&GcSchedule> {
@@ -142,9 +159,27 @@ impl FlashArray {
     }
 
     /// Builds the combined availability trace: garbage collection (if
-    /// scheduled) multiplied by tenant contention.
+    /// scheduled) multiplied by tenant contention and any injected
+    /// fault bursts.
     fn effective_trace(&self, around: SimTime, span_hint: Duration) -> AvailabilityTrace {
-        self.gc_trace(around, span_hint).product(&self.contention)
+        let tr = self.gc_trace(around, span_hint).product(&self.contention);
+        if self.fault.is_full() {
+            tr
+        } else {
+            tr.product(&self.fault)
+        }
+    }
+
+    /// The availability trace the external controller port sees: garbage
+    /// collection plus injected fault bursts (tenant contention stays on
+    /// the CSE-side fabric).
+    fn external_trace(&self, around: SimTime, span_hint: Duration) -> AvailabilityTrace {
+        let tr = self.gc_trace(around, span_hint);
+        if self.fault.is_full() {
+            tr
+        } else {
+            tr.product(&self.fault)
+        }
     }
 
     /// Builds the availability trace the GC schedule implies, anchored so
@@ -192,7 +227,8 @@ impl FlashArray {
     pub fn time_to_read_external(&self, start: SimTime, bytes: Bytes) -> Duration {
         let effective_secs = self.internal_bandwidth.transfer_time(bytes).as_secs();
         let hint = Duration::from_secs(effective_secs * 4.0 + 1.0);
-        self.gc_trace(start, hint).invert(start, effective_secs)
+        self.external_trace(start, hint)
+            .invert(start, effective_secs)
     }
 
     /// Reads `bytes` over the CSE-side path starting at `start`: returns
@@ -336,6 +372,55 @@ mod tests {
             (external.as_secs() - 2.0).abs() < 0.1,
             "GC applies externally: {external}"
         );
+    }
+
+    #[test]
+    fn fault_burst_throttles_both_ports() {
+        let mut fl = array();
+        fl.set_contention(AvailabilityTrace::constant(0.5));
+        fl.install_fault_trace(
+            AvailabilityTrace::full()
+                .with_change(SimTime::ZERO, 0.5)
+                .with_change(SimTime::from_secs(1e9), 1.0),
+        );
+        // Internal: contention 0.5 x burst 0.5 = 0.25 effective.
+        let internal = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(9.0));
+        assert!((internal.as_secs() - 4.0).abs() < 1e-6, "got {internal}");
+        // External: burst applies (device-internal GC), contention does not.
+        let external = fl.time_to_read_external(SimTime::ZERO, Bytes::from_gb_f64(9.0));
+        assert!((external.as_secs() - 2.0).abs() < 1e-6, "got {external}");
+    }
+
+    #[test]
+    fn zero_length_gc_window_is_a_no_op() {
+        let mut fl = array();
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(1.0),
+            Duration::ZERO,
+            0.5,
+        ));
+        // window == 0: every with_change(start, residual) is immediately
+        // overridden by with_change(start + 0, 1.0), so reads run at full
+        // bandwidth.
+        let t = fl.time_to_read(SimTime::ZERO, Bytes::from_gb_f64(9.0));
+        assert!((t.as_secs() - 1.0).abs() < 1e-9, "got {t}");
+        assert!((fl.gc().unwrap().mean_availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_starting_exactly_on_a_gc_boundary() {
+        let mut fl = array();
+        fl.set_gc(GcSchedule::new(
+            Duration::from_secs(10.0),
+            Duration::from_secs(5.0),
+            0.1,
+        ));
+        // Start exactly when a window opens: the whole read is degraded.
+        let t = fl.time_to_read(SimTime::from_secs(10.0), Bytes::from_gb_f64(0.9));
+        assert!((t.as_secs() - 1.0).abs() < 1e-9, "got {t}");
+        // Start exactly when the window closes: the read is clean.
+        let t = fl.time_to_read(SimTime::from_secs(15.0), Bytes::from_gb_f64(0.9));
+        assert!((t.as_secs() - 0.1).abs() < 1e-9, "got {t}");
     }
 
     #[test]

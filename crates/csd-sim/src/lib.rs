@@ -37,6 +37,7 @@ pub mod contention;
 pub mod counters;
 pub mod dma;
 pub mod engine;
+pub mod fault;
 pub mod flash;
 pub mod link;
 pub mod memory;
@@ -48,6 +49,7 @@ pub use config::SystemConfig;
 pub use contention::ContentionScenario;
 pub use dma::Direction;
 pub use engine::EngineKind;
+pub use fault::{DeviceFault, FaultCounters, FaultInjector, FaultPlan, GcBurst};
 pub use system::System;
 
 #[cfg(test)]

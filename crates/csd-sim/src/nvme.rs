@@ -134,6 +134,7 @@ pub struct QueuePair {
     submitted_total: u64,
     completed_total: u64,
     status_updates: u64,
+    aborted_total: u64,
 }
 
 impl QueuePair {
@@ -154,6 +155,7 @@ impl QueuePair {
             submitted_total: 0,
             completed_total: 0,
             status_updates: 0,
+            aborted_total: 0,
         }
     }
 
@@ -246,6 +248,19 @@ impl QueuePair {
         self.status_updates
     }
 
+    /// Records one aborted command attempt (an injected NVMe error hit
+    /// before the command reached the ring).
+    pub fn record_aborted(&mut self) {
+        self.aborted_total += 1;
+    }
+
+    /// Command attempts aborted by injected errors over the queue's
+    /// lifetime.
+    #[must_use]
+    pub fn aborted_total(&self) -> u64 {
+        self.aborted_total
+    }
+
     /// Round-trip overhead of one function invocation, excluding the work
     /// itself: submit + fetch + complete.
     #[must_use]
@@ -260,6 +275,7 @@ impl QueuePair {
         self.submitted_total = 0;
         self.completed_total = 0;
         self.status_updates = 0;
+        self.aborted_total = 0;
     }
 }
 

@@ -8,6 +8,7 @@
 use crate::config::SystemConfig;
 use crate::dma::{Direction, DmaEngine};
 use crate::engine::{ComputeEngine, EngineKind};
+use crate::fault::{DeviceFault, FaultCounters, FaultInjector, FaultPlan};
 use crate::flash::FlashArray;
 use crate::link::Path;
 use crate::memory::SharedAddressSpace;
@@ -27,6 +28,7 @@ pub struct System {
     queue: QueuePair,
     dma: DmaEngine,
     memory: SharedAddressSpace,
+    faults: Option<FaultInjector>,
 }
 
 impl System {
@@ -54,6 +56,7 @@ impl System {
             queue,
             dma,
             memory,
+            faults: None,
         }
     }
 
@@ -190,6 +193,133 @@ impl System {
         wall
     }
 
+    /// Installs a fault plan: builds the injector and hangs the plan's GC
+    /// burst trace on both the CSE and the flash array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if let Err(msg) = plan.validate() {
+            panic!("invalid fault plan: {msg}");
+        }
+        let bursts = plan.burst_trace();
+        self.cse.install_fault_trace(bursts.clone());
+        self.flash.install_fault_trace(bursts);
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Injection totals (all zero when no plan is installed).
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map_or_else(FaultCounters::default, FaultInjector::counters)
+    }
+
+    /// Whether the hard CSE crash has been observed.
+    #[must_use]
+    pub fn cse_crashed(&self) -> bool {
+        self.faults.as_ref().is_some_and(FaultInjector::crashed)
+    }
+
+    /// Charges the fault-detection latency for `fault` to the clock and
+    /// returns it, so callers can propagate the error.
+    fn charge_fault(&mut self, fault: DeviceFault) -> DeviceFault {
+        if let Some(inj) = &self.faults {
+            self.clock += inj.plan().detect_latency;
+        }
+        fault
+    }
+
+    /// Fallible [`System::storage_read`]: CSE-side reads roll the
+    /// injected flash error probability (and observe the hard crash)
+    /// before any data moves. Host-side reads use the external
+    /// controller port, which has no injected failure mode — GC bursts
+    /// slow it, but it does not error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`DeviceFault`] with the detection latency
+    /// already charged to the clock; no bytes are read.
+    pub fn try_storage_read(
+        &mut self,
+        engine: EngineKind,
+        bytes: Bytes,
+    ) -> Result<Duration, DeviceFault> {
+        if engine == EngineKind::Cse {
+            if let Some(inj) = &mut self.faults {
+                if let Some(fault) = inj.roll_flash_read(self.clock) {
+                    return Err(self.charge_fault(fault));
+                }
+            }
+        }
+        Ok(self.storage_read(engine, bytes))
+    }
+
+    /// Fallible [`System::compute`]: CSE-side compute observes the hard
+    /// crash (it has no transient failure mode of its own).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceFault::CseCrash`] with the detection latency
+    /// charged; no operations retire.
+    pub fn try_compute(&mut self, engine: EngineKind, ops: Ops) -> Result<Duration, DeviceFault> {
+        if engine == EngineKind::Cse {
+            if let Some(inj) = &mut self.faults {
+                if let Some(fault) = inj.roll_compute(self.clock) {
+                    return Err(self.charge_fault(fault));
+                }
+            }
+        }
+        Ok(self.compute(engine, ops))
+    }
+
+    /// Fallible [`System::transfer`]: rolls the injected DMA error
+    /// probability. DMA is controller-side and survives a CSE crash, so
+    /// the only possible fault here is the transient
+    /// [`DeviceFault::DmaTransfer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected fault with the detection latency charged;
+    /// no payload moves (the aborted attempt is counted on the DMA
+    /// engine).
+    pub fn try_transfer(&mut self, dir: Direction, bytes: Bytes) -> Result<Duration, DeviceFault> {
+        if let Some(inj) = &mut self.faults {
+            if let Some(fault) = inj.roll_dma(self.clock) {
+                self.dma.record_fault();
+                return Err(self.charge_fault(fault));
+            }
+        }
+        Ok(self.transfer(dir, bytes))
+    }
+
+    /// Rolls the injected NVMe command error (and the hard crash) for
+    /// one command attempt, without touching the ring. Callers perform
+    /// the actual submit/fetch on success, so the fault-free path is
+    /// byte-identical to the infallible one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected fault with the detection latency charged;
+    /// the aborted attempt is counted on the queue pair.
+    pub fn try_nvme_command(&mut self) -> Result<(), DeviceFault> {
+        if let Some(inj) = &mut self.faults {
+            if let Some(fault) = inj.roll_nvme(self.clock) {
+                self.queue.record_aborted();
+                return Err(self.charge_fault(fault));
+            }
+        }
+        Ok(())
+    }
+
     /// Charges one CSD function-invocation overhead (submit + fetch +
     /// complete) to the clock.
     pub fn charge_invocation(&mut self) -> Duration {
@@ -216,6 +346,12 @@ impl System {
         self.queue.reset();
         self.dma.reset_counters();
         self.memory = SharedAddressSpace::new(self.config.host_dram, self.config.device_dram);
+        // The injector rewinds to the start of its PRNG stream so a
+        // fresh run replays the identical fault trace (burst traces on
+        // the engines are static and stay installed).
+        if let Some(inj) = &mut self.faults {
+            inj.reset();
+        }
     }
 }
 
@@ -286,6 +422,117 @@ mod tests {
         assert_eq!(sys.now(), SimTime::ZERO);
         assert_eq!(sys.engine(EngineKind::Cse).counters().retired(), Ops::ZERO);
         assert_eq!(sys.dma().transfers(), 0);
+    }
+
+    #[test]
+    fn try_ops_without_faults_match_infallible_ops() {
+        let mut a = System::paper_default();
+        let mut b = System::paper_default();
+        let d1 = a.storage_read(EngineKind::Cse, Bytes::from_mib(64));
+        let d2 = a.compute(EngineKind::Cse, Ops::new(1_000_000));
+        let d3 = a.transfer(Direction::DeviceToHost, Bytes::from_mib(8));
+        assert_eq!(
+            b.try_storage_read(EngineKind::Cse, Bytes::from_mib(64)),
+            Ok(d1)
+        );
+        assert_eq!(b.try_compute(EngineKind::Cse, Ops::new(1_000_000)), Ok(d2));
+        assert_eq!(
+            b.try_transfer(Direction::DeviceToHost, Bytes::from_mib(8)),
+            Ok(d3)
+        );
+        assert_eq!(b.try_nvme_command(), Ok(()));
+        assert_eq!(a.now(), b.now());
+        assert_eq!(b.fault_counters(), crate::fault::FaultCounters::default());
+    }
+
+    #[test]
+    fn injected_faults_charge_detection_latency_and_count() {
+        let mut sys = System::paper_default();
+        sys.install_faults(
+            crate::fault::FaultPlan::none()
+                .with_seed(3)
+                .with_dma_error_prob(0.5),
+        );
+        let mut faults = 0;
+        let mut t_before;
+        for _ in 0..50 {
+            t_before = sys.now();
+            if sys
+                .try_transfer(Direction::DeviceToHost, Bytes::from_mib(1))
+                .is_err()
+            {
+                faults += 1;
+                let charged = sys.now().duration_since(t_before);
+                assert!((charged.as_secs() - 50e-6).abs() < 1e-12);
+            }
+        }
+        assert!(faults > 0, "p=0.5 over 50 transfers");
+        assert_eq!(sys.fault_counters().dma_transfer_errors, faults);
+        assert_eq!(sys.dma().faulted_transfers(), faults);
+    }
+
+    #[test]
+    fn crash_fails_cse_side_but_not_dma() {
+        let mut sys = System::paper_default();
+        sys.install_faults(
+            crate::fault::FaultPlan::none().with_crash_at(crate::units::SimTime::ZERO),
+        );
+        assert!(sys
+            .try_storage_read(EngineKind::Cse, Bytes::from_mib(1))
+            .is_err());
+        assert!(sys.cse_crashed());
+        assert!(sys.try_compute(EngineKind::Cse, Ops::new(100)).is_err());
+        assert!(sys.try_nvme_command().is_err());
+        // Host-side and DMA paths keep working so migration can drain.
+        assert!(sys
+            .try_storage_read(EngineKind::Host, Bytes::from_mib(1))
+            .is_ok());
+        assert!(sys.try_compute(EngineKind::Host, Ops::new(100)).is_ok());
+        assert!(sys
+            .try_transfer(Direction::DeviceToHost, Bytes::from_mib(1))
+            .is_ok());
+        assert_eq!(sys.fault_counters().cse_crashes, 1);
+    }
+
+    #[test]
+    fn reset_rearms_the_injector_for_identical_replay() {
+        let mut sys = System::paper_default();
+        sys.install_faults(
+            crate::fault::FaultPlan::none()
+                .with_seed(9)
+                .with_flash_read_error_prob(0.4),
+        );
+        let run = |sys: &mut System| -> Vec<bool> {
+            (0..100)
+                .map(|_| {
+                    sys.try_storage_read(EngineKind::Cse, Bytes::from_mib(1))
+                        .is_err()
+                })
+                .collect()
+        };
+        let first = run(&mut sys);
+        sys.reset();
+        let second = run(&mut sys);
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&f| f), "p=0.4 over 100 reads");
+    }
+
+    #[test]
+    fn installed_burst_trace_slows_cse_and_flash() {
+        let mut sys = System::paper_default();
+        let base_read = sys
+            .clone()
+            .storage_read(EngineKind::Cse, Bytes::from_gb_f64(1.0));
+        sys.install_faults(crate::fault::FaultPlan::none().with_gc_burst(
+            SimTime::ZERO,
+            Duration::from_secs(1e6),
+            0.5,
+        ));
+        let slowed = sys.storage_read(EngineKind::Cse, Bytes::from_gb_f64(1.0));
+        assert!(
+            (slowed.as_secs() / base_read.as_secs() - 2.0).abs() < 1e-6,
+            "burst halves flash bandwidth: {slowed} vs {base_read}"
+        );
     }
 
     #[test]

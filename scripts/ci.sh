@@ -10,6 +10,12 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== fault-sweep smoke (deterministic injection, zero wrong answers) =="
+cargo test -q -p isp-bench faults::
+
+echo "== chaos differential (pinned at 48 cases in tests/chaos.rs) =="
+cargo test -q --test chaos
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 

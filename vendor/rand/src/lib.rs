@@ -103,6 +103,24 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// Returns the raw 64-bit generator state.
+        ///
+        /// Together with [`StdRng::from_state`] this lets a caller embed
+        /// the generator inside plain-data structs (e.g. ones deriving
+        /// `PartialEq`/`Serialize`) and rebuild it on demand without
+        /// losing the position in the stream.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator at an exact stream position previously
+        /// captured with [`StdRng::state`].
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             StdRng { state: seed }
@@ -150,6 +168,16 @@ mod tests {
             assert!((1..=50).contains(&w));
             let f = rng.gen_range(-1.0..1.0);
             assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        let _ = a.next_u64();
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
