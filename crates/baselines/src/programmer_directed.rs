@@ -133,6 +133,7 @@ pub fn run_plan(
         backend: alang::ExecBackend::default(),
         recovery: activepy::RecoveryPolicy::default(),
         faults: csd_sim::fault::FaultPlan::none(),
+        parallel: alang::ParallelPolicy::default(),
     };
     let report = execute(
         &program,

@@ -1,0 +1,112 @@
+//! Criterion bench: data-parallel kernels, serial vs. 8-thread policy.
+//!
+//! Each wired compute kernel runs through [`alang::builtins::call_in`]
+//! twice per input — once with the shared serial engine and once with an
+//! 8-worker [`alang::ParallelPolicy`] — so a regression in either the
+//! serial fast path or the chunked path shows up as a per-kernel delta.
+//! CI compiles this with `cargo bench --no-run`; the timed run is for
+//! developers on multi-core machines (on a single-core host the parallel
+//! numbers simply track the serial ones plus scheduling overhead).
+use alang::builtins::{call_in, KernelCtx, Storage};
+use alang::matrix::Matrix;
+use alang::value::{ArrayVal, BoolArrayVal};
+use alang::{ParEngine, ParallelPolicy, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Engagement threshold: low enough that every benched input chunks
+/// under the parallel policy.
+const MIN_PARALLEL_LEN: usize = 4096;
+
+fn arr(data: Vec<f64>) -> Value {
+    Value::Array(ArrayVal::new(data))
+}
+
+fn series(n: usize, mul: usize, modulus: usize, scale: f64, shift: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * mul) % modulus) as f64 * scale + shift)
+        .collect()
+}
+
+fn square(n: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * n)
+        .map(|i| {
+            if i % 7 == 0 {
+                0.0
+            } else {
+                (i % 23) as f64 - 11.0
+            }
+        })
+        .collect();
+    Matrix::new(data, n, n).expect("square matrix")
+}
+
+fn sparse(n: usize) -> alang::matrix::Csr {
+    let data: Vec<f64> = (0..n * n)
+        .map(|i| {
+            if (i * 31) % 10 == 0 {
+                ((i % 13) + 1) as f64 * 0.1
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Matrix::new(data, n, n).expect("sparse matrix").to_csr()
+}
+
+fn kernel_cases() -> Vec<(&'static str, Vec<Value>)> {
+    let elems = 100_000;
+    let mat_n = 96;
+    let csr_n = 384;
+    let pts = 2048;
+    let xs = series(elems, 37, 101, 0.5, -20.0);
+    let ys = series(elems, 13, 89, 0.25, -10.0);
+    let keep: Vec<bool> = (0..elems).map(|i| i % 3 != 0).collect();
+    let m = square(mat_n);
+    let csr = sparse(csr_n);
+    let ranks = vec![1.0 / csr_n as f64; csr_n];
+    let points = Matrix::new(series(pts * 8, 7, 19, 1.0, 0.0), pts, 8).expect("points");
+    let cents = Matrix::new((0..8 * 8).map(|i| i as f64).collect(), 8, 8).expect("cents");
+    vec![
+        ("sum", vec![arr(xs.clone())]),
+        ("dot", vec![arr(xs.clone()), arr(ys)]),
+        ("sqrt", vec![arr(xs.iter().map(|x| x.abs()).collect())]),
+        (
+            "select",
+            vec![arr(xs), Value::BoolArray(BoolArrayVal::new(keep))],
+        ),
+        ("matmul", vec![Value::Matrix(m.clone()), Value::Matrix(m)]),
+        (
+            "pagerank_step",
+            vec![Value::Csr(csr), arr(ranks), Value::Num(0.85)],
+        ),
+        (
+            "kmeans_assign",
+            vec![Value::Matrix(points), Value::Matrix(cents)],
+        ),
+    ]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let storage = Storage::new();
+    let serial = ParEngine::new(ParallelPolicy::new(1, MIN_PARALLEL_LEN).expect("serial policy"));
+    let parallel =
+        ParEngine::new(ParallelPolicy::new(8, MIN_PARALLEL_LEN).expect("parallel policy"));
+    let mut g = c.benchmark_group("kernels");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (kernel, argv) in kernel_cases() {
+        for (mode, engine) in [("serial", &serial), ("par8", &parallel)] {
+            let ctx = KernelCtx {
+                storage: &storage,
+                par: engine,
+            };
+            g.bench_function(&format!("{kernel}/{mode}"), |b| {
+                b.iter(|| std::hint::black_box(call_in(kernel, &argv, &ctx).expect("kernel runs")))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -2,14 +2,18 @@
 //!
 //! All figures share one [`PlanCache`], so each (workload, platform) pair
 //! is sampled, fitted, and assigned exactly once across the whole run.
+//! `--threads N` executes every Figure 5 plan under an N-worker
+//! data-parallel kernel policy; the policy is execution-only, so the rows
+//! are byte-identical to the serial grid's and only wall-clock moves.
 //! With `--json`, the binary also times every experiment, re-runs Figure 5
 //! through the original uncached serial path as a before/after control
-//! (checking the rows are bit-identical), and writes the measurements to
-//! `BENCH_repro.json`.
+//! (checking the rows are bit-identical), runs the kernel-scaling sweep,
+//! and writes the measurements to `BENCH_repro.json`.
 
 use std::time::Instant;
 
 use activepy::PlanCache;
+use alang::ParallelPolicy;
 use csd_sim::SystemConfig;
 use isp_bench::experiments as ex;
 use serde::Serialize;
@@ -58,10 +62,12 @@ struct FaultsReport {
 struct BenchReport {
     experiments: Vec<ExperimentTiming>,
     total_secs: f64,
+    threads: usize,
     plan_cache: CacheReport,
     fig5_before_after: Fig5Comparison,
     interp: InterpComparison,
     faults: FaultsReport,
+    scaling: ex::scaling::Report,
 }
 
 /// Times per-line execution — the component of sampling wall-clock the
@@ -170,8 +176,31 @@ fn measure_interp() -> InterpComparison {
     }
 }
 
+/// Parses `--threads N` (default 1), validating against the engine's
+/// policy rules.
+fn parse_threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return 1;
+    };
+    let threads = args
+        .get(pos + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            eprintln!("--threads requires a positive integer");
+            std::process::exit(2);
+        });
+    if let Err(e) = ParallelPolicy::with_threads(threads).validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    threads
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let threads = parse_threads();
+    let policy = ParallelPolicy::with_threads(threads);
     let config = SystemConfig::paper_default();
     let cache = PlanCache::new();
     let mut experiments: Vec<ExperimentTiming> = Vec::new();
@@ -202,7 +231,7 @@ fn main() {
     println!();
 
     let t = Instant::now();
-    let fig5 = ex::fig5::run_with(&config, &cache);
+    let fig5 = ex::fig5::run_with_policy(&config, &cache, policy);
     let fig5_cached_secs = t.elapsed().as_secs_f64();
     time("fig5", fig5_cached_secs);
     ex::fig5::print(&fig5);
@@ -237,6 +266,15 @@ fn main() {
     let faults = ex::faults::run_with(&config, &cache);
     time("faults", t.elapsed().as_secs_f64());
     ex::faults::print(&faults);
+    println!();
+
+    let t = Instant::now();
+    let scaling = ex::scaling::run();
+    time("scaling", t.elapsed().as_secs_f64());
+    ex::scaling::print(&scaling);
+    if let Err(e) = ex::scaling::check(&scaling) {
+        eprintln!("scaling sweep check failed: {e}");
+    }
 
     let total_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
@@ -281,6 +319,7 @@ fn main() {
     let report = BenchReport {
         experiments,
         total_secs,
+        threads,
         plan_cache: CacheReport {
             hits: stats.hits,
             misses: stats.misses,
@@ -301,6 +340,7 @@ fn main() {
             wrong_answers: faults.iter().filter(|r| !r.values_match).count(),
             rows: faults,
         },
+        scaling,
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_repro.json", rendered).expect("BENCH_repro.json is writable");

@@ -53,6 +53,7 @@ fn measure(plan: &OffloadPlan, config: &SystemConfig, assignment: &Assignment) -
         backend: ExecBackend::Vm,
         recovery: activepy::RecoveryPolicy::default(),
         faults: csd_sim::fault::FaultPlan::none(),
+        parallel: alang::ParallelPolicy::default(),
     };
     let placements = assignment.placements(plan.program.len());
     // The plan carries the lowered bytecode; all four variants reuse it.

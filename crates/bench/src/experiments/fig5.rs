@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::geomean;
 use activepy::runtime::{ActivePy, ActivePyOptions};
 use activepy::PlanCache;
-use alang::{ExecBackend, ExecTier};
+use alang::{ExecBackend, ExecTier, ParallelPolicy};
 use csd_sim::units::SimTime;
 use csd_sim::{ContentionScenario, SystemConfig};
 use isp_baselines::{run_c_baseline, run_host_only_with};
@@ -94,11 +94,12 @@ fn run_workload(
     config: &SystemConfig,
     cache: &PlanCache,
     counters: &RunCounters,
+    policy: ParallelPolicy,
 ) -> Vec<Row> {
     let program = w.program().expect("registered workloads parse");
     counters.baselines.fetch_add(1, Ordering::Relaxed);
     let baseline = run_c_baseline(w, config).expect("baseline runs").total_secs;
-    let rt = ActivePy::new();
+    let rt = ActivePy::with_options(ActivePyOptions::default().with_parallelism(policy));
     let plan = cache
         .plan_for(&rt, w.name(), &program, w, config)
         .expect("planning succeeds");
@@ -110,7 +111,11 @@ fn run_workload(
         .report
         .time_at_csd_progress(0.5)
         .unwrap_or(reference.report.total_secs * 0.5);
-    let no_mig = ActivePy::with_options(ActivePyOptions::default().without_migration());
+    let no_mig = ActivePy::with_options(
+        ActivePyOptions::default()
+            .without_migration()
+            .with_parallelism(policy),
+    );
     AVAILABILITY_PCTS
         .iter()
         .map(|&pct| {
@@ -157,6 +162,24 @@ pub fn run_with(config: &SystemConfig, cache: &PlanCache) -> Vec<Row> {
     run_with_counters(config, cache, &RunCounters::default())
 }
 
+/// [`run_with`] executing every plan under a data-parallel kernel
+/// `policy`. The policy is execution-only (it does not split the plan-
+/// cache key, and values/LineCost records are policy-independent), so the
+/// rows are byte-identical to the serial grid's; only repro wall-clock
+/// changes.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run_with_policy(
+    config: &SystemConfig,
+    cache: &PlanCache,
+    policy: ParallelPolicy,
+) -> Vec<Row> {
+    run_grid_with(config, cache, &RunCounters::default(), policy)
+}
+
 /// [`run_with`] with phase counters for test instrumentation.
 ///
 /// # Panics
@@ -168,8 +191,17 @@ pub fn run_with_counters(
     cache: &PlanCache,
     counters: &RunCounters,
 ) -> Vec<Row> {
+    run_grid_with(config, cache, counters, ParallelPolicy::default())
+}
+
+fn run_grid_with(
+    config: &SystemConfig,
+    cache: &PlanCache,
+    counters: &RunCounters,
+    policy: ParallelPolicy,
+) -> Vec<Row> {
     let per_workload: Vec<Vec<Row>> = crate::sweep::run_grid(isp_workloads::with_sparsemv(), |w| {
-        run_workload(&w, config, cache, counters)
+        run_workload(&w, config, cache, counters, policy)
     });
     // Flatten workload-major results into the figure's availability-major
     // presentation order.

@@ -8,4 +8,5 @@ pub mod fig5;
 pub mod flexibility;
 pub mod prediction;
 pub mod runtime_opt;
+pub mod scaling;
 pub mod table1;

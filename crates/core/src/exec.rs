@@ -16,7 +16,8 @@ use crate::monitor::{Monitor, MonitorConfig, Observation};
 use crate::recovery::{Recovery, RecoveryPolicy, RecoveryStats};
 use alang::compile::CompiledProgram;
 use alang::{
-    CostParams, ExecBackend, ExecTier, Interpreter, LineCost, LoweredProgram, Program, Storage, Vm,
+    CostParams, ExecBackend, ExecTier, Interpreter, LineCost, LoweredProgram, ParStatsSnapshot,
+    ParallelPolicy, Program, Storage, Vm,
 };
 use csd_sim::availability::AvailabilityTrace;
 use csd_sim::contention::{ContentionScenario, Trigger};
@@ -57,6 +58,12 @@ pub struct ExecOptions {
     /// The deterministic fault plan injected into the simulator for this
     /// run; [`FaultPlan::none`] (the default) injects nothing.
     pub faults: FaultPlan,
+    /// How builtin kernels execute on the repro host: chunked across a
+    /// worker pool (`threads > 1`) or serially (the default). Execution-only
+    /// — values, [`LineCost`] records, and `values_fingerprint` are
+    /// identical for every valid policy, so plans cached under one policy
+    /// replay under any other.
+    pub parallel: ParallelPolicy,
 }
 
 impl ExecOptions {
@@ -74,6 +81,7 @@ impl ExecOptions {
             backend: ExecBackend::default(),
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::none(),
+            parallel: ParallelPolicy::default(),
         }
     }
 
@@ -90,6 +98,7 @@ impl ExecOptions {
             backend: ExecBackend::default(),
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::none(),
+            parallel: ParallelPolicy::default(),
         }
     }
 
@@ -132,6 +141,14 @@ impl ExecOptions {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the data-parallel kernel policy. Validated at the door like
+    /// every other policy; see [`ParallelPolicy::validate`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -215,6 +232,13 @@ pub struct RunReport {
     /// answer?" check the fault sweep and the chaos differential compare
     /// across faulted and fault-free runs.
     pub values_fingerprint: u64,
+    /// The kernel-execution policy the run was configured with.
+    pub parallel: ParallelPolicy,
+    /// Chunk/steal counters accumulated by the run's kernel calls. The
+    /// chunk counts depend only on policy and data shape; `stolen_chunks`
+    /// is the one scheduling-dependent field and is excluded from
+    /// [`ParStatsSnapshot`]'s equality.
+    pub par_stats: ParStatsSnapshot,
 }
 
 impl RunReport {
@@ -284,13 +308,13 @@ pub fn execute(
     match opts.backend {
         ExecBackend::Vm => {
             let lowered = alang::lower::lower_with(program, copy_elim)?;
-            let eval = Evaluator::Vm(Vm::new(&lowered, storage));
+            let eval = Evaluator::Vm(Vm::with_policy(&lowered, storage, opts.parallel));
             execute_impl(
                 program, placements, system, opts, estimates, copy_elim, eval,
             )
         }
         ExecBackend::AstWalk => {
-            let eval = Evaluator::Ast(Interpreter::new(storage));
+            let eval = Evaluator::Ast(Interpreter::with_policy(storage, opts.parallel));
             execute_impl(
                 program, placements, system, opts, estimates, copy_elim, eval,
             )
@@ -323,7 +347,7 @@ pub fn execute_lowered(
             program.len()
         )));
     }
-    let eval = Evaluator::Vm(Vm::new(lowered, storage));
+    let eval = Evaluator::Vm(Vm::with_policy(lowered, storage, opts.parallel));
     execute_impl(
         program,
         placements,
@@ -366,6 +390,14 @@ impl Evaluator<'_> {
         match self {
             Evaluator::Ast(interp) => format!("{:?}", interp.var(name)),
             Evaluator::Vm(vm) => format!("{:?}", vm.var(name)),
+        }
+    }
+
+    /// Chunk/steal counters accumulated by the run's kernel calls.
+    fn par_stats(&self) -> ParStatsSnapshot {
+        match self {
+            Evaluator::Ast(interp) => interp.par_stats(),
+            Evaluator::Vm(vm) => vm.par_stats(),
         }
     }
 }
@@ -428,6 +460,7 @@ fn execute_impl(
     }
     opts.recovery.validate()?;
     opts.faults.validate().map_err(ActivePyError::config)?;
+    opts.parallel.validate().map_err(ActivePyError::config)?;
     if !opts.faults.is_none() {
         system.install_faults(opts.faults.clone());
     }
@@ -605,6 +638,8 @@ fn execute_impl(
         peak_device_bytes: vars.peak_device,
         recovery: recov.stats,
         values_fingerprint: values_fingerprint(program, &eval),
+        parallel: opts.parallel,
+        par_stats: eval.par_stats(),
     })
 }
 
@@ -1203,6 +1238,7 @@ pub fn execute_all_host_with(
         backend,
         recovery: RecoveryPolicy::default(),
         faults: FaultPlan::none(),
+        parallel: ParallelPolicy::default(),
     };
     execute(
         program,
@@ -1773,11 +1809,61 @@ mod tests {
         bad_recovery.recovery.backoff_multiplier = 0.0;
         let mut bad_faults = ExecOptions::activepy();
         bad_faults.faults.flash_read_error_prob = 2.0;
-        for opts in [bad_recovery, bad_faults] {
+        let mut bad_parallel = ExecOptions::activepy();
+        bad_parallel.parallel.threads = 0;
+        for opts in [bad_recovery, bad_faults, bad_parallel] {
             let mut sys = SystemConfig::paper_default().build();
             let e = execute(&program, &st, &pl, &mut sys, &opts, None, &[]).unwrap_err();
             assert!(matches!(e, ActivePyError::Config { .. }), "got {e}");
         }
+    }
+
+    #[test]
+    fn parallel_policy_is_execution_only() {
+        // Same program, serial vs 8-thread kernels: per-line outcomes,
+        // fingerprint, and sim-time must not move. Only the recorded policy
+        // (and its counters) differ, so compare fields, not whole reports.
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let pl = placements(&[0, 1, 2, 3], 4);
+        let mut serial_sys = SystemConfig::paper_default().build();
+        let serial = execute(
+            &program,
+            &st,
+            &pl,
+            &mut serial_sys,
+            &ExecOptions::activepy(),
+            None,
+            &[],
+        )
+        .expect("serial");
+        for backend in [ExecBackend::Vm, ExecBackend::AstWalk] {
+            let policy = ParallelPolicy::new(8, 64).expect("valid policy");
+            let mut par_sys = SystemConfig::paper_default().build();
+            let par = execute(
+                &program,
+                &st,
+                &pl,
+                &mut par_sys,
+                &ExecOptions::activepy()
+                    .with_backend(backend)
+                    .with_parallelism(policy),
+                None,
+                &[],
+            )
+            .expect("parallel");
+            assert_eq!(par.lines, serial.lines, "{backend:?}");
+            assert_eq!(par.values_fingerprint, serial.values_fingerprint);
+            assert_eq!(par.total_secs, serial.total_secs);
+            assert_eq!(par.parallel, policy, "the report records its policy");
+            assert!(
+                par.par_stats.par_calls > 0,
+                "a 64-element threshold engages chunking: {:?}",
+                par.par_stats
+            );
+        }
+        assert_eq!(serial.parallel, ParallelPolicy::default());
+        assert_eq!(serial.par_stats.par_calls, 0);
     }
 
     #[test]

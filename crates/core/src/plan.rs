@@ -125,8 +125,9 @@ type PlanKey = (String, u64);
 /// Misses are computed while holding the cache lock, so concurrent
 /// lookups of the same key plan exactly once; the loser of the race
 /// observes a hit. Execution-only options (monitoring, preemption,
-/// overhead charging) are deliberately outside the key: runs that differ
-/// only in those share one plan.
+/// overhead charging, fault/recovery plans, the data-parallel kernel
+/// policy) are deliberately outside the key: runs that differ only in
+/// those share one plan.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<PlanKey, Arc<OffloadPlan>>>,
@@ -334,6 +335,21 @@ mod tests {
             (stats.hits, stats.misses),
             (2, 1),
             "fault plan and recovery policy must not split the plan key"
+        );
+        // The data-parallel kernel policy only changes how the repro host
+        // executes kernels, never what they compute: same plan.
+        let parallel = ActivePy::with_options(
+            crate::runtime::ActivePyOptions::default()
+                .with_parallelism(alang::ParallelPolicy::new(8, 1024).expect("policy")),
+        );
+        cache
+            .plan_for(&parallel, "w", &program, &input(), &config)
+            .expect("plan");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (3, 1),
+            "parallel policy must not split the plan key"
         );
     }
 

@@ -21,7 +21,7 @@ use crate::recovery::RecoveryPolicy;
 use crate::sampling::{paper_scales, run_sampling_with, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
 use alang::copyelim::eliminable_lines;
-use alang::{CostParams, ExecBackend, ExecTier, Program};
+use alang::{CostParams, ExecBackend, ExecTier, ParallelPolicy, Program};
 use csd_sim::contention::ContentionScenario;
 use csd_sim::fault::FaultPlan;
 use csd_sim::units::Duration;
@@ -55,6 +55,12 @@ pub struct ActivePyOptions {
     /// [`FaultPlan::none`] (the default) injects nothing. Execution-only:
     /// it does not participate in plan-cache fingerprints.
     pub faults: FaultPlan,
+    /// Data-parallel kernel policy applied to plan executions. Sampling
+    /// runs stay serial regardless — their down-scaled inputs sit below
+    /// any sensible threshold, and keeping them on one code path keeps the
+    /// fitted curves identical across policies. Execution-only: it does
+    /// not participate in plan-cache fingerprints.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for ActivePyOptions {
@@ -68,6 +74,7 @@ impl Default for ActivePyOptions {
             backend: ExecBackend::default(),
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::none(),
+            parallel: ParallelPolicy::default(),
         }
     }
 }
@@ -105,6 +112,13 @@ impl ActivePyOptions {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the data-parallel kernel policy for plan executions.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -292,6 +306,7 @@ impl ActivePy {
             backend: self.options.backend,
             recovery: self.options.recovery,
             faults: self.options.faults.clone(),
+            parallel: self.options.parallel,
         };
         let placements = plan.assignment.placements(plan.program.len());
         let report = match self.options.backend {
@@ -471,6 +486,29 @@ s = sum(b)
             .expect("ast pipeline");
             assert_eq!(vm, ast, "pipeline diverged under {scenario:?}");
         }
+    }
+
+    #[test]
+    fn parallel_plan_execution_matches_serial() {
+        // The policy is execution-only: the plan (sampling, fitting,
+        // assignment) and the report's observable outcome are unchanged.
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let serial = ActivePy::new()
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("serial");
+        let policy = ParallelPolicy::new(8, 256).expect("policy");
+        let par = ActivePy::with_options(ActivePyOptions::default().with_parallelism(policy))
+            .run(&program, &input(), &config, ContentionScenario::none())
+            .expect("parallel");
+        assert_eq!(par.assignment, serial.assignment);
+        assert_eq!(par.report.lines, serial.report.lines);
+        assert_eq!(
+            par.report.values_fingerprint,
+            serial.report.values_fingerprint
+        );
+        assert_eq!(par.report.total_secs, serial.report.total_secs);
+        assert_eq!(par.report.parallel, policy);
     }
 
     #[test]

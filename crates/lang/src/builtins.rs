@@ -13,10 +13,11 @@
 
 use crate::error::{LangError, Result};
 use crate::matrix::Matrix;
+use crate::par::ParEngine;
 use crate::table::{Column, Table};
 use crate::value::{ArrayVal, Value};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
 
 /// Per-element operation weights used by the analytic cost reports.
 pub mod weights {
@@ -157,10 +158,31 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "gram",
 ];
 
-/// A builtin kernel: already-evaluated arguments plus storage in, value and
-/// analytic cost out. Function pointers (not trait objects) so the lowered
-/// VM dispatches with one indirect call and zero allocation.
-pub type KernelFn = fn(&[Value], &Storage) -> Result<BuiltinOutput>;
+/// Execution context handed to every kernel: the stored datasets plus the
+/// data-parallel engine that decides chunked execution.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCtx<'a> {
+    /// Named stored datasets visible to `scan`.
+    pub storage: &'a Storage,
+    /// The chunked-execution engine (serial by default).
+    pub par: &'a ParEngine,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// A context running `storage` with the shared serial engine.
+    #[must_use]
+    pub fn serial(storage: &'a Storage) -> Self {
+        KernelCtx {
+            storage,
+            par: ParEngine::serial_ref(),
+        }
+    }
+}
+
+/// A builtin kernel: already-evaluated arguments plus execution context in,
+/// value and analytic cost out. Function pointers (not trait objects) so the
+/// lowered VM dispatches with one indirect call and zero allocation.
+pub type KernelFn = for<'a> fn(&[Value], &KernelCtx<'a>) -> Result<BuiltinOutput>;
 
 struct Kernel {
     name: &'static str,
@@ -303,24 +325,59 @@ impl KernelId {
         KERNELS[self.0 as usize].name
     }
 
-    /// Invokes the kernel on already-evaluated arguments.
+    /// Invokes the kernel on already-evaluated arguments with the shared
+    /// serial engine (compatibility path; the evaluators use
+    /// [`Self::invoke_in`] with their own engine).
     ///
     /// # Errors
     ///
     /// Arity, type, and kernel-specific shape errors, exactly as
     /// [`call`] with the same name would produce.
     pub fn invoke(self, args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
-        (KERNELS[self.0 as usize].func)(args, storage)
+        self.invoke_in(args, &KernelCtx::serial(storage))
+    }
+
+    /// Invokes the kernel in an explicit execution context.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Self::invoke`].
+    pub fn invoke_in(self, args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+        (KERNELS[self.0 as usize].func)(args, ctx)
+    }
+
+    /// Whether calls to this kernel charge an output-copy to the cost model
+    /// (`scan` is the only exception: it streams from storage instead).
+    #[must_use]
+    pub fn charges_copy(self) -> bool {
+        self.0 != SCAN_INDEX
     }
 }
 
+/// Index of `scan` in [`KERNELS`] (asserted by the alignment test).
+const SCAN_INDEX: u16 = 0;
+
+/// Kernel names sorted for binary-search resolution, each carrying its
+/// index into the (insertion-ordered) dispatch table.
+static SORTED_KERNELS: LazyLock<Vec<(&'static str, u16)>> = LazyLock::new(|| {
+    let mut sorted: Vec<(&'static str, u16)> = KERNELS
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.name, i as u16))
+        .collect();
+    sorted.sort_unstable_by_key(|(name, _)| *name);
+    sorted
+});
+
 /// Resolves a builtin name to its dense kernel id, if registered.
+/// Binary search over a precomputed sorted table, not a linear scan.
 #[must_use]
 pub fn kernel_id(name: &str) -> Option<KernelId> {
-    KERNELS
-        .iter()
-        .position(|k| k.name == name)
-        .map(|i| KernelId(i as u16))
+    let sorted = &*SORTED_KERNELS;
+    sorted
+        .binary_search_by_key(&name, |(n, _)| n)
+        .ok()
+        .map(|pos| KernelId(sorted[pos].1))
 }
 
 /// Whether `name` is a registered builtin.
@@ -337,15 +394,24 @@ pub fn is_builtin(name: &str) -> bool {
 /// function returns [`LangError::Runtime`] for unknown names), arity errors,
 /// type errors, and any kernel-specific shape errors.
 pub fn call(name: &str, args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
+    call_in(name, args, &KernelCtx::serial(storage))
+}
+
+/// Invokes builtin `name` in an explicit execution context.
+///
+/// # Errors
+///
+/// Same surface as [`call`].
+pub fn call_in(name: &str, args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     match kernel_id(name) {
-        Some(id) => id.invoke(args, storage),
+        Some(id) => id.invoke_in(args, ctx),
         None => Err(LangError::runtime(format!("`{name}` is not a builtin"))),
     }
 }
 
-fn k_scan(args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
+fn k_scan(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>("scan", args)?;
-    let value = storage.get(a.as_str()?)?.clone();
+    let value = ctx.storage.get(a.as_str()?)?.clone();
     let bytes = value.virtual_bytes();
     Ok(BuiltinOutput {
         value,
@@ -354,7 +420,7 @@ fn k_scan(args: &[Value], storage: &Storage) -> Result<BuiltinOutput> {
     })
 }
 
-fn k_col(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_col(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [t, c] = expect_args::<2>("col", args)?;
     let table = t.as_table()?;
     let column = table.column(c.as_str()?)?;
@@ -370,16 +436,16 @@ fn k_col(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_filter(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_filter(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [t, m] = expect_args::<2>("filter", args)?;
     let table = t.as_table()?;
     let mask = m.as_bool_array()?;
-    let out = table.filter(mask.data())?;
+    let out = table.filter_with(mask.data(), ctx.par)?;
     let ops = table.logical_rows() * (1 + table.column_count() as u64 * weights::GATHER);
     Ok(BuiltinOutput::new(Value::Table(out), ops))
 }
 
-fn k_select(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_select(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a, m] = expect_args::<2>("select", args)?;
     let arr = a.as_array()?;
     let mask = m.as_bool_array()?;
@@ -390,13 +456,25 @@ fn k_select(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
             mask.len()
         )));
     }
-    let data: Vec<f64> = arr
-        .data()
-        .iter()
-        .zip(mask.data())
-        .filter(|(_, k)| **k)
-        .map(|(x, _)| *x)
-        .collect();
+    let xs = arr.data();
+    let keep = mask.data();
+    // Chunk-ordered concat of per-chunk selections == the serial selection.
+    let data: Vec<f64> = match ctx.par.map_chunks(xs.len(), 1, |_, r| {
+        xs[r.clone()]
+            .iter()
+            .zip(&keep[r])
+            .filter(|(_, k)| **k)
+            .map(|(x, _)| *x)
+            .collect::<Vec<f64>>()
+    }) {
+        Some(parts) => parts.concat(),
+        None => xs
+            .iter()
+            .zip(keep)
+            .filter(|(_, k)| **k)
+            .map(|(x, _)| *x)
+            .collect(),
+    };
     let logical =
         ((arr.logical_len() as f64 * mask.selectivity()).round() as u64).max(data.len() as u64);
     Ok(BuiltinOutput::new(
@@ -405,28 +483,28 @@ fn k_select(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_len(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_len(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [x] = expect_args::<1>("len", args)?;
     Ok(BuiltinOutput::new(Value::Num(x.logical_elems() as f64), 1))
 }
 
-fn k_sum(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    reduce("sum", args)
+fn k_sum(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    reduce("sum", args, ctx.par)
 }
 
-fn k_mean(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    reduce("mean", args)
+fn k_mean(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    reduce("mean", args, ctx.par)
 }
 
-fn k_minv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    reduce("minv", args)
+fn k_minv(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    reduce("minv", args, ctx.par)
 }
 
-fn k_maxv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    reduce("maxv", args)
+fn k_maxv(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    reduce("maxv", args, ctx.par)
 }
 
-fn k_count(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_count(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [m] = expect_args::<1>("count", args)?;
     let mask = m.as_bool_array()?;
     let logical_count = (mask.logical_len() as f64 * mask.selectivity()).round();
@@ -436,27 +514,27 @@ fn k_count(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_exp(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    unary_math("exp", args, f64::exp, weights::TRANSCENDENTAL)
+fn k_exp(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    unary_math("exp", args, f64::exp, weights::TRANSCENDENTAL, ctx.par)
 }
 
-fn k_log(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    unary_math("log", args, f64::ln, weights::TRANSCENDENTAL)
+fn k_log(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    unary_math("log", args, f64::ln, weights::TRANSCENDENTAL, ctx.par)
 }
 
-fn k_sqrt(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    unary_math("sqrt", args, f64::sqrt, weights::SQRT)
+fn k_sqrt(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    unary_math("sqrt", args, f64::sqrt, weights::SQRT, ctx.par)
 }
 
-fn k_erf(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    unary_math("erf", args, erf, weights::ERF)
+fn k_erf(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    unary_math("erf", args, erf, weights::ERF, ctx.par)
 }
 
-fn k_abs(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
-    unary_math("abs", args, f64::abs, weights::VIEW)
+fn k_abs(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    unary_math("abs", args, f64::abs, weights::VIEW, ctx.par)
 }
 
-fn k_sort(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_sort(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>("sort", args)?;
     let arr = a.as_array()?;
     let mut data = arr.data().to_vec();
@@ -469,47 +547,57 @@ fn k_sort(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_dot(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_dot(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a, b] = expect_args::<2>("dot", args)?;
     let (x, y) = (a.as_array()?, b.as_array()?);
     if x.len() != y.len() {
         return Err(LangError::runtime("dot: length mismatch"));
     }
-    let v: f64 = x.data().iter().zip(y.data()).map(|(p, q)| p * q).sum();
+    let v = ctx.par.dot(x.data(), y.data());
     Ok(BuiltinOutput::new(
         Value::Num(v),
         x.logical_len() * weights::REDUCE,
     ))
 }
 
-fn k_where(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_where(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [m, a, b] = expect_args::<3>("where", args)?;
     let mask = m.as_bool_array()?;
     let (x, y) = (a.as_array()?, b.as_array()?);
     if mask.len() != x.len() || x.len() != y.len() {
         return Err(LangError::runtime("where: length mismatch"));
     }
-    let data: Vec<f64> = mask
-        .data()
-        .iter()
-        .zip(x.data().iter().zip(y.data()))
-        .map(|(k, (p, q))| if *k { *p } else { *q })
-        .collect();
+    let (keep, xs, ys) = (mask.data(), x.data(), y.data());
+    // Element-local, so chunk-ordered concat == the serial map.
+    let data: Vec<f64> = match ctx.par.map_chunks(xs.len(), 1, |_, r| {
+        keep[r.clone()]
+            .iter()
+            .zip(xs[r.clone()].iter().zip(&ys[r]))
+            .map(|(k, (p, q))| if *k { *p } else { *q })
+            .collect::<Vec<f64>>()
+    }) {
+        Some(parts) => parts.concat(),
+        None => keep
+            .iter()
+            .zip(xs.iter().zip(ys))
+            .map(|(k, (p, q))| if *k { *p } else { *q })
+            .collect(),
+    };
     Ok(BuiltinOutput::new(
         Value::Array(ArrayVal::with_logical(data, x.logical_len())),
         x.logical_len() * weights::SELECT,
     ))
 }
 
-fn k_matmul(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_matmul(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a, b] = expect_args::<2>("matmul", args)?;
     let (x, y) = (a.as_matrix()?, b.as_matrix()?);
-    let out = x.matmul(y)?;
+    let out = x.matmul_with(y, ctx.par)?;
     let ops = weights::MADD * x.logical_rows() * x.logical_cols() * y.logical_cols();
     Ok(BuiltinOutput::new(Value::Matrix(out), ops))
 }
 
-fn k_to_csr(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_to_csr(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>("to_csr", args)?;
     let m = a.as_matrix()?;
     let csr = m.to_csr();
@@ -517,11 +605,11 @@ fn k_to_csr(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     Ok(BuiltinOutput::new(Value::Csr(csr), ops))
 }
 
-fn k_spmv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_spmv(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a, x] = expect_args::<2>("spmv", args)?;
     let csr = a.as_csr()?;
     let vec = x.as_array()?;
-    let y = csr.spmv(vec.data())?;
+    let y = csr.spmv_with(vec.data(), ctx.par)?;
     let ops = weights::SPMV * csr.logical_nnz();
     Ok(BuiltinOutput::new(
         Value::Array(ArrayVal::with_logical(y, csr.logical_rows())),
@@ -529,12 +617,12 @@ fn k_spmv(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_pagerank_step(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_pagerank_step(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a, r, d] = expect_args::<3>("pagerank_step", args)?;
     let csr = a.as_csr()?;
     let ranks = r.as_array()?;
     let damping = d.as_num()?;
-    let next = csr.pagerank_step(ranks.data(), damping)?;
+    let next = csr.pagerank_step_with(ranks.data(), damping, ctx.par)?;
     let ops = weights::PR_EDGE * csr.logical_nnz() + weights::PR_NODE * csr.logical_rows();
     Ok(BuiltinOutput::new(
         Value::Array(ArrayVal::with_logical(next, csr.logical_rows())),
@@ -542,7 +630,7 @@ fn k_pagerank_step(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> 
     ))
 }
 
-fn k_gather(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_gather(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     // An array-index join: `gather(values, idx)[i] = values[idx[i]]`
     // — how a dense-key hash join (TPC-H Q14's lineitem ⋈ part)
     // probes its build side.
@@ -566,10 +654,10 @@ fn k_gather(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_frob(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_frob(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>("frob", args)?;
     let m = a.as_matrix()?;
-    let ss: f64 = m.data().iter().map(|x| x * x).sum();
+    let ss = ctx.par.sum_by(m.data(), |x| x * x);
     // Extrapolate the sum of squares to logical scale, like `sum`.
     let ratio = (m.logical_rows() * m.logical_cols()) as f64 / (m.rows() * m.cols()).max(1) as f64;
     Ok(BuiltinOutput::new(
@@ -578,24 +666,46 @@ fn k_frob(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn k_gram(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn k_gram(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     // `gram(M) = Mᵀ·M`, the d×d Gram matrix of an n×d feature
     // block; the classic second stage after a projection GEMM.
     let [a] = expect_args::<1>("gram", args)?;
     let m = a.as_matrix()?;
     let (n, d) = (m.rows(), m.cols());
-    let mut out = vec![0.0; d * d];
-    for r in 0..n {
-        for i in 0..d {
-            let x = m.get(r, i);
-            if x == 0.0 {
-                continue;
-            }
-            for j in 0..d {
-                out[i * d + j] += x * m.get(r, j);
+    let accumulate = |acc: &mut Vec<f64>, rows: std::ops::Range<usize>| {
+        for r in rows {
+            for i in 0..d {
+                let x = m.get(r, i);
+                if x == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    acc[i * d + j] += x * m.get(r, j);
+                }
             }
         }
-    }
+    };
+    // Per-chunk d×d partials, combined in chunk order.
+    let mut out = match ctx.par.map_chunks(n, d, |_, rows| {
+        let mut acc = vec![0.0; d * d];
+        accumulate(&mut acc, rows);
+        acc
+    }) {
+        Some(parts) => {
+            let mut acc = vec![0.0; d * d];
+            for part in parts {
+                for (o, v) in acc.iter_mut().zip(&part) {
+                    *o += v;
+                }
+            }
+            acc
+        }
+        None => {
+            let mut acc = vec![0.0; d * d];
+            accumulate(&mut acc, 0..n);
+            acc
+        }
+    };
     // Scale accumulated sums to logical row count.
     let ratio = m.logical_rows() as f64 / n.max(1) as f64;
     for v in &mut out {
@@ -616,7 +726,7 @@ fn expect_args<'a, const N: usize>(name: &str, args: &'a [Value]) -> Result<&'a 
     })
 }
 
-fn reduce(name: &str, args: &[Value]) -> Result<BuiltinOutput> {
+fn reduce(name: &str, args: &[Value], par: &ParEngine) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>(name, args)?;
     let arr = a.as_array()?;
     if arr.is_empty() {
@@ -626,11 +736,12 @@ fn reduce(name: &str, args: &[Value]) -> Result<BuiltinOutput> {
     let ratio = arr.scale_ratio();
     let v = match name {
         // Sums extrapolate to logical scale; the sample total stands for the
-        // whole dataset.
-        "sum" => data.iter().sum::<f64>() * ratio,
-        "mean" => data.iter().sum::<f64>() / data.len() as f64,
-        "minv" => data.iter().copied().fold(f64::INFINITY, f64::min),
-        "maxv" => data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        // whole dataset. Chunk-ordered partial sums keep the result
+        // identical at any thread count.
+        "sum" => par.sum(data) * ratio,
+        "mean" => par.sum(data) / data.len() as f64,
+        "minv" => par.fold(data, f64::INFINITY, f64::min),
+        "maxv" => par.fold(data, f64::NEG_INFINITY, f64::max),
         _ => unreachable!("reduce called with {name}"),
     };
     Ok(BuiltinOutput::new(
@@ -642,14 +753,18 @@ fn reduce(name: &str, args: &[Value]) -> Result<BuiltinOutput> {
 fn unary_math(
     name: &str,
     args: &[Value],
-    f: impl Fn(f64) -> f64,
+    f: impl Fn(f64) -> f64 + Sync,
     weight: u64,
+    par: &ParEngine,
 ) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>(name, args)?;
     match a {
         Value::Num(n) => Ok(BuiltinOutput::new(Value::Num(f(*n)), weight)),
         Value::Array(arr) => {
-            let data: Vec<f64> = arr.data().iter().map(|x| f(*x)).collect();
+            let data: Vec<f64> = match par.map_elems(arr.data(), &f) {
+                Some(mapped) => mapped,
+                None => arr.data().iter().map(|x| f(*x)).collect(),
+            };
             Ok(BuiltinOutput::new(
                 Value::Array(ArrayVal::with_logical(data, arr.logical_len())),
                 arr.logical_len() * weight,
@@ -676,7 +791,7 @@ fn erf(x: f64) -> f64 {
     sign * y
 }
 
-fn group_sum(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn group_sum(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [k, v] = expect_args::<2>("group_sum", args)?;
     let keys = k.as_array()?;
     let vals = v.as_array()?;
@@ -713,7 +828,7 @@ fn group_sum(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn gemm_batch(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn gemm_batch(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a, b] = expect_args::<2>("gemm_batch", args)?;
     let (x, y) = (a.as_matrix()?, b.as_matrix()?);
     // The logical row count encodes the batch dimension: a logical
@@ -724,7 +839,7 @@ fn gemm_batch(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
         ));
     }
     let batches = x.logical_rows() / x.rows() as u64;
-    let block = x.matmul(y)?;
+    let block = x.matmul_with(y, ctx.par)?;
     let n = x.rows() as u64;
     let k = x.cols() as u64;
     let m = y.cols() as u64;
@@ -739,15 +854,14 @@ fn gemm_batch(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     Ok(BuiltinOutput::new(Value::Matrix(out), ops))
 }
 
-fn kmeans_assign(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn kmeans_assign(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [p, c] = expect_args::<2>("kmeans_assign", args)?;
     let points = p.as_matrix()?;
     let centroids = c.as_matrix()?;
     if points.cols() != centroids.cols() {
         return Err(LangError::runtime("kmeans_assign: dimension mismatch"));
     }
-    let mut assign = Vec::with_capacity(points.rows());
-    for i in 0..points.rows() {
+    let nearest = |i: usize| -> f64 {
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
         for kc in 0..centroids.rows() {
@@ -761,8 +875,17 @@ fn kmeans_assign(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
                 best = kc;
             }
         }
-        assign.push(best as f64);
-    }
+        best as f64
+    };
+    // Row-local, so chunk-ordered concat == the serial loop. Per-row work
+    // is one distance per centroid per dimension.
+    let per_row = centroids.rows().saturating_mul(points.cols()).max(1);
+    let assign: Vec<f64> = match ctx.par.map_chunks(points.rows(), per_row, |_, rows| {
+        rows.map(nearest).collect::<Vec<f64>>()
+    }) {
+        Some(parts) => parts.concat(),
+        None => (0..points.rows()).map(nearest).collect(),
+    };
     let ops =
         weights::KMEANS * points.logical_rows() * centroids.rows() as u64 * points.cols() as u64;
     Ok(BuiltinOutput::new(
@@ -771,7 +894,7 @@ fn kmeans_assign(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn kmeans_update(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn kmeans_update(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [p, a, k] = expect_args::<3>("kmeans_update", args)?;
     let points = p.as_matrix()?;
     let assign = a.as_array()?;
@@ -785,20 +908,46 @@ fn kmeans_update(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
         return Err(LangError::runtime("kmeans_update: k must be positive"));
     }
     let d = points.cols();
-    let mut sums = vec![0.0; k * d];
-    let mut counts = vec![0u64; k];
-    for (i, c) in assign.data().iter().enumerate() {
-        let c = *c as usize;
-        if c >= k {
-            return Err(LangError::runtime(format!(
-                "kmeans_update: assignment {c} out of range for k={k}"
-            )));
+    // Per-chunk (sums, counts) partials accumulated over a contiguous row
+    // range; chunks partition rows in order, so combining partials in chunk
+    // order also reproduces the serial error for the first bad assignment.
+    let accumulate = |rows: std::ops::Range<usize>| -> Result<(Vec<f64>, Vec<u64>)> {
+        let mut sums = vec![0.0; k * d];
+        let mut counts = vec![0u64; k];
+        for i in rows {
+            let c = assign.data()[i] as usize;
+            if c >= k {
+                return Err(LangError::runtime(format!(
+                    "kmeans_update: assignment {c} out of range for k={k}"
+                )));
+            }
+            counts[c] += 1;
+            for j in 0..d {
+                sums[c * d + j] += points.get(i, j);
+            }
         }
-        counts[c] += 1;
-        for j in 0..d {
-            sums[c * d + j] += points.get(i, j);
+        Ok((sums, counts))
+    };
+    let (mut sums, counts) = match ctx
+        .par
+        .map_chunks(points.rows(), d.max(1), |_, rows| accumulate(rows))
+    {
+        Some(parts) => {
+            let mut sums = vec![0.0; k * d];
+            let mut counts = vec![0u64; k];
+            for part in parts {
+                let (ps, pc) = part?;
+                for (o, v) in sums.iter_mut().zip(&ps) {
+                    *o += v;
+                }
+                for (o, v) in counts.iter_mut().zip(&pc) {
+                    *o += v;
+                }
+            }
+            (sums, counts)
         }
-    }
+        None => accumulate(0..points.rows())?,
+    };
     for c in 0..k {
         if counts[c] > 0 {
             for j in 0..d {
@@ -813,19 +962,42 @@ fn kmeans_update(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
     ))
 }
 
-fn forest_score(args: &[Value], _storage: &Storage) -> Result<BuiltinOutput> {
+fn forest_score(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [f, x] = expect_args::<2>("forest_score", args)?;
     let forest = f.as_forest()?;
     let feats = x.as_matrix()?;
-    let mut scores = Vec::with_capacity(feats.rows());
-    let mut visited_total: u64 = 0;
     let cols = feats.cols();
-    for i in 0..feats.rows() {
-        let row: Vec<f64> = (0..cols).map(|j| feats.get(i, j)).collect();
-        let (s, visited) = forest.score(&row);
-        scores.push(s);
-        visited_total += u64::from(visited);
-    }
+    let score_range = |rows: std::ops::Range<usize>| -> (Vec<f64>, u64) {
+        let mut scores = Vec::with_capacity(rows.len());
+        let mut visited: u64 = 0;
+        let mut row = vec![0.0; cols];
+        for i in rows {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = feats.get(i, j);
+            }
+            let (s, v) = forest.score(&row);
+            scores.push(s);
+            visited += u64::from(v);
+        }
+        (scores, visited)
+    };
+    // Row-local scores (concat in chunk order) plus an exact integer
+    // visit count (order-independent sum).
+    let (scores, visited_total) = match ctx
+        .par
+        .map_chunks(feats.rows(), cols.max(1), |_, rows| score_range(rows))
+    {
+        Some(parts) => {
+            let mut scores = Vec::with_capacity(feats.rows());
+            let mut visited: u64 = 0;
+            for (s, v) in parts {
+                scores.extend_from_slice(&s);
+                visited += v;
+            }
+            (scores, visited)
+        }
+        None => score_range(0..feats.rows()),
+    };
     // Per-row cost is the *measured* mean traversal length — data-dependent,
     // like real GBDT inference.
     let mean_visited = if feats.rows() == 0 {
@@ -1094,5 +1266,150 @@ mod tests {
             .invoke(std::slice::from_ref(&a), &st)
             .expect("sum");
         assert_eq!(by_name, by_id);
+    }
+
+    #[test]
+    fn sorted_kernel_table_resolves_every_entry() {
+        // The binary-search table is sorted, complete, and maps every name
+        // back to its insertion-order kernel id.
+        let sorted = &*SORTED_KERNELS;
+        assert_eq!(sorted.len(), KERNELS.len());
+        assert!(sorted.windows(2).all(|w| w[0].0 < w[1].0));
+        for (i, kernel) in KERNELS.iter().enumerate() {
+            let id = kernel_id(kernel.name).expect("every KERNELS entry resolves");
+            assert_eq!(
+                id,
+                KernelId(i as u16),
+                "{} resolves to its slot",
+                kernel.name
+            );
+            assert_eq!(id.name(), kernel.name);
+        }
+        assert_eq!(KERNELS[SCAN_INDEX as usize].name, "scan");
+        assert!(!kernel_id("scan").expect("scan").charges_copy());
+        assert!(kernel_id("sum").expect("sum").charges_copy());
+    }
+
+    #[test]
+    fn wired_kernels_are_bit_identical_across_thread_counts() {
+        use crate::forest::{Forest, Tree, TreeNode};
+        use crate::par::ParallelPolicy;
+
+        let mut st = Storage::new();
+        let n = 20_000usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 101) as f64 * 0.5 - 20.0)
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| ((i * 13) % 89) as f64 * 0.25 - 10.0)
+            .collect();
+        let keep: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        st.insert("xs", arr_logical(xs.clone(), 1_000_000));
+        let mvals: Vec<f64> = (0..96 * 96)
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    (i % 23) as f64 - 11.0
+                }
+            })
+            .collect();
+        let mat = Matrix::new(mvals, 96, 96).expect("mat");
+        let csr = mat.to_csr();
+        let points = Matrix::new(
+            (0..512 * 8).map(|i| ((i * 7) % 19) as f64).collect(),
+            512,
+            8,
+        )
+        .expect("pts");
+        let cents = Matrix::new((0..4 * 8).map(|i| i as f64).collect(), 4, 8).expect("cents");
+        let assign_vals: Vec<f64> = (0..512).map(|i| (i % 4) as f64).collect();
+        let tree = Tree::new(vec![
+            TreeNode::split(0, 6.0, 1, 2),
+            TreeNode::leaf(-1.0),
+            TreeNode::leaf(1.0),
+        ])
+        .expect("tree");
+        let forest = Forest::new(vec![tree], 1).expect("forest");
+
+        let cases: Vec<(&str, Vec<Value>)> = vec![
+            ("sum", vec![arr_logical(xs.clone(), 1_000_000)]),
+            ("mean", vec![arr(xs.clone())]),
+            ("minv", vec![arr(xs.clone())]),
+            ("maxv", vec![arr(xs.clone())]),
+            ("exp", vec![arr(ys.clone())]),
+            ("abs", vec![arr(xs.clone())]),
+            ("dot", vec![arr(xs.clone()), arr(ys.clone())]),
+            (
+                "where",
+                vec![
+                    Value::BoolArray(BoolArrayVal::new(keep.clone())),
+                    arr(xs.clone()),
+                    arr(ys.clone()),
+                ],
+            ),
+            (
+                "select",
+                vec![arr(xs.clone()), Value::BoolArray(BoolArrayVal::new(keep))],
+            ),
+            (
+                "matmul",
+                vec![Value::Matrix(mat.clone()), Value::Matrix(mat.clone())],
+            ),
+            (
+                "gemm_batch",
+                vec![
+                    Value::Matrix(
+                        Matrix::with_logical(mat.data().to_vec(), 96, 96, 960, 96).expect("gm"),
+                    ),
+                    Value::Matrix(mat.clone()),
+                ],
+            ),
+            ("frob", vec![Value::Matrix(mat.clone())]),
+            ("gram", vec![Value::Matrix(mat.clone())]),
+            (
+                "spmv",
+                vec![Value::Csr(csr.clone()), arr(ys[..96].to_vec())],
+            ),
+            (
+                "pagerank_step",
+                vec![Value::Csr(csr), arr(vec![1.0 / 96.0; 96]), Value::Num(0.85)],
+            ),
+            (
+                "kmeans_assign",
+                vec![Value::Matrix(points.clone()), Value::Matrix(cents)],
+            ),
+            (
+                "kmeans_update",
+                vec![Value::Matrix(points), arr(assign_vals), Value::Num(4.0)],
+            ),
+            (
+                "forest_score",
+                vec![
+                    Value::Forest(forest),
+                    Value::Matrix(
+                        Matrix::new((0..4096).map(|i| (i % 13) as f64).collect(), 512, 8)
+                            .expect("feats"),
+                    ),
+                ],
+            ),
+        ];
+
+        for (name, argv) in &cases {
+            let mut outputs = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let engine = ParEngine::new(ParallelPolicy::new(threads, 512).expect("policy"));
+                let ctx = KernelCtx {
+                    storage: &st,
+                    par: &engine,
+                };
+                let out = call_in(name, argv, &ctx).expect(name);
+                outputs.push((threads, format!("{out:?}")));
+            }
+            let (_, reference) = &outputs[0];
+            for (threads, repr) in &outputs[1..] {
+                assert_eq!(repr, reference, "{name} differs at {threads} threads");
+            }
+        }
     }
 }

@@ -10,10 +10,11 @@
 //! reference implementation behind the differential-testing harness.
 
 use crate::ast::{BinOp, UnOp};
-use crate::builtins::{weights, KernelId, Storage};
+use crate::builtins::{weights, KernelCtx, KernelId, Storage};
 use crate::cost::LineCost;
 use crate::error::{LangError, Result};
 use crate::interp::{apply_binary, apply_unary, charge_elementwise, charge_temp, LineRecord};
+use crate::par::{ParEngine, ParStatsSnapshot, ParallelPolicy};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -189,20 +190,42 @@ impl LoweredProgram {
 pub struct Vm<'a> {
     lowered: &'a LoweredProgram,
     storage: &'a Storage,
+    par: ParEngine,
     regs: Vec<Option<Value>>,
     argv: Vec<Value>,
 }
 
 impl<'a> Vm<'a> {
-    /// Creates a VM for `lowered` over the given storage.
+    /// Creates a VM for `lowered` over the given storage, executing kernels
+    /// serially.
     #[must_use]
     pub fn new(lowered: &'a LoweredProgram, storage: &'a Storage) -> Self {
+        Self::with_policy(lowered, storage, ParallelPolicy::default())
+    }
+
+    /// Creates a VM whose builtin kernels execute under `policy`.
+    ///
+    /// Values, [`LineCost`] records, and errors are identical for every
+    /// valid policy; only wall-clock changes.
+    #[must_use]
+    pub fn with_policy(
+        lowered: &'a LoweredProgram,
+        storage: &'a Storage,
+        policy: ParallelPolicy,
+    ) -> Self {
         Vm {
             lowered,
             storage,
+            par: ParEngine::new(policy),
             regs: vec![None; usize::from(lowered.n_slots)],
             argv: Vec::new(),
         }
+    }
+
+    /// Chunk/steal counters accumulated by kernel calls so far.
+    #[must_use]
+    pub fn par_stats(&self) -> ParStatsSnapshot {
+        self.par.stats()
     }
 
     /// Current value of a variable, if defined.
@@ -286,7 +309,11 @@ impl<'a> Vm<'a> {
                     for &slot in &lowered.arg_pool[*args_start as usize..end] {
                         argv.push(self.read(slot, index)?.clone());
                     }
-                    let out = kernel.invoke(&argv, self.storage)?;
+                    let ctx = KernelCtx {
+                        storage: self.storage,
+                        par: &self.par,
+                    };
+                    let out = kernel.invoke_in(&argv, &ctx)?;
                     self.argv = argv;
                     cost.compute_ops += out.ops;
                     cost.storage_bytes += out.storage_bytes;

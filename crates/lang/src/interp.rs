@@ -13,9 +13,10 @@
 //! traffic accordingly.
 
 use crate::ast::{BinOp, Expr, Line, Program, UnOp};
-use crate::builtins::{self, weights, Storage};
+use crate::builtins::{self, weights, KernelCtx, Storage};
 use crate::cost::LineCost;
 use crate::error::{LangError, Result};
+use crate::par::{ParEngine, ParStatsSnapshot, ParallelPolicy};
 use crate::value::{ArrayVal, BoolArrayVal, Value};
 use std::collections::BTreeMap;
 
@@ -35,16 +36,32 @@ pub struct LineRecord {
 pub struct Interpreter<'a> {
     storage: &'a Storage,
     vars: BTreeMap<String, Value>,
+    par: ParEngine,
 }
 
 impl<'a> Interpreter<'a> {
-    /// Creates an interpreter over the given storage.
+    /// Creates an interpreter over the given storage with the default
+    /// (serial) kernel policy.
     #[must_use]
     pub fn new(storage: &'a Storage) -> Self {
+        Self::with_policy(storage, ParallelPolicy::default())
+    }
+
+    /// Creates an interpreter whose builtin kernels execute under
+    /// `policy` (validate it at the door; see [`ParallelPolicy::validate`]).
+    #[must_use]
+    pub fn with_policy(storage: &'a Storage, policy: ParallelPolicy) -> Self {
         Interpreter {
             storage,
             vars: BTreeMap::new(),
+            par: ParEngine::new(policy),
         }
+    }
+
+    /// Chunk/steal counters accumulated by this interpreter's kernels.
+    #[must_use]
+    pub fn par_stats(&self) -> ParStatsSnapshot {
+        self.par.stats()
     }
 
     /// Current value of a variable, if defined.
@@ -142,21 +159,27 @@ impl<'a> Interpreter<'a> {
                 Ok(out)
             }
             Expr::Call { name, args } => {
-                if !builtins::is_builtin(name) {
+                // Resolve the name once and dispatch through the kernel's
+                // function pointer, like the lowered VM does.
+                let Some(kernel) = builtins::kernel_id(name) else {
                     return Err(LangError::UnknownFunction {
                         line: line_no + 1,
                         name: name.clone(),
                     });
-                }
+                };
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
                     argv.push(self.eval(a, cost, elim, line_no)?);
                 }
-                let out = builtins::call(name, &argv, self.storage)?;
+                let ctx = KernelCtx {
+                    storage: self.storage,
+                    par: &self.par,
+                };
+                let out = kernel.invoke_in(&argv, &ctx)?;
                 cost.compute_ops += out.ops;
                 cost.storage_bytes += out.storage_bytes;
                 cost.calls += 1;
-                if name != "scan" && out.value.is_bulk() {
+                if kernel.charges_copy() && out.value.is_bulk() {
                     // The wrapper materializes its result in a fresh buffer
                     // before converting/handing it back (arguments pass by
                     // reference, as in CPython; the temps are what the

@@ -49,7 +49,9 @@ pub mod forest;
 pub mod interp;
 pub mod lower;
 pub mod matrix;
+pub mod par;
 pub mod parser;
+mod pool;
 pub mod table;
 pub mod token;
 pub mod value;
@@ -61,6 +63,7 @@ pub use compile::CompiledProgram;
 pub use cost::{CostParams, ExecTier, LineCost};
 pub use error::LangError;
 pub use interp::Interpreter;
+pub use par::{ParEngine, ParStatsSnapshot, ParallelPolicy};
 pub use value::Value;
 
 #[cfg(test)]

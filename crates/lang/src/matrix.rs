@@ -8,6 +8,7 @@
 //! reproduction exhibit the same behaviour.
 
 use crate::error::{LangError, Result};
+use crate::par::ParEngine;
 use std::fmt;
 use std::sync::Arc;
 
@@ -136,6 +137,52 @@ impl Matrix {
                     out[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
                 }
             }
+        }
+        Matrix::with_logical(
+            out,
+            self.rows,
+            rhs.cols,
+            self.logical_rows,
+            rhs.logical_cols,
+        )
+    }
+
+    /// [`Self::matmul`] executed through the data-parallel engine: output
+    /// rows are chunked (each is written by exactly one worker), so the
+    /// result is bit-identical to the serial product at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn matmul_with(&self, rhs: &Matrix, par: &ParEngine) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LangError::runtime(format!(
+                "matmul shape mismatch: {}x{} times {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        // Per output row: one madd per (k, j) pair.
+        let per_row = self.cols.max(1);
+        let Some(blocks) = par.map_chunks(self.rows, per_row, |_, rows| {
+            let mut block = vec![0.0; rows.len() * rhs.cols];
+            for (bi, i) in rows.enumerate() {
+                for k in 0..self.cols {
+                    let a = self.data[i * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for j in 0..rhs.cols {
+                        block[bi * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                    }
+                }
+            }
+            block
+        }) else {
+            return self.matmul(rhs);
+        };
+        let mut out = Vec::with_capacity(self.rows * rhs.cols);
+        for block in blocks {
+            out.extend_from_slice(&block);
         }
         Matrix::with_logical(
             out,
@@ -276,6 +323,38 @@ impl Csr {
         Ok(y)
     }
 
+    /// [`Self::spmv`] executed through the data-parallel engine: rows are
+    /// chunked and each output element is row-local, so the result is
+    /// bit-identical to the serial product at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.len() != cols`.
+    pub fn spmv_with(&self, x: &[f64], par: &ParEngine) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LangError::runtime(format!(
+                "spmv shape mismatch: {} cols vs vector of {}",
+                self.cols,
+                x.len()
+            )));
+        }
+        let per_row = (self.nnz() / self.rows.max(1)).max(1);
+        let Some(parts) = par.map_chunks(self.rows, per_row, |_, rows| {
+            rows.map(|r| {
+                let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.values[k] * x[self.col_idx[k] as usize];
+                }
+                acc
+            })
+            .collect::<Vec<f64>>()
+        }) else {
+            return self.spmv(x);
+        };
+        Ok(parts.concat())
+    }
+
     /// One damped PageRank iteration over this adjacency structure
     /// (column-normalized on the fly), returning the next rank vector.
     ///
@@ -316,6 +395,68 @@ impl Csr {
             let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
             for k in lo..hi {
                 next[self.col_idx[k] as usize] += share;
+            }
+        }
+        Ok(next)
+    }
+
+    /// [`Self::pagerank_step`] executed through the data-parallel engine.
+    ///
+    /// Source rows are chunked; each chunk scatters its contributions into
+    /// a private dense partial vector, and partials are combined **in chunk
+    /// order** onto the `(1 - damping) / n` base. Chunk boundaries depend
+    /// only on the graph shape, so the reassociated sums are identical at
+    /// any thread count (though they may differ from the serial scatter
+    /// order in the last ulp, deterministically so).
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Self::pagerank_step`].
+    pub fn pagerank_step_with(
+        &self,
+        ranks: &[f64],
+        damping: f64,
+        par: &ParEngine,
+    ) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(LangError::runtime(
+                "pagerank needs a square adjacency matrix",
+            ));
+        }
+        if ranks.len() != self.rows {
+            return Err(LangError::runtime(format!(
+                "rank vector length {} does not match {} nodes",
+                ranks.len(),
+                self.rows
+            )));
+        }
+        let n = self.rows as f64;
+        let per_row = (self.nnz() / self.rows.max(1)).max(1) + 1;
+        let Some(parts) = par.map_chunks(self.rows, per_row, |_, rows| {
+            let mut partial = vec![0.0; self.rows];
+            for r in rows {
+                let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                if lo == hi {
+                    // Dangling node: spread evenly.
+                    let share = damping * ranks[r] / n;
+                    for v in partial.iter_mut() {
+                        *v += share;
+                    }
+                    continue;
+                }
+                let share = damping * ranks[r] / (hi - lo) as f64;
+                for k in lo..hi {
+                    partial[self.col_idx[k] as usize] += share;
+                }
+            }
+            partial
+        }) else {
+            return self.pagerank_step(ranks, damping);
+        };
+        let mut next = vec![(1.0 - damping) / n; self.rows];
+        for partial in parts {
+            for (o, v) in next.iter_mut().zip(&partial) {
+                *o += v;
             }
         }
         Ok(next)
@@ -433,5 +574,72 @@ mod tests {
     fn pagerank_rejects_non_square() {
         let csr = dense().to_csr();
         assert!(csr.pagerank_step(&[0.5, 0.5], 0.85).is_err());
+    }
+
+    fn engine(threads: usize) -> ParEngine {
+        ParEngine::new(crate::par::ParallelPolicy::new(threads, 256).expect("policy"))
+    }
+
+    fn big() -> Matrix {
+        let data: Vec<f64> = (0..64 * 64)
+            .map(|i| {
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    ((i * 31) % 17) as f64 - 8.0
+                }
+            })
+            .collect();
+        Matrix::new(data, 64, 64).expect("matrix")
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_equal_to_serial() {
+        let m = big();
+        let serial = m.matmul(&m).expect("serial");
+        for threads in [1, 2, 8] {
+            let par = m.matmul_with(&m, &engine(threads)).expect("par");
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_spmv_is_bitwise_equal_to_serial() {
+        let csr = big().to_csr();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let serial = csr.spmv(&x).expect("serial");
+        for threads in [1, 2, 8] {
+            let par = csr.spmv_with(&x, &engine(threads)).expect("par");
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_pagerank_is_identical_across_thread_counts() {
+        let csr = big().to_csr();
+        let ranks = vec![1.0 / 64.0; 64];
+        let reference = csr
+            .pagerank_step_with(&ranks, 0.85, &engine(1))
+            .expect("t1");
+        // Bit-identical across thread counts (and mass-conserving).
+        for threads in [2, 8] {
+            let par = csr
+                .pagerank_step_with(&ranks, 0.85, &engine(threads))
+                .expect("par");
+            assert_eq!(par, reference, "threads={threads}");
+        }
+        let total: f64 = reference.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+    }
+
+    #[test]
+    fn below_threshold_parallel_paths_delegate_to_serial() {
+        // Small shapes stay on the untouched serial paths (errors included).
+        let m = dense();
+        let e = ParEngine::serial();
+        assert!(m.matmul_with(&m, &e).is_err(), "2x3 × 2x3 still rejected");
+        let y = m.to_csr().spmv_with(&[1.0, 1.0, 1.0], &e).expect("spmv");
+        assert_eq!(y, m.to_csr().spmv(&[1.0, 1.0, 1.0]).expect("serial"));
+        assert_eq!(e.stats().par_calls, 0);
     }
 }

@@ -1,0 +1,490 @@
+//! Deterministic data-parallel kernel engine.
+//!
+//! The paper's CSD executes offloaded kernels on 8× ARM Cortex-A72 cores;
+//! this module is the executable counterpart of the aggregate
+//! `cores × ipc × freq × parallel_efficiency` service rate modelled in
+//! `csd-sim`. The design rule that makes parallelism safe to reproduce:
+//!
+//! 1. **The chunk grid depends only on data shape.** Work is cut into
+//!    fixed-budget chunks ([`CHUNK_ELEMS`] input elements each) — never
+//!    into `threads` pieces — so the same input yields the same chunks at
+//!    1, 2, 4, or 8 threads.
+//! 2. **Workers grab chunks via an atomic cursor.** Which thread runs
+//!    which chunk is scheduling noise; the per-chunk results are slotted
+//!    by chunk index, not by worker.
+//! 3. **Reductions combine per-chunk partials in ascending chunk order.**
+//!    Floating-point addition is reassociated only along chunk
+//!    boundaries, which are thread-independent — so sums, dots, norms,
+//!    centroids, and rank vectors are bit-identical across thread counts.
+//!
+//! Inputs below [`ParallelPolicy::min_parallel_len`] never engage the
+//! chunked path at all (including at `threads = 1`), keeping the original
+//! serial fast path for small arrays.
+
+use crate::pool;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Fixed chunk budget, in input elements of work per chunk. The grid is
+/// derived from this and the data shape alone — never from the thread
+/// count — which is what keeps chunked results identical at 1..=8 threads.
+pub const CHUNK_ELEMS: usize = 4096;
+
+/// Default [`ParallelPolicy::min_parallel_len`]: total input elements
+/// below which a kernel keeps its untouched serial fast path.
+pub const DEFAULT_MIN_PARALLEL_LEN: usize = 8192;
+
+/// Most threads a policy may request (the submitting thread plus the
+/// pool's helper cap).
+pub const MAX_THREADS: usize = pool::MAX_HELPERS + 1;
+
+/// Validated data-parallel execution policy for kernel calls.
+///
+/// Execution-only: like fault and recovery options it is excluded from
+/// plan-cache fingerprints, and sampling always runs serial. `threads`
+/// decides who executes chunks; `min_parallel_len` (together with the
+/// fixed [`CHUNK_ELEMS`] budget) decides what the chunks are — so two
+/// policies that differ only in `threads` produce bit-identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelPolicy {
+    /// Worker count including the calling thread; `1` means serial.
+    pub threads: usize,
+    /// Total input elements below which a kernel stays on its serial
+    /// fast path (chunking — and its reassociated reductions — never
+    /// engages below this, at any thread count).
+    pub min_parallel_len: usize,
+}
+
+impl Default for ParallelPolicy {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ParallelPolicy {
+    /// The serial policy: one thread, default engagement threshold.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_parallel_len: DEFAULT_MIN_PARALLEL_LEN,
+        }
+    }
+
+    /// A policy with `threads` workers and the default engagement
+    /// threshold. Not validated; call [`Self::validate`] at the
+    /// execution door.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            min_parallel_len: DEFAULT_MIN_PARALLEL_LEN,
+        }
+    }
+
+    /// Builds a validated policy.
+    pub fn new(threads: usize, min_parallel_len: usize) -> Result<Self, String> {
+        let policy = Self {
+            threads,
+            min_parallel_len,
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Checks the policy is executable: `1..=MAX_THREADS` threads and a
+    /// nonzero engagement threshold.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 || self.threads > MAX_THREADS {
+            return Err(format!(
+                "parallel policy: threads must be in 1..={MAX_THREADS}, got {}",
+                self.threads
+            ));
+        }
+        if self.min_parallel_len == 0 {
+            return Err("parallel policy: min_parallel_len must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Live per-engine counters (atomics so `&ParEngine` can count from any
+/// worker). Cloning snapshots the current values into fresh atomics.
+#[derive(Debug, Default)]
+pub struct ParStats {
+    par_calls: AtomicU64,
+    serial_calls: AtomicU64,
+    chunks: AtomicU64,
+    stolen_chunks: AtomicU64,
+}
+
+impl Clone for ParStats {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        Self {
+            par_calls: AtomicU64::new(snap.par_calls),
+            serial_calls: AtomicU64::new(snap.serial_calls),
+            chunks: AtomicU64::new(snap.chunks),
+            stolen_chunks: AtomicU64::new(snap.stolen_chunks),
+        }
+    }
+}
+
+impl ParStats {
+    fn snapshot(&self) -> ParStatsSnapshot {
+        ParStatsSnapshot {
+            par_calls: self.par_calls.load(Ordering::Relaxed),
+            serial_calls: self.serial_calls.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            stolen_chunks: self.stolen_chunks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counter snapshot recorded into run reports.
+///
+/// Equality deliberately ignores [`Self::stolen_chunks`]: which thread
+/// grabbed a chunk is scheduling-dependent at `threads > 1`, while the
+/// other counters derive from the thread-independent chunk grid.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ParStatsSnapshot {
+    /// Kernel calls that engaged the chunked path.
+    pub par_calls: u64,
+    /// Kernel calls that stayed on the serial fast path.
+    pub serial_calls: u64,
+    /// Total chunks executed across all engaged calls.
+    pub chunks: u64,
+    /// Chunks executed by pool helpers rather than the submitting thread
+    /// (deterministically zero at `threads = 1`; scheduling noise above).
+    pub stolen_chunks: u64,
+}
+
+impl PartialEq for ParStatsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.par_calls == other.par_calls
+            && self.serial_calls == other.serial_calls
+            && self.chunks == other.chunks
+    }
+}
+
+/// The chunk size, in work items, for items costing `elems_per_item`
+/// input elements each. Depends only on the fixed budget and the
+/// per-item cost — never on the thread count.
+#[must_use]
+pub fn chunk_items(elems_per_item: usize) -> usize {
+    (CHUNK_ELEMS / elems_per_item.max(1)).max(1)
+}
+
+/// A policy plus counters: the handle kernels execute through.
+#[derive(Debug, Clone, Default)]
+pub struct ParEngine {
+    policy: ParallelPolicy,
+    stats: ParStats,
+}
+
+impl ParEngine {
+    /// An engine running `policy`.
+    #[must_use]
+    pub fn new(policy: ParallelPolicy) -> Self {
+        Self {
+            policy,
+            stats: ParStats::default(),
+        }
+    }
+
+    /// A fresh serial engine.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(ParallelPolicy::serial())
+    }
+
+    /// A shared serial engine for compatibility call sites that have no
+    /// engine of their own (its counters are shared and never asserted).
+    #[must_use]
+    pub fn serial_ref() -> &'static ParEngine {
+        static SERIAL: OnceLock<ParEngine> = OnceLock::new();
+        SERIAL.get_or_init(ParEngine::serial)
+    }
+
+    /// The policy this engine runs.
+    #[must_use]
+    pub fn policy(&self) -> ParallelPolicy {
+        self.policy
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn stats(&self) -> ParStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Runs `f` once per chunk of `0..items` and returns the per-chunk
+    /// results **in ascending chunk order**, or `None` when the total
+    /// work (`items × elems_per_item`) is below the policy's engagement
+    /// threshold — callers then take their untouched serial fast path.
+    ///
+    /// `f` receives `(chunk_index, item_range)`. The chunk grid depends
+    /// only on the data shape; the thread count only decides who runs
+    /// the chunks, so the returned vector is identical at any `threads`.
+    pub fn map_chunks<R, F>(&self, items: usize, elems_per_item: usize, f: F) -> Option<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        let work = items.saturating_mul(elems_per_item.max(1));
+        if items == 0 || work < self.policy.min_parallel_len {
+            self.stats.serial_calls.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let chunk = chunk_items(elems_per_item);
+        let n_chunks = items.div_ceil(chunk);
+        self.stats.par_calls.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .chunks
+            .fetch_add(n_chunks as u64, Ordering::Relaxed);
+        let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let stolen = AtomicU64::new(0);
+        let body = |helper: bool| {
+            let mut grabbed = 0u64;
+            loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = items.min(lo + chunk);
+                let out = f(c, lo..hi);
+                *slots[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                if helper {
+                    grabbed += 1;
+                }
+            }
+            if grabbed > 0 {
+                stolen.fetch_add(grabbed, Ordering::Relaxed);
+            }
+        };
+        let helpers = self.policy.threads.saturating_sub(1).min(n_chunks - 1);
+        pool::run_parallel(helpers, &body);
+        self.stats
+            .stolen_chunks
+            .fetch_add(stolen.load(Ordering::Relaxed), Ordering::Relaxed);
+        Some(
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("the cursor hands every chunk to exactly one worker")
+                })
+                .collect(),
+        )
+    }
+
+    /// Chunk-ordered sum of `f(x)` over `data` (serial fallback below
+    /// the engagement threshold).
+    pub fn sum_by<F>(&self, data: &[f64], f: F) -> f64
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        match self.map_chunks(data.len(), 1, |_, r| {
+            data[r].iter().map(|x| f(*x)).sum::<f64>()
+        }) {
+            Some(partials) => partials.into_iter().sum(),
+            None => data.iter().map(|x| f(*x)).sum(),
+        }
+    }
+
+    /// Chunk-ordered sum of `data`.
+    pub fn sum(&self, data: &[f64]) -> f64 {
+        self.sum_by(data, |x| x)
+    }
+
+    /// Chunk-ordered fold of `data` with `g` starting from `init`
+    /// (`g` must be associative-enough for the caller, e.g. min/max).
+    pub fn fold<G>(&self, data: &[f64], init: f64, g: G) -> f64
+    where
+        G: Fn(f64, f64) -> f64 + Sync,
+    {
+        match self.map_chunks(data.len(), 1, |_, r| {
+            data[r].iter().fold(init, |acc, x| g(acc, *x))
+        }) {
+            Some(partials) => partials.into_iter().fold(init, &g),
+            None => data.iter().fold(init, |acc, x| g(acc, *x)),
+        }
+    }
+
+    /// Chunk-ordered dot product; caller guarantees equal lengths.
+    pub fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self.map_chunks(a.len(), 1, |_, r| {
+            a[r.clone()]
+                .iter()
+                .zip(&b[r])
+                .map(|(x, y)| x * y)
+                .sum::<f64>()
+        }) {
+            Some(partials) => partials.into_iter().sum(),
+            None => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+        }
+    }
+
+    /// Element-wise map over `data`, chunked; `None` below the
+    /// engagement threshold (callers map serially). Concatenation in
+    /// chunk order makes the output bit-identical to a serial map.
+    pub fn map_elems<F>(&self, data: &[f64], f: F) -> Option<Vec<f64>>
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        self.map_chunks(data.len(), 1, |_, r| {
+            data[r].iter().map(|x| f(*x)).collect::<Vec<f64>>()
+        })
+        .map(|parts| parts.concat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 97) as f64 * 0.25 - 11.0).collect()
+    }
+
+    fn engine(threads: usize) -> ParEngine {
+        ParEngine::new(ParallelPolicy::new(threads, 1024).expect("valid policy"))
+    }
+
+    #[test]
+    fn policy_validation_rejects_bad_values() {
+        assert!(ParallelPolicy::new(0, 100).is_err());
+        assert!(ParallelPolicy::new(MAX_THREADS + 1, 100).is_err());
+        assert!(ParallelPolicy::new(4, 0).is_err());
+        assert!(ParallelPolicy::new(1, 1).is_ok());
+        assert!(ParallelPolicy::new(MAX_THREADS, 1).is_ok());
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::serial());
+    }
+
+    #[test]
+    fn chunk_grid_depends_only_on_shape() {
+        assert_eq!(chunk_items(1), CHUNK_ELEMS);
+        assert_eq!(chunk_items(0), CHUNK_ELEMS);
+        assert_eq!(chunk_items(64), CHUNK_ELEMS / 64);
+        assert_eq!(chunk_items(CHUNK_ELEMS * 10), 1);
+        // Same shape → same number of chunks, at any thread count.
+        for threads in [1, 2, 4, 8] {
+            let e = engine(threads);
+            let parts = e.map_chunks(10_000, 1, |c, r| (c, r)).expect("engaged");
+            assert_eq!(parts.len(), 10_000usize.div_ceil(CHUNK_ELEMS));
+            for (i, (c, r)) in parts.iter().enumerate() {
+                assert_eq!(*c, i);
+                assert_eq!(r.start, i * CHUNK_ELEMS);
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_returns_none_and_counts_serial() {
+        let e = engine(8);
+        assert!(e.map_chunks::<(), _>(100, 1, |_, _| ()).is_none());
+        let stats = e.stats();
+        assert_eq!(stats.par_calls, 0);
+        assert_eq!(stats.serial_calls, 1);
+        assert_eq!(stats.chunks, 0);
+    }
+
+    #[test]
+    fn reductions_are_bit_identical_across_thread_counts() {
+        let xs = data(50_000);
+        let ys = data(50_000);
+        let reference = engine(1);
+        let r_sum = reference.sum(&xs);
+        let r_dot = reference.dot(&xs, &ys);
+        let r_min = reference.fold(&xs, f64::INFINITY, f64::min);
+        let r_sq = reference.sum_by(&xs, |x| x * x);
+        for threads in [2, 4, 8] {
+            let e = engine(threads);
+            assert_eq!(e.sum(&xs).to_bits(), r_sum.to_bits(), "sum @ {threads}");
+            assert_eq!(
+                e.dot(&xs, &ys).to_bits(),
+                r_dot.to_bits(),
+                "dot @ {threads}"
+            );
+            assert_eq!(
+                e.fold(&xs, f64::INFINITY, f64::min).to_bits(),
+                r_min.to_bits(),
+                "min @ {threads}"
+            );
+            assert_eq!(
+                e.sum_by(&xs, |x| x * x).to_bits(),
+                r_sq.to_bits(),
+                "sumsq @ {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_elems_matches_serial_map_exactly() {
+        let xs = data(20_000);
+        let serial: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        for threads in [1, 2, 8] {
+            let e = engine(threads);
+            let par = e.map_elems(&xs, |x| x.exp()).expect("engaged");
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stolen_chunks_are_zero_at_one_thread() {
+        let e = engine(1);
+        let _ = e.sum(&data(30_000));
+        let stats = e.stats();
+        assert!(stats.par_calls >= 1);
+        assert_eq!(stats.stolen_chunks, 0);
+    }
+
+    #[test]
+    fn snapshot_equality_ignores_steal_attribution() {
+        let a = ParStatsSnapshot {
+            par_calls: 3,
+            serial_calls: 1,
+            chunks: 24,
+            stolen_chunks: 0,
+        };
+        let b = ParStatsSnapshot {
+            stolen_chunks: 17,
+            ..a
+        };
+        assert_eq!(a, b);
+        let c = ParStatsSnapshot { chunks: 25, ..a };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_submitter() {
+        let e = engine(2);
+        let xs = data(30_000);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.map_chunks(xs.len(), 1, |c, _| {
+                assert!(c != 1, "chunk 1 detonates");
+                0u8
+            })
+        }));
+        assert!(caught.is_err());
+        // The engine (and shared pool) keep working afterwards.
+        assert!(e.sum(&xs).is_finite());
+    }
+
+    #[test]
+    fn cloned_stats_are_independent() {
+        let e = engine(1);
+        let _ = e.sum(&data(30_000));
+        let cloned = e.clone();
+        let before = cloned.stats();
+        let _ = e.sum(&data(30_000));
+        assert_eq!(cloned.stats(), before);
+        assert!(e.stats().par_calls > before.par_calls);
+    }
+}

@@ -11,6 +11,7 @@
 //! *logical* row count (the paper-scale size used for all cost accounting).
 
 use crate::error::{LangError, Result};
+use crate::par::ParEngine;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -95,6 +96,45 @@ impl Column {
                         .collect(),
                 ),
                 dict: Arc::clone(dict),
+            },
+        }
+    }
+
+    /// [`Self::gather`] executed through the data-parallel engine: row
+    /// chunks are gathered independently and concatenated in chunk order,
+    /// which reproduces the serial gather exactly.
+    #[must_use]
+    pub fn gather_with(&self, keep: &[bool], par: &ParEngine) -> Column {
+        fn chunked<T: Copy + Send + Sync>(
+            rows: &[T],
+            keep: &[bool],
+            par: &ParEngine,
+        ) -> Option<Vec<T>> {
+            par.map_chunks(rows.len(), 1, |_, r| {
+                rows[r.clone()]
+                    .iter()
+                    .zip(&keep[r])
+                    .filter(|(_, k)| **k)
+                    .map(|(x, _)| *x)
+                    .collect::<Vec<T>>()
+            })
+            .map(|parts| parts.concat())
+        }
+        match self {
+            Column::F64(v) => match chunked(v, keep, par) {
+                Some(out) => Column::F64(Arc::new(out)),
+                None => self.gather(keep),
+            },
+            Column::I64(v) => match chunked(v, keep, par) {
+                Some(out) => Column::I64(Arc::new(out)),
+                None => self.gather(keep),
+            },
+            Column::Dict { codes, dict } => match chunked(codes, keep, par) {
+                Some(out) => Column::Dict {
+                    codes: Arc::new(out),
+                    dict: Arc::clone(dict),
+                },
+                None => self.gather(keep),
             },
         }
     }
@@ -250,6 +290,38 @@ impl Table {
             .collect();
         Table::with_logical_rows(columns, logical)
     }
+
+    /// [`Self::filter`] executed through the data-parallel engine: each
+    /// column's gather is chunked by rows. Gathering is row-local, so the
+    /// result is bit-identical to the serial filter at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask length differs from the row count.
+    pub fn filter_with(&self, keep: &[bool], par: &ParEngine) -> Result<Table> {
+        if keep.len() != self.rows {
+            return Err(LangError::runtime(format!(
+                "mask length {} does not match table rows {}",
+                keep.len(),
+                self.rows
+            )));
+        }
+        let kept = keep.iter().filter(|k| **k).count();
+        let selectivity = if self.rows == 0 {
+            0.0
+        } else {
+            kept as f64 / self.rows as f64
+        };
+        let logical = (self.logical_rows as f64 * selectivity)
+            .round()
+            .max(kept as f64) as u64;
+        let columns: Vec<(String, Column)> = self
+            .columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.gather_with(keep, par)))
+            .collect();
+        Table::with_logical_rows(columns, logical)
+    }
 }
 
 impl fmt::Display for Table {
@@ -351,6 +423,41 @@ mod tests {
     fn missing_column_error_lists_alternatives() {
         let e = t().column("nope").unwrap_err();
         assert!(format!("{e}").contains("qty"));
+    }
+
+    #[test]
+    fn parallel_filter_is_bitwise_equal_to_serial() {
+        let n = 20_000usize;
+        let table = Table::with_logical_rows(
+            vec![
+                (
+                    "qty".into(),
+                    Column::F64(Arc::new((0..n).map(|i| (i % 50) as f64).collect())),
+                ),
+                (
+                    "flag".into(),
+                    Column::I64(Arc::new((0..n).map(|i| (i % 3) as i64).collect())),
+                ),
+                (
+                    "kind".into(),
+                    Column::Dict {
+                        codes: Arc::new((0..n).map(|i| (i % 2) as u32).collect()),
+                        dict: Arc::new(vec!["PROMO".into(), "OTHER".into()]),
+                    },
+                ),
+            ],
+            1_000_000,
+        )
+        .expect("table");
+        let keep: Vec<bool> = (0..n).map(|i| i % 7 != 0).collect();
+        let serial = table.filter(&keep).expect("serial");
+        for threads in [1, 2, 8] {
+            let par =
+                ParEngine::new(crate::par::ParallelPolicy::new(threads, 1024).expect("policy"));
+            let filtered = table.filter_with(&keep, &par).expect("par");
+            assert_eq!(filtered, serial, "threads={threads}");
+            assert!(par.stats().par_calls >= 1, "chunked path engaged");
+        }
     }
 
     #[test]

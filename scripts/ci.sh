@@ -16,6 +16,15 @@ cargo test -q -p isp-bench faults::
 echo "== chaos differential (pinned at 48 cases in tests/chaos.rs) =="
 cargo test -q --test chaos
 
+echo "== kernel-scaling smoke (scaling section, determinism, speedup floors) =="
+# The smoke sweep asserts byte-identical outputs at 1/2/4/8 threads and,
+# on hosts with >= 4 cores, >= 2x speedup on large scalable kernels and
+# no regression on small inputs (see experiments::scaling::check).
+cargo test -q -p isp-bench --lib scaling
+
+echo "== thread determinism (pinned proptest seed, both backends, 1/2/8 threads) =="
+cargo test -q --test thread_determinism
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 

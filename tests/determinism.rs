@@ -51,6 +51,38 @@ fn cached_fig5_matches_the_uncached_serial_path_byte_for_byte() {
 }
 
 #[test]
+fn threaded_fig5_rows_match_the_default_policy_byte_for_byte() {
+    use activepy::plan::PlanCache;
+    use alang::ParallelPolicy;
+    use std::time::Instant;
+
+    let config = SystemConfig::paper_default();
+    let policy = ParallelPolicy::new(8, 4096).expect("valid policy");
+    let t0 = Instant::now();
+    let threaded =
+        isp_bench::experiments::fig5::run_with_policy(&config, &PlanCache::new(), policy);
+    let threaded_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let default = isp_bench::experiments::fig5::run(&config);
+    let default_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serde_json::to_string(&threaded).expect("rows serialize"),
+        serde_json::to_string(&default).expect("rows serialize"),
+        "the kernel parallel policy must not change a single output byte"
+    );
+    // Wall clock can only be compared where there are cores to use; on a
+    // multi-core host the threaded grid must not be drastically slower
+    // than the serial one (generous 3x bound — this is an anti-pathology
+    // check, not a benchmark; the scaling sweep measures real speedups).
+    if isp_bench::experiments::scaling::host_cores() >= 4 {
+        assert!(
+            threaded_secs <= default_secs * 3.0,
+            "threaded fig5 pathologically slow: {threaded_secs}s vs {default_secs}s"
+        );
+    }
+}
+
+#[test]
 fn parallel_sweep_is_byte_identical_to_a_serial_map() {
     let config = SystemConfig::paper_default();
     let f = |w: isp_workloads::Workload| {
