@@ -134,6 +134,7 @@ pub fn run_plan(
         recovery: activepy::RecoveryPolicy::default(),
         faults: csd_sim::fault::FaultPlan::none(),
         parallel: alang::ParallelPolicy::default(),
+        tracer: isp_obs::Tracer::disabled(),
     };
     let report = execute(
         &program,

@@ -176,6 +176,81 @@ fn measure_interp() -> InterpComparison {
     }
 }
 
+/// What `--trace PATH [--trace-format F] [--trace-mask-wall]
+/// [--trace-workload W]` asked for.
+struct TraceRequest {
+    path: String,
+    format: TraceFormat,
+    mask_wall: bool,
+    workload: Option<String>,
+}
+
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
+/// Parses the `--trace*` flag family. Exits with a usage error on a
+/// malformed combination.
+fn parse_trace() -> Option<TraceRequest> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).map(|pos| {
+            args.get(pos + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+        })
+    };
+    let path = flag_value("--trace")?;
+    let format = match flag_value("--trace-format").as_deref() {
+        None | Some("jsonl") => TraceFormat::Jsonl,
+        Some("chrome") => TraceFormat::Chrome,
+        Some(other) => {
+            eprintln!("--trace-format must be 'jsonl' or 'chrome', got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    Some(TraceRequest {
+        path,
+        format,
+        mask_wall: args.iter().any(|a| a == "--trace-mask-wall"),
+        workload: flag_value("--trace-workload"),
+    })
+}
+
+/// The `--trace` mode: runs the Figure 5 grid serially with a live tracer
+/// threaded through every pipeline phase and writes the journal. Other
+/// experiments are skipped and `BENCH_repro.json` is not written — trace
+/// runs observe, they do not publish benchmark rows.
+fn run_traced(req: &TraceRequest, config: &SystemConfig, policy: ParallelPolicy) {
+    let (tracer, sink) = isp_obs::Tracer::to_memory();
+    let cache = PlanCache::new();
+    let rows = ex::fig5::run_traced(config, &cache, policy, &tracer, req.workload.as_deref());
+    if rows.is_empty() {
+        eprintln!(
+            "--trace-workload '{}' matched no registered workload",
+            req.workload.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+    ex::fig5::print(&rows);
+    let events = sink.events();
+    let metrics = tracer.metrics_snapshot();
+    let rendered = match req.format {
+        TraceFormat::Jsonl => isp_obs::export::jsonl(&events, metrics.as_ref(), req.mask_wall),
+        TraceFormat::Chrome => {
+            isp_obs::export::chrome_trace(&events, metrics.as_ref(), req.mask_wall)
+        }
+    };
+    std::fs::write(&req.path, rendered).expect("trace output path is writable");
+    println!();
+    println!("wrote {} trace events to {}", events.len(), req.path);
+}
+
 /// Parses `--threads N` (default 1), validating against the engine's
 /// policy rules.
 fn parse_threads() -> usize {
@@ -202,6 +277,10 @@ fn main() {
     let threads = parse_threads();
     let policy = ParallelPolicy::with_threads(threads);
     let config = SystemConfig::paper_default();
+    if let Some(req) = parse_trace() {
+        run_traced(&req, &config, policy);
+        return;
+    }
     let cache = PlanCache::new();
     let mut experiments: Vec<ExperimentTiming> = Vec::new();
     let mut time = |name: &str, secs: f64| {

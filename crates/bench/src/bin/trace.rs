@@ -1,0 +1,52 @@
+//! Summarizes a JSONL event journal written by `repro --trace`.
+//!
+//! ```text
+//! trace out.jsonl [--top N]
+//! ```
+//!
+//! Prints the per-phase breakdown on both clocks, the top-N spans by
+//! simulated duration, the migration timeline, and the counter footer.
+//! Only the JSONL format is accepted — the Chrome export targets
+//! Perfetto, not this tool.
+
+use isp_obs::{parse_journal, summarize};
+
+fn usage() -> ! {
+    eprintln!("usage: trace <journal.jsonl> [--top N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut top_n = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                top_n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(),
+            p => {
+                if path.replace(p).is_some() {
+                    usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("trace: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let journal = parse_journal(&text).unwrap_or_else(|e| {
+        eprintln!("trace: {path} is not a JSONL journal: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", summarize(&journal, top_n));
+}

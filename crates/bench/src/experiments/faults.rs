@@ -109,7 +109,7 @@ fn run_workload(w: &isp_workloads::Workload, config: &SystemConfig, cache: &Plan
             let faulted = faulted_rt
                 .execute_plan(&plan, config, ContentionScenario::none())
                 .expect("faulted run");
-            let recovery = faulted.report.recovery;
+            let recovery = faulted.report.metrics.recovery;
             Row {
                 name: w.name().to_owned(),
                 fault_rate: rate,

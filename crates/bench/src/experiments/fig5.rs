@@ -23,6 +23,7 @@ use alang::{ExecBackend, ExecTier, ParallelPolicy};
 use csd_sim::units::SimTime;
 use csd_sim::{ContentionScenario, SystemConfig};
 use isp_baselines::{run_c_baseline, run_host_only_with};
+use isp_obs::{SpanKind, Tracer};
 use serde::Serialize;
 
 /// The figure's availability levels as exact integer percentages, in
@@ -96,10 +97,33 @@ fn run_workload(
     counters: &RunCounters,
     policy: ParallelPolicy,
 ) -> Vec<Row> {
+    run_workload_traced(w, config, cache, counters, policy, &Tracer::disabled())
+}
+
+/// One workload's cells with `tracer` threaded through planning and every
+/// plan execution, all wrapped in a `fig5.workload` span.
+fn run_workload_traced(
+    w: &isp_workloads::Workload,
+    config: &SystemConfig,
+    cache: &PlanCache,
+    counters: &RunCounters,
+    policy: ParallelPolicy,
+    tracer: &Tracer,
+) -> Vec<Row> {
+    let workload_span = tracer.begin_with(
+        "fig5.workload",
+        SpanKind::Phase,
+        None,
+        vec![("workload".into(), w.name().into())],
+    );
     let program = w.program().expect("registered workloads parse");
     counters.baselines.fetch_add(1, Ordering::Relaxed);
     let baseline = run_c_baseline(w, config).expect("baseline runs").total_secs;
-    let rt = ActivePy::with_options(ActivePyOptions::default().with_parallelism(policy));
+    let rt = ActivePy::with_options(
+        ActivePyOptions::default()
+            .with_parallelism(policy)
+            .with_tracer(tracer.clone()),
+    );
     let plan = cache
         .plan_for(&rt, w.name(), &program, w, config)
         .expect("planning succeeds");
@@ -114,9 +138,10 @@ fn run_workload(
     let no_mig = ActivePy::with_options(
         ActivePyOptions::default()
             .without_migration()
-            .with_parallelism(policy),
+            .with_parallelism(policy)
+            .with_tracer(tracer.clone()),
     );
-    AVAILABILITY_PCTS
+    let rows: Vec<Row> = AVAILABILITY_PCTS
         .iter()
         .map(|&pct| {
             let scenario = scenario_at(t_half, pct);
@@ -137,7 +162,9 @@ fn run_workload(
                 without_speedup: baseline / without_mig.report.total_secs,
             }
         })
-        .collect()
+        .collect();
+    tracer.end(workload_span, None);
+    rows
 }
 
 /// Runs the full Figure 5 grid (10 workloads × {50 %, 10 %}) with a
@@ -192,6 +219,36 @@ pub fn run_with_counters(
     counters: &RunCounters,
 ) -> Vec<Row> {
     run_grid_with(config, cache, counters, ParallelPolicy::default())
+}
+
+/// The traced Figure 5 grid: identical cells to [`run_with_policy`], but
+/// evaluated **serially** with `tracer` threaded through every pipeline
+/// phase. The parallel sweep would interleave spans from different
+/// workloads through the tracer's shared parent stack and make the journal
+/// schedule-dependent, so the traced grid trades wall-clock for a
+/// deterministic journal. `workload_filter` (exact name) narrows the grid
+/// to one workload.
+///
+/// # Panics
+///
+/// Panics if a registered workload fails to run.
+#[must_use]
+pub fn run_traced(
+    config: &SystemConfig,
+    cache: &PlanCache,
+    policy: ParallelPolicy,
+    tracer: &Tracer,
+    workload_filter: Option<&str>,
+) -> Vec<Row> {
+    let counters = RunCounters::default();
+    let per_workload: Vec<Vec<Row>> = isp_workloads::with_sparsemv()
+        .into_iter()
+        .filter(|w| workload_filter.is_none_or(|f| w.name() == f))
+        .map(|w| run_workload_traced(&w, config, cache, &counters, policy, tracer))
+        .collect();
+    (0..AVAILABILITY_PCTS.len())
+        .flat_map(|level| per_workload.iter().map(move |rows| rows[level].clone()))
+        .collect()
 }
 
 fn run_grid_with(

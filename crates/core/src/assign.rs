@@ -11,6 +11,7 @@
 use crate::estimate::LineEstimate;
 use alang::Program;
 use csd_sim::engine::EngineKind;
+use isp_obs::{SpanKind, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -284,6 +285,24 @@ const REFINE_SWEEPS: usize = 12;
 /// Panics if lengths disagree or `bw_d2h` is not positive.
 #[must_use]
 pub fn assign_refined(program: &Program, estimates: &[LineEstimate], bw_d2h: f64) -> Assignment {
+    assign_refined_traced(program, estimates, bw_d2h, &Tracer::disabled())
+}
+
+/// As [`assign_refined`], recording one `assign.candidate` instant per
+/// refinement round (seed, all-host) into `tracer` with the round's sweep
+/// and flip counts. The tracer is observation-only: the returned
+/// assignment is identical with it enabled, disabled, or absent.
+///
+/// # Panics
+///
+/// As [`assign_refined`].
+#[must_use]
+pub fn assign_refined_traced(
+    program: &Program,
+    estimates: &[LineEstimate],
+    bw_d2h: f64,
+    tracer: &Tracer,
+) -> Assignment {
     let seed = assign(estimates, bw_d2h);
     let t_host = seed.t_host;
     // Refine from both the lookahead seed and the all-host plan: each can
@@ -291,16 +310,27 @@ pub fn assign_refined(program: &Program, estimates: &[LineEstimate], bw_d2h: f64
     // a bulky producer on the wrong side; all-host cannot cross the
     // scan→filter hump one line at a time), so take the better fixpoint.
     let candidates = [
-        seed.placements(program.len()),
-        vec![EngineKind::Host; program.len()],
+        ("seed", seed.placements(program.len())),
+        ("all_host", vec![EngineKind::Host; program.len()]),
     ];
     let mut best_cost = f64::INFINITY;
-    let mut best_placements = candidates[1].clone();
-    for start in candidates {
-        let (placements, cost) = refine_flips(program, estimates, start, bw_d2h);
-        if cost < best_cost {
-            best_cost = cost;
-            best_placements = placements;
+    let mut best_placements = candidates[1].1.clone();
+    for (label, start) in candidates {
+        let refined = refine_flips(program, estimates, start, bw_d2h);
+        tracer.instant(
+            "assign.candidate",
+            SpanKind::Phase,
+            None,
+            vec![
+                ("candidate".into(), label.into()),
+                ("sweeps".into(), refined.sweeps.into()),
+                ("flips".into(), refined.flips.into()),
+                ("cost_secs".into(), refined.cost.into()),
+            ],
+        );
+        if refined.cost < best_cost {
+            best_cost = refined.cost;
+            best_placements = refined.placements;
         }
     }
     let csd_lines: BTreeSet<usize> = best_placements
@@ -316,15 +346,29 @@ pub fn assign_refined(program: &Program, estimates: &[LineEstimate], bw_d2h: f64
     }
 }
 
+/// The fixpoint [`refine_flips`] reached, with round statistics for the
+/// `assign.candidate` trace instants.
+struct RefineOutcome {
+    placements: Vec<EngineKind>,
+    cost: f64,
+    /// Sweeps actually performed (including the final no-improvement one).
+    sweeps: usize,
+    /// Single-line flips adopted across all sweeps.
+    flips: usize,
+}
+
 /// Single-line flip refinement to a fixpoint under [`projected_cost`].
 fn refine_flips(
     program: &Program,
     estimates: &[LineEstimate],
     mut placements: Vec<EngineKind>,
     bw_d2h: f64,
-) -> (Vec<EngineKind>, f64) {
+) -> RefineOutcome {
     let mut best = projected_cost(program, estimates, &placements, bw_d2h);
+    let mut sweeps = 0usize;
+    let mut flips = 0usize;
     for _ in 0..REFINE_SWEEPS {
+        sweeps += 1;
         let mut improved = false;
         for i in 0..placements.len() {
             let flipped = placements[i].other();
@@ -333,6 +377,7 @@ fn refine_flips(
             if cost + 1e-12 < best {
                 best = cost;
                 improved = true;
+                flips += 1;
             } else {
                 placements[i] = old;
             }
@@ -341,7 +386,12 @@ fn refine_flips(
             break;
         }
     }
-    (placements, best)
+    RefineOutcome {
+        placements,
+        cost: best,
+        sweeps,
+        flips,
+    }
 }
 
 /// Computes the *optimal* assignment under the same adjacency-approximate

@@ -12,6 +12,7 @@
 
 use crate::error::{ActivePyError, Result};
 use crate::estimate::LineEstimate;
+use crate::metrics::MetricsSnapshot;
 use crate::monitor::{Monitor, MonitorConfig, Observation};
 use crate::recovery::{Recovery, RecoveryPolicy, RecoveryStats};
 use alang::compile::CompiledProgram;
@@ -25,6 +26,7 @@ use csd_sim::fault::{DeviceFault, FaultPlan};
 use csd_sim::nvme::CommandKind;
 use csd_sim::units::{Bytes, Ops};
 use csd_sim::{Direction, EngineKind, System};
+use isp_obs::{Attrs, SpanKind, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -64,6 +66,12 @@ pub struct ExecOptions {
     /// identical for every valid policy, so plans cached under one policy
     /// replay under any other.
     pub parallel: ParallelPolicy,
+    /// Trace recording handle. Disabled by default; when enabled, the run
+    /// records dual-clock spans for regions, chunks, host lines, monitor
+    /// windows, migration decisions, faults, and recovery backoffs.
+    /// Observation-only: a live tracer never perturbs the simulated clock,
+    /// `values_fingerprint`, or any [`RunReport`] field.
+    pub tracer: Tracer,
 }
 
 impl ExecOptions {
@@ -82,6 +90,7 @@ impl ExecOptions {
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::none(),
             parallel: ParallelPolicy::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -99,6 +108,7 @@ impl ExecOptions {
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::none(),
             parallel: ParallelPolicy::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -151,6 +161,13 @@ impl ExecOptions {
         self.parallel = parallel;
         self
     }
+
+    /// Attaches a trace recording handle to the run.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
 }
 
 /// What happened on one line.
@@ -185,6 +202,19 @@ pub enum MigrationReason {
     /// its retry budget): the remaining work falls back to the host from
     /// the last completed chunk-boundary checkpoint.
     DeviceFault,
+}
+
+impl MigrationReason {
+    /// Stable lowercase label — the `reason` attribute on
+    /// `migration.decision` trace events.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MigrationReason::Degraded => "degraded",
+            MigrationReason::Preempted => "preempted",
+            MigrationReason::DeviceFault => "device_fault",
+        }
+    }
 }
 
 /// Alias emphasizing the causal reading of [`MigrationReason`] in fault
@@ -224,9 +254,6 @@ pub struct RunReport {
     /// Peak bytes of program state resident in device DRAM (BAR-mapped
     /// shared-address-space allocations).
     pub peak_device_bytes: u64,
-    /// What the recovery layer absorbed during the run (all zero on a
-    /// fault-free run).
-    pub recovery: RecoveryStats,
     /// FNV-1a hash over every program variable's final value, in
     /// first-assignment order — the cheap "did we compute the same
     /// answer?" check the fault sweep and the chaos differential compare
@@ -234,14 +261,28 @@ pub struct RunReport {
     pub values_fingerprint: u64,
     /// The kernel-execution policy the run was configured with.
     pub parallel: ParallelPolicy,
-    /// Chunk/steal counters accumulated by the run's kernel calls. The
-    /// chunk counts depend only on policy and data shape; `stolen_chunks`
-    /// is the one scheduling-dependent field and is excluded from
-    /// [`ParStatsSnapshot`]'s equality.
-    pub par_stats: ParStatsSnapshot,
+    /// The unified metrics block: fault, recovery, and kernel counter
+    /// families in one deterministic snapshot (plan-cache counters are
+    /// zero here; [`crate::plan::PlanCache`] fills them in for cached
+    /// runs).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
+    /// What the recovery layer absorbed during the run.
+    #[deprecated(since = "0.1.0", note = "read `metrics.recovery` instead")]
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryStats {
+        self.metrics.recovery
+    }
+
+    /// Chunk counters accumulated by the run's kernel calls.
+    #[deprecated(since = "0.1.0", note = "read `metrics.par` instead")]
+    #[must_use]
+    pub fn par_stats(&self) -> ParStatsSnapshot {
+        self.metrics.par
+    }
+
     /// Sum of measured line costs.
     #[must_use]
     pub fn total_cost(&self) -> LineCost {
@@ -400,6 +441,15 @@ impl Evaluator<'_> {
             Evaluator::Vm(vm) => vm.par_stats(),
         }
     }
+
+    /// Hands the run's tracer to the kernel engine so `kernel.par` spans
+    /// land in the same journal as the execution spans.
+    fn set_tracer(&mut self, tracer: Tracer) {
+        match self {
+            Evaluator::Ast(interp) => interp.set_tracer(tracer),
+            Evaluator::Vm(vm) => vm.set_tracer(tracer),
+        }
+    }
 }
 
 /// FNV-1a over every program variable's final value (first-assignment
@@ -464,7 +514,8 @@ fn execute_impl(
     if !opts.faults.is_none() {
         system.install_faults(opts.faults.clone());
     }
-    let mut recov = Recovery::new(opts.recovery);
+    let mut recov = Recovery::with_tracer(opts.recovery, opts.tracer.clone());
+    eval.set_tracer(opts.tracer.clone());
     let mut placements = placements.to_vec();
     let mut var_loc: BTreeMap<String, EngineKind> = BTreeMap::new();
     let mut vars = VarSpace::default();
@@ -473,6 +524,15 @@ fn execute_impl(
     let mut csd_executed = 0usize;
     let csd_total = placements.iter().filter(|p| **p == EngineKind::Cse).count();
     let mut contention_applied = false;
+    let exec_span = opts.tracer.begin_with(
+        "phase.execute",
+        SpanKind::Phase,
+        Some(system.now().as_secs()),
+        vec![
+            ("lines".into(), program.len().into()),
+            ("csd_lines".into(), csd_total.into()),
+        ],
+    );
 
     // Distribute the CSD binary into device memory before execution
     // starts. A must-complete transfer: DMA faults only delay it.
@@ -508,6 +568,12 @@ fn execute_impl(
         if placements[i] == EngineKind::Host {
             let line = &program.lines()[i];
             let start = system.now().as_secs();
+            let line_span = opts.tracer.begin_with(
+                "exec.host_line",
+                SpanKind::Device,
+                Some(start),
+                vec![("line".into(), i.into())],
+            );
             let staged = stage_inputs(
                 line,
                 EngineKind::Host,
@@ -534,6 +600,7 @@ fn execute_impl(
                 EngineKind::Host,
                 eval.var_bytes(&line.target),
             )?;
+            opts.tracer.end(line_span, Some(system.now().as_secs()));
             lines_out.push(LineOutcome {
                 line: i,
                 engine: EngineKind::Host,
@@ -555,6 +622,15 @@ fn execute_impl(
         while end + 1 < program.len() && placements[end + 1] == EngineKind::Cse {
             end += 1;
         }
+        let region_span = opts.tracer.begin_with(
+            "exec.region",
+            SpanKind::Device,
+            Some(system.now().as_secs()),
+            vec![
+                ("start_line".into(), i.into()),
+                ("end_line".into(), end.into()),
+            ],
+        );
         let region = match RegionRun::prepare(
             program,
             i,
@@ -579,15 +655,36 @@ fn execute_impl(
                     .filter(|p| **p == EngineKind::Cse)
                     .count();
                 let regen_secs = CompiledProgram::compile_secs_for(later);
+                let decided_at = system.now().as_secs();
+                opts.tracer.instant(
+                    "migration.decision",
+                    SpanKind::Migration,
+                    Some(decided_at),
+                    vec![
+                        (
+                            "reason".into(),
+                            MigrationReason::DeviceFault.as_str().into(),
+                        ),
+                        ("after_line".into(), i.saturating_sub(1).into()),
+                        ("state_bytes".into(), 0u64.into()),
+                        ("regen_secs".into(), regen_secs.into()),
+                    ],
+                );
+                opts.tracer.counter_add("exec.migrations", 1);
                 migration = Some(MigrationEvent {
                     after_line: i.saturating_sub(1),
                     state_bytes: 0,
-                    at_secs: system.now().as_secs(),
+                    at_secs: decided_at,
                     regen_secs,
                     reason: MigrationReason::DeviceFault,
                 });
                 system.advance(csd_sim::units::Duration::from_secs(regen_secs));
                 recov.stats.fault_migrations += 1;
+                opts.tracer.end_with(
+                    region_span,
+                    Some(system.now().as_secs()),
+                    vec![("aborted".into(), true.into())],
+                );
                 for p in placements.iter_mut().skip(i) {
                     if *p == EngineKind::Cse {
                         *p = EngineKind::Host;
@@ -609,6 +706,7 @@ fn execute_impl(
             csd_total,
             &mut recov,
         )?;
+        opts.tracer.end(region_span, Some(system.now().as_secs()));
         lines_out.extend(outcome.lines);
         csd_executed += end - i + 1;
         if let Some(event) = outcome.migration {
@@ -628,6 +726,19 @@ fn execute_impl(
         }
     }
 
+    let metrics = MetricsSnapshot {
+        plan_cache_hits: 0,
+        plan_cache_misses: 0,
+        faults: system.fault_counters(),
+        recovery: recov.stats,
+        par: eval.par_stats(),
+    };
+    metrics.publish_to(&opts.tracer);
+    opts.tracer.end_with(
+        exec_span,
+        Some(system.now().as_secs()),
+        vec![("migrated".into(), migration.is_some().into())],
+    );
     Ok(RunReport {
         total_secs: system.now().as_secs(),
         lines: lines_out,
@@ -636,10 +747,9 @@ fn execute_impl(
         d2h_bytes: system.dma().d2h_bytes().as_u64(),
         h2d_bytes: system.dma().h2d_bytes().as_u64(),
         peak_device_bytes: vars.peak_device,
-        recovery: recov.stats,
         values_fingerprint: values_fingerprint(program, &eval),
         parallel: opts.parallel,
-        par_stats: eval.par_stats(),
+        metrics,
     })
 }
 
@@ -977,6 +1087,12 @@ impl RegionRun {
                 }
             }
             let chunk_t0 = system.now().as_secs();
+            let chunk_span = opts.tracer.begin_with(
+                "exec.chunk",
+                SpanKind::Device,
+                Some(chunk_t0),
+                vec![("chunk".into(), c.into())],
+            );
             let mut chunk_ops = 0u64;
             // A hard fault mid-chunk ends the device stream; the completed
             // work stays counted so the host replays only the remainder.
@@ -1018,6 +1134,13 @@ impl RegionRun {
                 durations[k] += system.now().as_secs() - t0;
             }
             let chunk_wall = system.now().as_secs() - chunk_t0;
+            opts.tracer.end(chunk_span, Some(system.now().as_secs()));
+            if opts.tracer.is_enabled() {
+                // Simulated chunk latency, in whole nanoseconds so the
+                // histogram stays integral and deterministic.
+                opts.tracer
+                    .observe("exec.chunk_sim_ns", (chunk_wall * 1e9) as u64);
+            }
             // Chunk boundary (or mid-chunk hard fault): the status-update
             // code first checks the command pages for a high-priority
             // request (§III-D case 1), then the host-side monitor checks
@@ -1053,7 +1176,29 @@ impl RegionRun {
                     while system.queue_mut().fetch().is_ok() {}
                     Some(MigrationReason::Preempted)
                 } else if let (Some(mon), Some(est)) = (monitor.as_mut(), estimates) {
-                    match mon.observe_window(chunk_ops as f64, chunk_wall) {
+                    let obs = mon.observe_window(chunk_ops as f64, chunk_wall);
+                    if opts.tracer.is_enabled() {
+                        let (label, ratio) = match obs {
+                            Observation::Warmup => ("warmup", None),
+                            Observation::Healthy => ("healthy", None),
+                            Observation::Degraded { ratio } => ("degraded", Some(ratio)),
+                        };
+                        let mut attrs: Attrs = vec![
+                            ("observation".into(), label.into()),
+                            ("ops".into(), chunk_ops.into()),
+                            ("window_secs".into(), chunk_wall.into()),
+                        ];
+                        if let Some(r) = ratio {
+                            attrs.push(("ratio".into(), r.into()));
+                        }
+                        opts.tracer.instant(
+                            "monitor.window",
+                            SpanKind::Monitor,
+                            Some(system.now().as_secs()),
+                            attrs,
+                        );
+                    }
+                    match obs {
                         Observation::Degraded { .. } => {
                             let later_csd: Vec<&LineEstimate> = est
                                 .iter()
@@ -1143,6 +1288,18 @@ impl RegionRun {
             }
             let after_line =
                 self.start + ((done_fraction * len as f64).floor() as usize).min(len - 1);
+            opts.tracer.instant(
+                "migration.decision",
+                SpanKind::Migration,
+                Some(decided_at),
+                vec![
+                    ("reason".into(), reason.as_str().into()),
+                    ("after_line".into(), after_line.into()),
+                    ("state_bytes".into(), state_bytes.into()),
+                    ("regen_secs".into(), regen_secs.into()),
+                ],
+            );
+            opts.tracer.counter_add("exec.migrations", 1);
             migration = Some(MigrationEvent {
                 after_line,
                 state_bytes,
@@ -1238,6 +1395,7 @@ pub fn execute_all_host_with(
         backend,
         recovery: RecoveryPolicy::default(),
         faults: FaultPlan::none(),
+        tracer: Tracer::disabled(),
         parallel: ParallelPolicy::default(),
     };
     execute(
@@ -1714,7 +1872,7 @@ mod tests {
             &[],
         )
         .expect("run");
-        assert_eq!(rep.recovery, RecoveryStats::default());
+        assert_eq!(rep.metrics.recovery, RecoveryStats::default());
         assert_ne!(rep.values_fingerprint, 0);
     }
 
@@ -1749,11 +1907,11 @@ mod tests {
             .with_dma_error_prob(0.05);
         let (clean, faulted) = run_with_faults(&ExecOptions::activepy(), faults);
         assert!(
-            faulted.recovery.transient_faults > 0,
+            faulted.metrics.recovery.transient_faults > 0,
             "5% per-op error over a 64-chunk stream must fire: {:?}",
-            faulted.recovery
+            faulted.metrics.recovery
         );
-        assert!(faulted.recovery.recovered_ops > 0);
+        assert!(faulted.metrics.recovery.recovered_ops > 0);
         assert_eq!(faulted.values_fingerprint, clean.values_fingerprint);
         assert!(
             faulted.total_secs > clean.total_secs,
@@ -1777,8 +1935,8 @@ mod tests {
         let (clean, faulted) = run_with_faults(&opts, faults);
         let mig = faulted.migration.expect("crash must force a migration");
         assert_eq!(mig.reason, MigrationCause::DeviceFault);
-        assert!(faulted.recovery.hard_faults >= 1);
-        assert!(faulted.recovery.fault_migrations >= 1);
+        assert!(faulted.metrics.recovery.hard_faults >= 1);
+        assert!(faulted.metrics.recovery.fault_migrations >= 1);
         assert_eq!(faulted.values_fingerprint, clean.values_fingerprint);
         assert!(faulted.total_secs > clean.total_secs);
     }
@@ -1857,13 +2015,13 @@ mod tests {
             assert_eq!(par.total_secs, serial.total_secs);
             assert_eq!(par.parallel, policy, "the report records its policy");
             assert!(
-                par.par_stats.par_calls > 0,
+                par.metrics.par.par_calls > 0,
                 "a 64-element threshold engages chunking: {:?}",
-                par.par_stats
+                par.metrics.par
             );
         }
         assert_eq!(serial.parallel, ParallelPolicy::default());
-        assert_eq!(serial.par_stats.par_calls, 0);
+        assert_eq!(serial.metrics.par.par_calls, 0);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod fit;
+pub mod metrics;
 pub mod monitor;
 pub mod plan;
 pub mod recovery;
@@ -70,6 +71,7 @@ pub use assign::Assignment;
 pub use error::ActivePyError;
 pub use estimate::{Calibration, LineEstimate};
 pub use exec::{ExecOptions, MigrationCause, MigrationReason, RunReport};
+pub use metrics::MetricsSnapshot;
 pub use monitor::MonitorConfig;
 pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
 pub use recovery::{RecoveryPolicy, RecoveryStats};

@@ -1,0 +1,136 @@
+//! The unified per-run metrics snapshot.
+//!
+//! Four counter structs used to travel separately: the plan cache's
+//! hit/miss pair, the fault injector's [`FaultCounters`], the recovery
+//! layer's [`RecoveryStats`], and the kernel engine's
+//! [`ParStatsSnapshot`]. [`MetricsSnapshot`] folds them into one struct
+//! with a stable serialized field order (declaration order below), so a
+//! run report carries a single metrics block instead of scattered
+//! accessors.
+//!
+//! Every field is deterministic for a fixed seed and policy. The two
+//! wall-clock quantities the old structs carried — the plan cache's
+//! `planning_nanos` and the kernel engine's scheduling-dependent
+//! `stolen_chunks` — are deliberately excluded: they stay reachable
+//! through [`crate::plan::PlanCache::stats`] and
+//! [`alang::ParEngine::nondet`], keeping snapshot equality meaningful
+//! across repeated same-seed runs.
+
+use crate::recovery::RecoveryStats;
+use alang::ParStatsSnapshot;
+use csd_sim::fault::FaultCounters;
+use isp_obs::Tracer;
+use serde::{Deserialize, Serialize};
+
+/// One deterministic snapshot of every counter family a run touches.
+///
+/// Serialized field order is the declaration order and is part of the
+/// repro's byte-stability contract (golden journals diff this block).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Plan-cache lookups satisfied from the cache (0 for uncached runs).
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that had to build a plan (0 for uncached runs).
+    pub plan_cache_misses: u64,
+    /// Injection totals from the simulator's fault injector.
+    pub faults: FaultCounters,
+    /// What the recovery layer absorbed.
+    pub recovery: RecoveryStats,
+    /// Deterministic kernel-engine counters (chunk grid only).
+    pub par: ParStatsSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Folds a plan cache's hit/miss counters into the snapshot. The
+    /// cache's wall-clock `planning_nanos` is dropped on purpose — it is
+    /// host-time and would break same-seed snapshot equality.
+    #[must_use]
+    pub fn with_plan_cache(mut self, stats: &crate::plan::PlanCacheStats) -> Self {
+        self.plan_cache_hits = stats.hits;
+        self.plan_cache_misses = stats.misses;
+        self
+    }
+
+    /// Publishes the fault and recovery counters into `tracer`'s registry
+    /// under the unified `fault.*` / `recovery.*` namespaces. The other
+    /// two families stream live at their source — `plan_cache.*` from
+    /// [`crate::plan::PlanCache::plan_for`] and `kernel.*` from the
+    /// engine's chunked path — so they are not re-published here.
+    pub fn publish_to(&self, tracer: &Tracer) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.counter_add("fault.flash_read_errors", self.faults.flash_read_errors);
+        tracer.counter_add("fault.nvme_command_errors", self.faults.nvme_command_errors);
+        tracer.counter_add("fault.dma_transfer_errors", self.faults.dma_transfer_errors);
+        tracer.counter_add("fault.cse_crashes", self.faults.cse_crashes);
+        tracer.counter_add("recovery.transient_faults", self.recovery.transient_faults);
+        tracer.counter_add("recovery.retries", self.recovery.retries);
+        tracer.counter_add("recovery.recovered_ops", self.recovery.recovered_ops);
+        tracer.counter_add("recovery.hard_faults", self.recovery.hard_faults);
+        tracer.counter_add("recovery.fault_migrations", self.recovery.fault_migrations);
+        // Simulated seconds, scaled to whole microseconds so the counter
+        // stays integral and deterministic.
+        tracer.counter_add(
+            "recovery.backoff_us",
+            (self.recovery.backoff_secs * 1e6).round() as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_snapshot_is_all_zero() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.plan_cache_hits, 0);
+        assert_eq!(snap.faults, FaultCounters::default());
+        assert_eq!(snap.recovery, RecoveryStats::default());
+        assert_eq!(snap.par, ParStatsSnapshot::default());
+    }
+
+    #[test]
+    fn serialized_field_order_is_stable() {
+        // The golden-journal contract: field order is declaration order.
+        let json = serde_json::to_string(&MetricsSnapshot::default()).expect("serialize");
+        let keys: Vec<usize> = [
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "faults",
+            "recovery",
+            "par",
+        ]
+        .iter()
+        .map(|k| json.find(&format!("\"{k}\"")).expect("key present"))
+        .collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "order drifted: {json}"
+        );
+    }
+
+    #[test]
+    fn publish_lands_in_the_unified_namespace() {
+        let (tracer, _sink) = Tracer::to_memory();
+        let snap = MetricsSnapshot {
+            recovery: RecoveryStats {
+                transient_faults: 3,
+                retries: 2,
+                recovered_ops: 1,
+                hard_faults: 0,
+                fault_migrations: 0,
+                backoff_secs: 6e-4,
+            },
+            ..MetricsSnapshot::default()
+        };
+        snap.publish_to(&tracer);
+        let reg = tracer.metrics_snapshot().expect("enabled");
+        assert_eq!(reg.counter("recovery.transient_faults"), Some(3));
+        assert_eq!(reg.counter("recovery.backoff_us"), Some(600));
+        assert_eq!(reg.counter("fault.cse_crashes"), Some(0));
+        // Disabled tracers swallow everything for free.
+        MetricsSnapshot::default().publish_to(&Tracer::disabled());
+    }
+}

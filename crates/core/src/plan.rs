@@ -158,12 +158,15 @@ impl PlanCache {
         config: &SystemConfig,
     ) -> Result<Arc<OffloadPlan>> {
         let key = (name.to_string(), Self::fingerprint(runtime, config));
+        let tracer = &runtime.options().tracer;
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(plan) = plans.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            tracer.counter_add("plan_cache.hits", 1);
             return Ok(Arc::clone(plan));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        tracer.counter_add("plan_cache.misses", 1);
         let started = Instant::now();
         let plan = Arc::new(runtime.plan(program, input, config)?);
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -11,7 +11,20 @@ use crate::error::{ActivePyError, Result};
 use csd_sim::fault::DeviceFault;
 use csd_sim::units::Duration;
 use csd_sim::System;
+use isp_obs::{SpanKind, Tracer};
 use serde::{Deserialize, Serialize};
+
+/// Stable short name of a fault variant, used as the `kind` attribute of
+/// `fault.injected` trace instants (matches the `fault.*_errors` counter
+/// family published from [`csd_sim::fault::FaultCounters`]).
+pub(crate) fn fault_kind_str(fault: &DeviceFault) -> &'static str {
+    match fault {
+        DeviceFault::FlashRead { .. } => "flash_read",
+        DeviceFault::NvmeCommand { .. } => "nvme_command",
+        DeviceFault::DmaTransfer { .. } => "dma_transfer",
+        DeviceFault::CseCrash { .. } => "cse_crash",
+    }
+}
 
 /// How the runtime responds to injected device faults.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,18 +140,40 @@ pub struct RecoveryStats {
     pub backoff_secs: f64,
 }
 
-/// The per-run retry engine: owns the policy and the stats.
+/// The per-run retry engine: owns the policy, the stats, and the trace
+/// handle that records fault/recovery events as they surface.
 pub(crate) struct Recovery {
     pub(crate) policy: RecoveryPolicy,
     pub(crate) stats: RecoveryStats,
+    tracer: Tracer,
 }
 
 impl Recovery {
+    #[cfg(test)]
     pub(crate) fn new(policy: RecoveryPolicy) -> Self {
+        Self::with_tracer(policy, Tracer::disabled())
+    }
+
+    pub(crate) fn with_tracer(policy: RecoveryPolicy, tracer: Tracer) -> Self {
         Recovery {
             policy,
             stats: RecoveryStats::default(),
+            tracer,
         }
+    }
+
+    /// Records an injected fault surfacing to the runtime as a trace
+    /// instant on the simulated clock.
+    fn trace_fault(&self, system: &System, fault: &DeviceFault) {
+        self.tracer.instant(
+            "fault.injected",
+            SpanKind::Fault,
+            Some(system.now().as_secs()),
+            vec![
+                ("kind".to_string(), fault_kind_str(fault).into()),
+                ("transient".to_string(), fault.is_transient().into()),
+            ],
+        );
     }
 
     /// Runs `op`, retrying transient faults up to the policy's bound with
@@ -160,6 +195,7 @@ impl Recovery {
                     return Ok(v);
                 }
                 Err(fault) => {
+                    self.trace_fault(system, &fault);
                     if fault.is_transient() {
                         self.stats.transient_faults += 1;
                     }
@@ -201,6 +237,7 @@ impl Recovery {
                     return v;
                 }
                 Err(fault) => {
+                    self.trace_fault(system, &fault);
                     debug_assert!(
                         fault.is_transient(),
                         "must-complete operations only face transient faults, got {fault}"
@@ -217,7 +254,17 @@ impl Recovery {
     fn back_off(&mut self, system: &mut System, attempt: u32) {
         let backoff = self.policy.backoff_for(attempt);
         self.stats.backoff_secs += backoff;
+        let span = self.tracer.begin_with(
+            "recovery.backoff",
+            SpanKind::Recovery,
+            Some(system.now().as_secs()),
+            vec![
+                ("attempt".to_string(), attempt.into()),
+                ("backoff_secs".to_string(), backoff.into()),
+            ],
+        );
         system.advance(Duration::from_secs(backoff));
+        self.tracer.end(span, Some(system.now().as_secs()));
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use crate::assign::{assign_refined, Assignment};
+use crate::assign::{assign_refined_traced, Assignment};
 use crate::error::Result;
 use crate::estimate::{estimate_lines, Calibration, LineEstimate};
 use crate::exec::{execute, execute_lowered, ExecOptions, RunReport};
@@ -18,7 +18,7 @@ use crate::fit::{predict_lines, LinePrediction};
 use crate::monitor::MonitorConfig;
 use crate::plan::{OffloadPlan, PlanTimings};
 use crate::recovery::RecoveryPolicy;
-use crate::sampling::{paper_scales, run_sampling_with, InputSource, SamplingReport};
+use crate::sampling::{paper_scales, run_sampling_traced, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
 use alang::copyelim::eliminable_lines;
 use alang::{CostParams, ExecBackend, ExecTier, ParallelPolicy, Program};
@@ -26,6 +26,7 @@ use csd_sim::contention::ContentionScenario;
 use csd_sim::fault::FaultPlan;
 use csd_sim::units::Duration;
 use csd_sim::SystemConfig;
+use isp_obs::{SpanKind, Tracer};
 
 /// Configuration of the ActivePy runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,11 @@ pub struct ActivePyOptions {
     /// fitted curves identical across policies. Execution-only: it does
     /// not participate in plan-cache fingerprints.
     pub parallel: ParallelPolicy,
+    /// Trace recording handle threaded through planning and execution.
+    /// Disabled by default. Observation-only: it participates in neither
+    /// plan-cache fingerprints nor option equality beyond identity, and a
+    /// live tracer never perturbs any simulated quantity.
+    pub tracer: Tracer,
 }
 
 impl Default for ActivePyOptions {
@@ -75,6 +81,7 @@ impl Default for ActivePyOptions {
             recovery: RecoveryPolicy::default(),
             faults: FaultPlan::none(),
             parallel: ParallelPolicy::default(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -119,6 +126,13 @@ impl ActivePyOptions {
     #[must_use]
     pub fn with_parallelism(mut self, parallel: ParallelPolicy) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Attaches a trace recording handle to planning and execution.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -212,30 +226,46 @@ impl ActivePy {
         config: &SystemConfig,
     ) -> Result<OffloadPlan> {
         let mut timings = PlanTimings::default();
+        let tracer = &self.options.tracer;
 
         // 1. Sampling phase on down-scaled inputs.
         let phase = Instant::now();
-        let sampling =
-            run_sampling_with(program, input, &self.options.scales, self.options.backend)?;
+        let span = tracer.begin_with(
+            "phase.sampling",
+            SpanKind::Phase,
+            None,
+            vec![("scales".into(), self.options.scales.len().into())],
+        );
+        let sampling = run_sampling_traced(
+            program,
+            input,
+            &self.options.scales,
+            self.options.backend,
+            tracer,
+        )?;
         let sampling_secs = self.sampling_secs(&sampling, config);
+        tracer.end_with(
+            span,
+            None,
+            vec![("sampling_secs".into(), sampling_secs.into())],
+        );
         timings.sampling_nanos = phase_nanos(phase);
 
         // 2. Fit the five candidate curves and extrapolate to full scale.
         let phase = Instant::now();
+        let span = tracer.begin("phase.fit", SpanKind::Phase, None);
         let predictions = predict_lines(&sampling.lines)?;
+        tracer.end_with(span, None, vec![("lines".into(), predictions.len().into())]);
         timings.fit_nanos = phase_nanos(phase);
 
-        // 3. Calibrate the CSE slowdown from performance counters.
+        // 3. Calibrate the CSE slowdown from performance counters, decide
+        //    copy elimination from the dataset types sampling observed (the
+        //    generated code's optimization), and estimate per-line
+        //    host/device times for that code — the profit evaluation.
         let phase = Instant::now();
+        let span = tracer.begin("phase.profit", SpanKind::Phase, None);
         let calibration = Calibration::from_counters(config);
-
-        // 4. Decide copy elimination from the dataset types sampling
-        //    observed (the generated code's optimization), then estimate
-        //    per-line host/device times for that code and run Algorithm 1.
         let copy_elim = eliminable_lines(program, &sampling.dataset_types);
-        // Lower once while planning: every execution variant of this plan
-        // (per scenario, with or without migration) reuses the bytecode.
-        let lowered = alang::lower::lower_with(program, &copy_elim)?;
         let estimates = estimate_lines(
             &predictions,
             ExecTier::CompiledCopyElim,
@@ -244,11 +274,34 @@ impl ActivePy {
             &calibration,
             &copy_elim,
         );
-        let assignment = assign_refined(
+        tracer.end_with(
+            span,
+            None,
+            vec![(
+                "copy_elim_lines".into(),
+                copy_elim.iter().filter(|e| **e).count().into(),
+            )],
+        );
+
+        // 4. Algorithm 1 with flip refinement.
+        let span = tracer.begin("phase.assign", SpanKind::Phase, None);
+        let assignment = assign_refined_traced(
             program,
             &estimates,
             config.d2h_bandwidth().as_bytes_per_sec(),
+            tracer,
         );
+        tracer.end_with(
+            span,
+            None,
+            vec![("csd_lines".into(), assignment.csd_lines.len().into())],
+        );
+
+        // 5. Code generation. Lower once while planning: every execution
+        //    variant of this plan (per scenario, with or without migration)
+        //    reuses the bytecode.
+        let span = tracer.begin("phase.compile", SpanKind::Phase, None);
+        let lowered = alang::lower::lower_with(program, &copy_elim)?;
         let csd_line_count = assignment.csd_lines.len();
         let compile_secs = CompiledProgram::compile_secs_for(program.len())
             + if csd_line_count > 0 {
@@ -256,9 +309,14 @@ impl ActivePy {
             } else {
                 0.0
             };
+        tracer.end_with(
+            span,
+            None,
+            vec![("compile_secs".into(), compile_secs.into())],
+        );
         timings.assign_nanos = phase_nanos(phase);
 
-        // 5. Materialize the full-scale input the plan will execute on.
+        // 6. Materialize the full-scale input the plan will execute on.
         let phase = Instant::now();
         let full_storage = input.storage_at(1.0);
         timings.materialize_nanos = phase_nanos(phase);
@@ -295,6 +353,15 @@ impl ActivePy {
         let mut system = config.build();
         if self.options.charge_pipeline_overheads {
             system.advance(Duration::from_secs(plan.sampling_secs + plan.compile_secs));
+            self.options.tracer.instant(
+                "exec.pipeline_overheads",
+                SpanKind::Phase,
+                Some(system.now().as_secs()),
+                vec![
+                    ("sampling_secs".into(), plan.sampling_secs.into()),
+                    ("compile_secs".into(), plan.compile_secs.into()),
+                ],
+            );
         }
         let opts = ExecOptions {
             tier: ExecTier::CompiledCopyElim,
@@ -307,6 +374,7 @@ impl ActivePy {
             recovery: self.options.recovery,
             faults: self.options.faults.clone(),
             parallel: self.options.parallel,
+            tracer: self.options.tracer.clone(),
         };
         let placements = plan.assignment.placements(plan.program.len());
         let report = match self.options.backend {

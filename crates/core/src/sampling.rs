@@ -16,6 +16,7 @@ use crate::error::{ActivePyError, Result};
 use alang::builtins::Storage;
 use alang::copyelim::{DatasetTypes, StaticType};
 use alang::{ExecBackend, Interpreter, LineCost, Program, Value, Vm};
+use isp_obs::{SpanKind, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// A provider of program inputs at arbitrary scale.
@@ -105,6 +106,23 @@ pub fn run_sampling_with(
     scales: &[f64],
     backend: ExecBackend,
 ) -> Result<SamplingReport> {
+    run_sampling_traced(program, input, scales, backend, &Tracer::disabled())
+}
+
+/// As [`run_sampling_with`], recording one `sampling.scale` span per
+/// sample run into `tracer`. The tracer is observation-only: reports are
+/// identical with it enabled, disabled, or absent.
+///
+/// # Errors
+///
+/// As [`run_sampling_with`].
+pub fn run_sampling_traced(
+    program: &Program,
+    input: &dyn InputSource,
+    scales: &[f64],
+    backend: ExecBackend,
+    tracer: &Tracer,
+) -> Result<SamplingReport> {
     if scales.is_empty() {
         return Err(ActivePyError::sampling("no sampling scales provided"));
     }
@@ -126,6 +144,12 @@ pub fn run_sampling_with(
                 "scale factor {scale} outside (0, 1]"
             )));
         }
+        let span = tracer.begin_with(
+            "sampling.scale",
+            SpanKind::Phase,
+            None,
+            vec![("scale".into(), scale.into())],
+        );
         let storage = input.storage_at(scale);
         dataset_types.extend(observe_dataset_types(&storage));
         // Sample runs execute the unoptimized program — the original code,
@@ -134,6 +158,7 @@ pub fn run_sampling_with(
             Some(lowered) => Vm::new(lowered, &storage).run()?,
             None => Interpreter::new(&storage).run(program, &[])?,
         };
+        tracer.end(span, None);
         for rec in records {
             total += rec.cost;
             lines[rec.index].points.push(SamplePoint {

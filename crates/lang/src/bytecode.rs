@@ -14,7 +14,7 @@ use crate::builtins::{weights, KernelCtx, KernelId, Storage};
 use crate::cost::LineCost;
 use crate::error::{LangError, Result};
 use crate::interp::{apply_binary, apply_unary, charge_elementwise, charge_temp, LineRecord};
-use crate::par::{ParEngine, ParStatsSnapshot, ParallelPolicy};
+use crate::par::{ParEngine, ParStatsNondet, ParStatsSnapshot, ParallelPolicy};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -222,10 +222,22 @@ impl<'a> Vm<'a> {
         }
     }
 
-    /// Chunk/steal counters accumulated by kernel calls so far.
+    /// Chunk counters accumulated by kernel calls so far.
     #[must_use]
     pub fn par_stats(&self) -> ParStatsSnapshot {
         self.par.stats()
+    }
+
+    /// Scheduling-dependent kernel counters (steal attribution).
+    #[must_use]
+    pub fn par_nondet(&self) -> ParStatsNondet {
+        self.par.nondet()
+    }
+
+    /// Attaches a tracer to the kernel engine; engaged kernel calls then
+    /// record `kernel.par` spans and publish `kernel.*` counters.
+    pub fn set_tracer(&mut self, tracer: isp_obs::Tracer) {
+        self.par.set_tracer(tracer);
     }
 
     /// Current value of a variable, if defined.

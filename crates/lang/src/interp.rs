@@ -16,7 +16,7 @@ use crate::ast::{BinOp, Expr, Line, Program, UnOp};
 use crate::builtins::{self, weights, KernelCtx, Storage};
 use crate::cost::LineCost;
 use crate::error::{LangError, Result};
-use crate::par::{ParEngine, ParStatsSnapshot, ParallelPolicy};
+use crate::par::{ParEngine, ParStatsNondet, ParStatsSnapshot, ParallelPolicy};
 use crate::value::{ArrayVal, BoolArrayVal, Value};
 use std::collections::BTreeMap;
 
@@ -58,10 +58,22 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    /// Chunk/steal counters accumulated by this interpreter's kernels.
+    /// Chunk counters accumulated by this interpreter's kernels.
     #[must_use]
     pub fn par_stats(&self) -> ParStatsSnapshot {
         self.par.stats()
+    }
+
+    /// Scheduling-dependent kernel counters (steal attribution).
+    #[must_use]
+    pub fn par_nondet(&self) -> ParStatsNondet {
+        self.par.nondet()
+    }
+
+    /// Attaches a tracer to the kernel engine; engaged kernel calls then
+    /// record `kernel.par` spans and publish `kernel.*` counters.
+    pub fn set_tracer(&mut self, tracer: isp_obs::Tracer) {
+        self.par.set_tracer(tracer);
     }
 
     /// Current value of a variable, if defined.

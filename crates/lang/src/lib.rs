@@ -63,7 +63,7 @@ pub use compile::CompiledProgram;
 pub use cost::{CostParams, ExecTier, LineCost};
 pub use error::LangError;
 pub use interp::Interpreter;
-pub use par::{ParEngine, ParStatsSnapshot, ParallelPolicy};
+pub use par::{ParEngine, ParStatsNondet, ParStatsSnapshot, ParallelPolicy};
 pub use value::Value;
 
 #[cfg(test)]

@@ -1,0 +1,629 @@
+//! Journal parsing and summarization for the `trace` analysis binary.
+//!
+//! The vendored serde_json stand-in can only *emit* JSON, so this module
+//! carries a small recursive-descent JSON parser sufficient for reading
+//! back the journals this crate writes (and any well-formed JSON). On
+//! top of it, [`parse_journal`] reconstructs the span/instant/metrics
+//! records from a JSONL journal and [`summarize`] renders the human
+//! report: per-phase time breakdown, top-N spans, and the migration
+//! timeline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::SpanKind;
+
+/// A parsed JSON value. Numbers are `f64` (exact for integers up to
+/// 2^53, which covers every id/seq/duration a summary cares about).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our
+                            // writers; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parse one JSON document.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after value"));
+    }
+    Ok(v)
+}
+
+/// A span record read back from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalSpan {
+    /// Span id.
+    pub id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Emission sequence number.
+    pub seq: u64,
+    /// Span name.
+    pub name: String,
+    /// Taxonomy kind (as recorded; unknown kinds keep their raw string).
+    pub kind: String,
+    /// Wall-clock start (ns since epoch; 0 when masked).
+    pub wall_ns: u64,
+    /// Wall-clock duration in ns (0 when masked).
+    pub wall_dur_ns: u64,
+    /// Simulated-clock start, when recorded.
+    pub sim_secs: Option<f64>,
+    /// Simulated duration, when recorded.
+    pub sim_dur_secs: Option<f64>,
+    /// Attributes as parsed values, key order preserved.
+    pub attrs: Vec<(String, JsonValue)>,
+}
+
+/// An instant record read back from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalInstant {
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Emission sequence number.
+    pub seq: u64,
+    /// Event name.
+    pub name: String,
+    /// Taxonomy kind.
+    pub kind: String,
+    /// Wall-clock timestamp (0 when masked).
+    pub wall_ns: u64,
+    /// Simulated-clock timestamp, when recorded.
+    pub sim_secs: Option<f64>,
+    /// Attributes as parsed values, key order preserved.
+    pub attrs: Vec<(String, JsonValue)>,
+}
+
+/// A parsed JSONL journal.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// All span records, in emission order.
+    pub spans: Vec<JournalSpan>,
+    /// All instant records, in emission order.
+    pub instants: Vec<JournalInstant>,
+    /// The metrics footer, when present.
+    pub metrics: Option<JsonValue>,
+}
+
+fn opt_f64(v: Option<&JsonValue>) -> Option<f64> {
+    match v {
+        Some(JsonValue::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn req_u64(obj: &JsonValue, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("journal line {line_no}: missing integer field '{key}'"))
+}
+
+fn req_str(obj: &JsonValue, key: &str, line_no: usize) -> Result<String, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("journal line {line_no}: missing string field '{key}'"))
+}
+
+fn attrs_of(obj: &JsonValue) -> Vec<(String, JsonValue)> {
+    obj.get("attrs")
+        .and_then(JsonValue::as_obj)
+        .map(|fields| fields.to_vec())
+        .unwrap_or_default()
+}
+
+/// Parse a JSONL journal as written by [`crate::export::jsonl`].
+pub fn parse_journal(text: &str) -> Result<Journal, String> {
+    let mut journal = Journal::default();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("journal line {line_no}: {e}"))?;
+        let t = req_str(&v, "t", line_no)?;
+        match t.as_str() {
+            "span" => journal.spans.push(JournalSpan {
+                id: req_u64(&v, "id", line_no)?,
+                parent: req_u64(&v, "parent", line_no)?,
+                seq: req_u64(&v, "seq", line_no)?,
+                name: req_str(&v, "name", line_no)?,
+                kind: req_str(&v, "kind", line_no)?,
+                wall_ns: req_u64(&v, "wall_ns", line_no)?,
+                wall_dur_ns: req_u64(&v, "wall_dur_ns", line_no)?,
+                sim_secs: opt_f64(v.get("sim_secs")),
+                sim_dur_secs: opt_f64(v.get("sim_dur_secs")),
+                attrs: attrs_of(&v),
+            }),
+            "instant" => journal.instants.push(JournalInstant {
+                parent: req_u64(&v, "parent", line_no)?,
+                seq: req_u64(&v, "seq", line_no)?,
+                name: req_str(&v, "name", line_no)?,
+                kind: req_str(&v, "kind", line_no)?,
+                wall_ns: req_u64(&v, "wall_ns", line_no)?,
+                sim_secs: opt_f64(v.get("sim_secs")),
+                attrs: attrs_of(&v),
+            }),
+            "metrics" => journal.metrics = Some(v),
+            other => {
+                return Err(format!(
+                    "journal line {line_no}: unknown record type '{other}'"
+                ))
+            }
+        }
+    }
+    Ok(journal)
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+fn attr_display(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Str(s) => s.clone(),
+        JsonValue::Num(n) => format!("{n}"),
+        JsonValue::Bool(b) => format!("{b}"),
+        JsonValue::Null => "null".to_string(),
+        _ => "…".to_string(),
+    }
+}
+
+/// Render the human summary of a journal: per-phase breakdown on both
+/// clocks, top-N spans by simulated (then wall) duration, the migration
+/// timeline, and the counter footer.
+pub fn summarize(journal: &Journal, top_n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "journal: {} spans, {} instants{}",
+        journal.spans.len(),
+        journal.instants.len(),
+        if journal.metrics.is_some() {
+            ", metrics footer"
+        } else {
+            ""
+        },
+    );
+
+    // Per-phase breakdown.
+    let mut phases: BTreeMap<&str, (u64, u64, f64)> = BTreeMap::new();
+    for s in &journal.spans {
+        if s.kind == SpanKind::Phase.as_str() {
+            let entry = phases.entry(s.name.as_str()).or_insert((0, 0, 0.0));
+            entry.0 += 1;
+            entry.1 += s.wall_dur_ns;
+            entry.2 += s.sim_dur_secs.unwrap_or(0.0);
+        }
+    }
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\nper-phase breakdown:");
+        let mut rows: Vec<_> = phases.into_iter().collect();
+        rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+        for (name, (count, wall, sim)) in rows {
+            let _ = writeln!(
+                out,
+                "  {name:<24} n={count:<4} wall={:<12} sim={sim:.6}s",
+                fmt_ms(wall)
+            );
+        }
+    }
+
+    // Top-N spans by simulated duration, wall as tiebreaker.
+    let mut by_dur: Vec<&JournalSpan> = journal.spans.iter().collect();
+    by_dur.sort_by(|a, b| {
+        let sa = a.sim_dur_secs.unwrap_or(0.0);
+        let sb = b.sim_dur_secs.unwrap_or(0.0);
+        sb.partial_cmp(&sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.wall_dur_ns.cmp(&a.wall_dur_ns))
+            .then(a.seq.cmp(&b.seq))
+    });
+    if !by_dur.is_empty() {
+        let _ = writeln!(out, "\ntop {} spans:", top_n.min(by_dur.len()));
+        for s in by_dur.iter().take(top_n) {
+            let sim = match s.sim_dur_secs {
+                Some(d) => format!("{d:.6}s"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  [{:<9}] {:<28} sim={sim:<12} wall={}",
+                s.kind,
+                s.name,
+                fmt_ms(s.wall_dur_ns)
+            );
+        }
+    }
+
+    // Migration timeline.
+    let migrations: Vec<&JournalInstant> = journal
+        .instants
+        .iter()
+        .filter(|i| i.kind == SpanKind::Migration.as_str())
+        .collect();
+    let _ = writeln!(out, "\nmigrations: {}", migrations.len());
+    for m in &migrations {
+        let at = match m.sim_secs {
+            Some(s) => format!("sim {s:.6}s"),
+            None => format!("wall {}", fmt_ms(m.wall_ns)),
+        };
+        let attrs = m
+            .attrs
+            .iter()
+            .map(|(k, v)| format!("{k}={}", attr_display(v)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "  at {at}: {} {attrs}", m.name);
+    }
+
+    // Counter footer.
+    if let Some(metrics) = &journal.metrics {
+        if let Some(counters) = metrics.get("counters").and_then(JsonValue::as_obj) {
+            if !counters.is_empty() {
+                let _ = writeln!(out, "\ncounters:");
+                for (k, v) in counters {
+                    let _ = writeln!(out, "  {k:<32} {}", attr_display(v));
+                }
+            }
+        }
+        if let Some(hists) = metrics.get("histograms").and_then(JsonValue::as_obj) {
+            if !hists.is_empty() {
+                let _ = writeln!(out, "\nhistograms:");
+                for (k, v) in hists {
+                    let count = v.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+                    let sum = v.get("sum").and_then(JsonValue::as_u64).unwrap_or(0);
+                    let mean = if count > 0 {
+                        sum as f64 / count as f64
+                    } else {
+                        0.0
+                    };
+                    let _ = writeln!(out, "  {k:<32} count={count} sum={sum} mean={mean:.1}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::jsonl;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::{SpanKind as SK, Tracer};
+
+    #[test]
+    fn parse_json_round_trips_basic_values() {
+        let v = parse_json(r#"{"a":1,"b":[true,null,"x\n"],"c":-2.5e2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(-250.0));
+        let JsonValue::Arr(items) = v.get("b").unwrap() else {
+            panic!("expected array")
+        };
+        assert_eq!(items[0], JsonValue::Bool(true));
+        assert_eq!(items[1], JsonValue::Null);
+        assert_eq!(items[2], JsonValue::Str("x\n".to_string()));
+    }
+
+    #[test]
+    fn parse_json_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_json_handles_unicode_and_escapes() {
+        let v = parse_json(r#""café ✓""#).unwrap();
+        assert_eq!(v.as_str(), Some("café ✓"));
+    }
+
+    #[test]
+    fn journal_round_trip_and_summary() {
+        let (t, sink) = Tracer::to_memory();
+        let run = t.begin("phase.execute", SK::Phase, Some(0.0));
+        let region = t.begin("exec.region", SK::Device, Some(0.0));
+        t.instant(
+            "migration.decision",
+            SK::Migration,
+            Some(0.4),
+            vec![("reason".to_string(), "Degraded".into())],
+        );
+        t.end(region, Some(0.5));
+        t.end(run, Some(1.0));
+        let reg = MetricsRegistry::default();
+        reg.counter_add("recovery.retries", 3);
+        reg.observe("exec.chunk_sim_ns", 512);
+
+        let text = jsonl(&sink.events(), Some(&reg.snapshot()), true);
+        let journal = parse_journal(&text).expect("journal parses");
+        assert_eq!(journal.spans.len(), 2);
+        assert_eq!(journal.instants.len(), 1);
+        assert!(journal.metrics.is_some());
+        assert_eq!(journal.spans[1].name, "phase.execute");
+        assert_eq!(journal.spans[0].parent, journal.spans[1].id);
+        assert_eq!(journal.instants[0].attrs[0].0, "reason");
+
+        let summary = summarize(&journal, 5);
+        assert!(summary.contains("per-phase breakdown"));
+        assert!(summary.contains("phase.execute"));
+        assert!(summary.contains("migrations: 1"));
+        assert!(summary.contains("reason=Degraded"));
+        assert!(summary.contains("recovery.retries"));
+        assert!(summary.contains("exec.chunk_sim_ns"));
+    }
+
+    #[test]
+    fn parse_journal_reports_bad_lines() {
+        let err = parse_journal("{\"t\":\"span\"}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_journal("{\"t\":\"bogus\"}\n").unwrap_err();
+        assert!(err.contains("unknown record type"), "{err}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Monotonic counters and fixed-log2-bucket histograms with
+//! deterministic snapshot ordering.
+//!
+//! The registry unifies what used to be four disconnected counter
+//! structs (plan cache, fault injector, recovery, kernel engine): each
+//! publishes into a shared namespace (`plan_cache.hits`,
+//! `fault.flash_read_errors`, …) and [`MetricsRegistry::snapshot`]
+//! returns everything sorted by name, so a serialized snapshot is
+//! byte-stable across runs.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds value 0, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A histogram over `u64` observations with fixed log2 buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Per-bucket observation counts; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-lower / exclusive-upper bounds of bucket `i`.
+    /// Bucket 0 is exactly `[0, 1)`; bucket 64's upper bound saturates.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 1)
+        } else {
+            let lo = 1u64 << (i - 1);
+            let hi = if i == 64 { u64::MAX } else { 1u64 << i };
+            (lo, hi)
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Thread-safe registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Add `v` to the named monotonic counter, creating it at 0.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut counters = self.counters.lock().expect("metrics poisoned");
+        match counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(v),
+            None => {
+                counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Record one observation into the named histogram, creating it
+    /// empty.
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut histograms = self.histograms.lock().expect("metrics poisoned");
+        histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Snapshot with deterministic (lexicographic) ordering.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` pairs in lexicographic name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs in lexicographic name order.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl RegistrySnapshot {
+    /// Value of a counter, or `None` if never touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// A histogram by name, or `None` if never touched.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_follow_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_domain_without_overlap() {
+        // Every bucket's lower bound maps back to that bucket, and the
+        // value just below it maps to the previous bucket.
+        for i in 1..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(lo - 1), i - 1);
+            assert!(hi > lo);
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 5, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1031);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert!((h.mean() - 206.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::default();
+        reg.counter_add("z.last", 2);
+        reg.counter_add("a.first", 1);
+        reg.counter_add("a.first", 4);
+        reg.observe("lat.chunk", 100);
+        reg.observe("lat.chunk", 200);
+        reg.observe("b.other", 7);
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_string(), 5), ("z.last".to_string(), 2)]
+        );
+        let names: Vec<&str> = snap.histograms.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["b.other", "lat.chunk"]);
+        assert_eq!(snap.counter("a.first"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.histogram("lat.chunk").unwrap().count, 2);
+        assert_eq!(snap.histogram("lat.chunk").unwrap().sum, 300);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let reg = MetricsRegistry::default();
+        reg.counter_add("c", u64::MAX);
+        reg.counter_add("c", 10);
+        assert_eq!(reg.snapshot().counter("c"), Some(u64::MAX));
+    }
+}

@@ -25,6 +25,25 @@ cargo test -q -p isp-bench --lib scaling
 echo "== thread determinism (pinned proptest seed, both backends, 1/2/8 threads) =="
 cargo test -q --test thread_determinism
 
+echo "== trace smoke (repro --trace -> trace summarizer -> golden journal diff) =="
+# End-to-end observability gate: a masked traced TPC-H-6 fig5 run must
+# produce a journal the `trace` bin can summarize, and that journal must
+# be byte-identical to the committed golden — any nondeterminism in the
+# span layer (schedule leaking into journal order, a host-clock value
+# escaping the mask) fails the diff.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release -q -p isp-bench --bin repro -- \
+  --trace "$TRACE_TMP/fig5_tpch6.jsonl" --trace-mask-wall --trace-workload TPC-H-6
+cargo run --release -q -p isp-bench --bin trace -- "$TRACE_TMP/fig5_tpch6.jsonl" --top 5
+diff -u tests/golden/fig5_tpch6_trace.jsonl "$TRACE_TMP/fig5_tpch6.jsonl"
+
+echo "== fig5 golden byte-identity (rows untouched by the obs layer) =="
+# Untraced rows must match tests/golden/fig5_rows.json byte for byte,
+# and the traced serial grid must produce the same rows as the untraced
+# parallel grid (tracing is observation-only at the benchmark level).
+cargo test -q --test fig5_golden
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 

@@ -155,14 +155,14 @@ proptest! {
                     fingerprints.push(faulted.values_fingerprint);
                     // Invariant 3: hard faults always resolve into a
                     // device-fault migration, never an unhandled error.
-                    if faulted.recovery.hard_faults > 0 {
+                    if faulted.metrics.recovery.hard_faults > 0 {
                         let mig = faulted.migration.expect("hard fault must migrate");
                         prop_assert_eq!(mig.reason, MigrationReason::DeviceFault);
-                        prop_assert!(faulted.recovery.fault_migrations >= 1);
+                        prop_assert!(faulted.metrics.recovery.fault_migrations >= 1);
                     }
                     // Invariant 4: recovery accounting matches injection.
                     prop_assert_eq!(
-                        faulted.recovery.transient_faults,
+                        faulted.metrics.recovery.transient_faults,
                         injected.transient_total(),
                         "recovery layer missed injected faults for:\n{}", src
                     );

@@ -200,7 +200,7 @@ fn pinned_faults_and_parallel_kernels_replay_bit_exactly() {
                 );
                 if threads > 1 {
                     assert!(
-                        report.par_stats.par_calls > 0,
+                        report.metrics.par.par_calls > 0,
                         "chunked execution must engage at {threads} threads"
                     );
                 }
