@@ -68,6 +68,7 @@ struct BenchReport {
     interp: InterpComparison,
     faults: FaultsReport,
     scaling: ex::scaling::Report,
+    shards: ex::shards::Report,
 }
 
 /// Times per-line execution — the component of sampling wall-clock the
@@ -251,6 +252,44 @@ fn run_traced(req: &TraceRequest, config: &SystemConfig, policy: ParallelPolicy)
     println!("wrote {} trace events to {}", events.len(), req.path);
 }
 
+/// Parses `--shards N`: narrows the shard-scaling sweep to fleet sizes
+/// {1, N} (N=1 runs the baseline row alone). Without the flag the sweep
+/// visits the full default grid.
+fn parse_shards() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--shards")?;
+    let n = args
+        .get(pos + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            eprintln!("--shards requires a positive integer");
+            std::process::exit(2);
+        });
+    if n == 0 || n > 64 {
+        eprintln!("--shards must be between 1 and 64, got {n}");
+        std::process::exit(2);
+    }
+    Some(n)
+}
+
+fn usage() {
+    println!(
+        "repro — run the full ActivePy evaluation\n\n\
+         USAGE:\n    repro [OPTIONS]\n\n\
+         OPTIONS:\n\
+         \x20   --json                 time every experiment and write BENCH_repro.json\n\
+         \x20   --threads N            run Figure 5 plans under an N-worker kernel policy\n\
+         \x20   --shards N             narrow the shard-scaling sweep to fleet sizes {{1, N}}\n\
+         \x20                          (default grid: N in {:?})\n\
+         \x20   --trace PATH           trace the Figure 5 grid to PATH (skips other experiments)\n\
+         \x20   --trace-format F       trace format: jsonl (default) or chrome\n\
+         \x20   --trace-mask-wall      mask wall-clock timestamps in the trace\n\
+         \x20   --trace-workload W     trace only workload W\n\
+         \x20   --help                 print this help",
+        ex::shards::SHARD_COUNTS
+    );
+}
+
 /// Parses `--threads N` (default 1), validating against the engine's
 /// policy rules.
 fn parse_threads() -> usize {
@@ -273,8 +312,13 @@ fn parse_threads() -> usize {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
     let json = std::env::args().any(|a| a == "--json");
     let threads = parse_threads();
+    let shard_focus = parse_shards();
     let policy = ParallelPolicy::with_threads(threads);
     let config = SystemConfig::paper_default();
     if let Some(req) = parse_trace() {
@@ -354,6 +398,30 @@ fn main() {
     if let Err(e) = ex::scaling::check(&scaling) {
         eprintln!("scaling sweep check failed: {e}");
     }
+    println!();
+
+    let t = Instant::now();
+    let shards = match shard_focus {
+        // --shards N: the baseline row plus the requested fleet size only.
+        Some(n) => {
+            let counts: Vec<usize> = if n == 1 { vec![1] } else { vec![1, n] };
+            ex::shards::run_configured(
+                &ex::shards::WORKLOADS,
+                &counts,
+                &cache,
+                &ex::shards::RunCounters::default(),
+            )
+        }
+        None => ex::shards::run_with(&cache),
+    };
+    time("shards", t.elapsed().as_secs_f64());
+    ex::shards::print(&shards);
+    // The floors assume the full grid; a narrowed --shards run skips them.
+    if shard_focus.is_none() {
+        if let Err(e) = ex::shards::check(&shards) {
+            eprintln!("shard sweep check failed: {e}");
+        }
+    }
 
     let total_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
@@ -413,6 +481,7 @@ fn main() {
             rows_identical,
         },
         interp,
+        shards,
         faults: FaultsReport {
             seed: ex::faults::FAULT_SEED,
             fault_migrations: faults.iter().map(|r| r.fault_migrations).sum(),

@@ -9,4 +9,5 @@ pub mod flexibility;
 pub mod prediction;
 pub mod runtime_opt;
 pub mod scaling;
+pub mod shards;
 pub mod table1;

@@ -161,6 +161,29 @@ pub fn net_profit(
     (ds_raw as f64 / bw_d2h + ct_host_compute) - (ct_device + ds_processed as f64 / bw_d2h)
 }
 
+/// The shared-link term of the shard-aware Eq. 1: the D2H bandwidth one
+/// shard of an `n`-device fleet can count on when every shard streams at
+/// once — its own link until the host root-complex `budget` saturates,
+/// then an equal share of the budget: `min(link, budget / n)`.
+///
+/// Feeding this (instead of the raw per-device link) into
+/// [`net_profit`]'s `bw_d2h` makes per-shard assignment honest about
+/// fleet-wide congestion: offload looks *more* profitable at high `n`,
+/// exactly the regime where shipping raw rows to the host stops scaling.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn shared_link_bandwidth(
+    link: csd_sim::units::Bandwidth,
+    budget: csd_sim::units::Bandwidth,
+    n: usize,
+) -> csd_sim::units::Bandwidth {
+    assert!(n > 0, "a fleet has at least one shard");
+    link.min(budget.scale(1.0 / n as f64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +292,29 @@ mod tests {
         // No data reduction and slower device: offloading loses.
         let s = net_profit(8_000_000, 0.5, 1.5, 8_000_000, 4e9);
         assert!(s < 0.0);
+    }
+
+    #[test]
+    fn shared_link_caps_at_the_budget_share() {
+        use csd_sim::units::Bandwidth;
+        let link = Bandwidth::from_gb_per_sec(4.0);
+        let budget = Bandwidth::from_gb_per_sec(16.0);
+        for n in [1usize, 2, 4] {
+            let bw = shared_link_bandwidth(link, budget, n);
+            assert!(
+                (bw.as_bytes_per_sec() - link.as_bytes_per_sec()).abs() < 1e-6,
+                "n={n}: under the budget, each shard keeps its full link"
+            );
+        }
+        let bw = shared_link_bandwidth(link, budget, 8);
+        assert!(
+            (bw.as_bytes_per_sec() - 2e9).abs() < 1e-3,
+            "8 shards over a 16 GB/s budget see 2 GB/s each, got {bw:?}"
+        );
+        // Congestion makes offload look better: the raw-shipping term of
+        // Eq. 1 grows as the effective link shrinks.
+        let congested = net_profit(8_000_000_000, 0.5, 1.5, 8_000_000, 2e9);
+        let uncongested = net_profit(8_000_000_000, 0.5, 1.5, 8_000_000, 4e9);
+        assert!(congested > uncongested);
     }
 }

@@ -170,6 +170,90 @@ impl ExecOptions {
     }
 }
 
+/// One shard's view of an execution, for fleet scatter/gather runs.
+///
+/// The repo's central repro discipline is that placement affects *costs
+/// only*: the evaluator always computes every value on the full data, so
+/// answers are byte-identical no matter where lines run. A `ShardSlice`
+/// extends the same discipline to fleets: a shard run evaluates the whole
+/// program (values — and therefore `values_fingerprint` — are identical
+/// on every shard), but is *charged* only for its own work:
+///
+/// * lines outside `[charge_start, charge_end)` are evaluated free — no
+///   storage, compute, staging, or allocation charges (they belong to a
+///   different phase of the fleet plan, e.g. the host-side combine);
+/// * charged lines whose output is row-partitioned (`sharded[line]`)
+///   charge the shard's exact slice of every extensive quantity, using
+///   the same integer partition arithmetic as chunk streaming, so slices
+///   across shards sum to the unsharded total with no remainder;
+/// * charged replicated lines (model weights, centroid seeds) charge in
+///   full on every shard — replicated work really is redone per device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// This shard's index.
+    pub index: usize,
+    /// Total shards in the fleet.
+    pub count: usize,
+    /// Row-bound numerator: first row owned.
+    pub lo: u64,
+    /// Row-bound numerator: one past the last row owned.
+    pub hi: u64,
+    /// The partition denominator (total logical rows).
+    pub rows: u64,
+    /// First line this run is charged for.
+    pub charge_start: usize,
+    /// One past the last line this run is charged for.
+    pub charge_end: usize,
+    /// Per line: whether its output is row-partitioned (sharded lines
+    /// charge a slice, replicated lines charge in full).
+    pub sharded: Vec<bool>,
+}
+
+impl ShardSlice {
+    /// This shard's exact slice of an extensive total; slices across all
+    /// shards of one [`alang::shard::ShardMap`] sum to `total`.
+    #[must_use]
+    pub fn slice(&self, total: u64) -> u64 {
+        if self.rows == 0 {
+            return total;
+        }
+        total * self.hi / self.rows - total * self.lo / self.rows
+    }
+
+    /// Whether `line` is charged by this run at all.
+    #[must_use]
+    pub fn charges(&self, line: usize) -> bool {
+        line >= self.charge_start && line < self.charge_end
+    }
+
+    /// The charge for a quantity produced *by* `line`: zero outside the
+    /// charge range, a slice for sharded lines, full for replicated ones.
+    #[must_use]
+    pub fn scale_line(&self, line: usize, total: u64) -> u64 {
+        if !self.charges(line) {
+            0
+        } else if self.sharded.get(line).copied().unwrap_or(false) {
+            self.slice(total)
+        } else {
+            total
+        }
+    }
+
+    /// The charge for moving a value defined at `def_line` on behalf of
+    /// `at_line`: sliced when the *defining* line is row-partitioned
+    /// (each shard ships only its rows), full otherwise.
+    #[must_use]
+    pub fn scale_def(&self, def_line: Option<usize>, at_line: usize, total: u64) -> u64 {
+        if !self.charges(at_line) {
+            return 0;
+        }
+        match def_line {
+            Some(d) if self.sharded.get(d).copied().unwrap_or(false) => self.slice(total),
+            _ => total,
+        }
+    }
+}
+
 /// What happened on one line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LineOutcome {
@@ -346,18 +430,42 @@ pub fn execute(
     estimates: Option<&[LineEstimate]>,
     copy_elim: &[bool],
 ) -> Result<RunReport> {
+    execute_with_shard(
+        program, storage, placements, system, opts, estimates, copy_elim, None,
+    )
+}
+
+/// As [`execute`], charging the run as one shard of a fleet when `shard`
+/// is given: values are still computed in full (so `values_fingerprint`
+/// matches the unsharded run byte-for-byte), but extensive costs are
+/// restricted to the shard's charge range and row slice.
+///
+/// # Errors
+///
+/// As [`execute`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_shard(
+    program: &Program,
+    storage: &Storage,
+    placements: &[EngineKind],
+    system: &mut System,
+    opts: &ExecOptions,
+    estimates: Option<&[LineEstimate]>,
+    copy_elim: &[bool],
+    shard: Option<&ShardSlice>,
+) -> Result<RunReport> {
     match opts.backend {
         ExecBackend::Vm => {
             let lowered = alang::lower::lower_with(program, copy_elim)?;
             let eval = Evaluator::Vm(Vm::with_policy(&lowered, storage, opts.parallel));
             execute_impl(
-                program, placements, system, opts, estimates, copy_elim, eval,
+                program, placements, system, opts, estimates, copy_elim, eval, shard,
             )
         }
         ExecBackend::AstWalk => {
             let eval = Evaluator::Ast(Interpreter::with_policy(storage, opts.parallel));
             execute_impl(
-                program, placements, system, opts, estimates, copy_elim, eval,
+                program, placements, system, opts, estimates, copy_elim, eval, shard,
             )
         }
     }
@@ -397,6 +505,7 @@ pub fn execute_lowered(
         estimates,
         lowered.copy_elim(),
         eval,
+        None,
     )
 }
 
@@ -486,6 +595,21 @@ fn escalate(fault: DeviceFault) -> ActivePyError {
     ActivePyError::device_fault(fault.to_string())
 }
 
+/// The shard's charged view of a measured [`LineCost`]: every extensive
+/// field scaled by [`ShardSlice::scale_line`] (zero outside the charge
+/// range, an exact slice for sharded lines, full for replicated ones).
+fn shard_scaled_cost(sh: &ShardSlice, line: usize, cost: LineCost) -> LineCost {
+    LineCost {
+        compute_ops: sh.scale_line(line, cost.compute_ops),
+        storage_bytes: sh.scale_line(line, cost.storage_bytes),
+        bytes_in: sh.scale_line(line, cost.bytes_in),
+        bytes_out: sh.scale_line(line, cost.bytes_out),
+        copy_bytes: sh.scale_line(line, cost.copy_bytes),
+        eliminable_copy_bytes: sh.scale_line(line, cost.eliminable_copy_bytes),
+        calls: cost.calls,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute_impl(
     program: &Program,
@@ -495,6 +619,7 @@ fn execute_impl(
     estimates: Option<&[LineEstimate]>,
     copy_elim: &[bool],
     mut eval: Evaluator<'_>,
+    shard: Option<&ShardSlice>,
 ) -> Result<RunReport> {
     if placements.len() != program.len() {
         return Err(ActivePyError::exec(format!(
@@ -575,6 +700,7 @@ fn execute_impl(
                 vec![("line".into(), i.into())],
             );
             let staged = stage_inputs(
+                program,
                 line,
                 EngineKind::Host,
                 system,
@@ -583,9 +709,13 @@ fn execute_impl(
                 &mut vars,
                 true,
                 &mut recov,
+                shard,
             )?;
             let elim = copy_elim.get(i).copied().unwrap_or(false);
-            let cost = eval.exec_line(line, elim)?;
+            let mut cost = eval.exec_line(line, elim)?;
+            if let Some(sh) = shard {
+                cost = shard_scaled_cost(sh, i, cost);
+            }
             if cost.storage_bytes > 0 {
                 system.storage_read(EngineKind::Host, Bytes::new(cost.storage_bytes));
             }
@@ -594,12 +724,11 @@ fn execute_impl(
                 system.compute(EngineKind::Host, Ops::new(ops));
             }
             var_loc.insert(line.target.clone(), EngineKind::Host);
-            vars.bind(
-                system,
-                &line.target,
-                EngineKind::Host,
-                eval.var_bytes(&line.target),
-            )?;
+            let bind_bytes = match shard {
+                Some(sh) => sh.scale_line(i, eval.var_bytes(&line.target)),
+                None => eval.var_bytes(&line.target),
+            };
+            vars.bind(system, &line.target, EngineKind::Host, bind_bytes)?;
             opts.tracer.end(line_span, Some(system.now().as_secs()));
             lines_out.push(LineOutcome {
                 line: i,
@@ -642,6 +771,7 @@ fn execute_impl(
             opts,
             copy_elim,
             &mut recov,
+            shard,
         ) {
             Ok(region) => region,
             Err(ActivePyError::DeviceFault { .. }) if opts.recovery.fallback_to_host => {
@@ -717,12 +847,23 @@ fn execute_impl(
     }
 
     // The program's result must end up in host memory (must-complete).
+    // In a fleet shard run, gathering results is the fleet's combine
+    // phase, charged against the shared host link budget instead.
     if let Some(last) = program.lines().last() {
         if var_loc.get(&last.target) == Some(&EngineKind::Cse) {
-            let bytes = eval.var_bytes(&last.target);
-            recov.run_to_completion(system, |s| {
-                s.try_transfer(Direction::DeviceToHost, Bytes::new(bytes))
-            });
+            let full = eval.var_bytes(&last.target);
+            let bytes = match shard {
+                Some(sh) => sh.scale_line(last.index, full),
+                None => full,
+            };
+            // A free line in a shard run drains nothing; the unsharded
+            // path keeps issuing the (possibly empty) transfer so its
+            // timing is byte-identical to the pre-fleet engine.
+            if shard.is_none() || bytes > 0 {
+                recov.run_to_completion(system, |s| {
+                    s.try_transfer(Direction::DeviceToHost, Bytes::new(bytes))
+                });
+            }
         }
     }
 
@@ -853,6 +994,7 @@ impl VarSpace {
 /// allocation stays put.
 #[allow(clippy::too_many_arguments)]
 fn stage_inputs(
+    program: &Program,
     line: &alang::ast::Line,
     engine: EngineKind,
     system: &mut System,
@@ -861,10 +1003,16 @@ fn stage_inputs(
     vars: &mut VarSpace,
     move_allocation: bool,
     recov: &mut Recovery,
+    shard: Option<&ShardSlice>,
 ) -> Result<u64> {
     let mut staged = 0u64;
     for name in line.inputs() {
-        let bytes = eval.var_bytes(name);
+        let bytes = match shard {
+            // A shard ships only its own rows of a partitioned value; a
+            // line outside the charge range ships nothing at all.
+            Some(sh) => sh.scale_def(program.def_site(name), line.index, eval.var_bytes(name)),
+            None => eval.var_bytes(name),
+        };
         if bytes == 0 {
             continue;
         }
@@ -935,6 +1083,7 @@ impl RegionRun {
         opts: &ExecOptions,
         copy_elim: &[bool],
         recov: &mut Recovery,
+        shard: Option<&ShardSlice>,
     ) -> Result<RegionRun> {
         if opts.offload_overheads {
             // The invocation command can be hit by injected NVMe errors (or
@@ -970,9 +1119,13 @@ impl RegionRun {
                     program.def_site(v).is_none_or(|d| d < start)
                         && var_loc.get(*v) == Some(&EngineKind::Host)
                 })
-                .map(|v| eval.var_bytes(v))
+                .map(|v| match shard {
+                    Some(sh) => sh.scale_def(program.def_site(v), line.index, eval.var_bytes(v)),
+                    None => eval.var_bytes(v),
+                })
                 .sum();
             let s = stage_inputs(
+                program,
                 line,
                 EngineKind::Cse,
                 system,
@@ -981,11 +1134,15 @@ impl RegionRun {
                 vars,
                 false,
                 recov,
+                shard,
             )?;
             external_input_bytes += external;
             staged.push(s);
             let elim = copy_elim.get(line.index).copied().unwrap_or(false);
-            let cost = eval.exec_line(line, elim)?;
+            let mut cost = eval.exec_line(line, elim)?;
+            if let Some(sh) = shard {
+                cost = shard_scaled_cost(sh, line.index, cost);
+            }
             ops.push(cost.effective_ops(opts.tier, &opts.params));
             costs.push(cost);
             targets.push(line.target.clone());

@@ -66,6 +66,7 @@ pub mod recovery;
 pub mod report;
 pub mod runtime;
 pub mod sampling;
+pub mod shard;
 
 pub use assign::Assignment;
 pub use error::ActivePyError;
@@ -77,6 +78,10 @@ pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use runtime::{ActivePy, ActivePyOptions, ActivePyOutcome};
 pub use sampling::InputSource;
+pub use shard::{
+    derive_sharded_plan, execute_sharded, execute_sharded_plan, execute_sharded_raw, FleetReport,
+    FleetRun, ShardRunReport, ShardedPlan,
+};
 
 #[cfg(test)]
 mod tests {

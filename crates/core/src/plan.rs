@@ -27,8 +27,11 @@ use crate::estimate::{Calibration, LineEstimate};
 use crate::fit::LinePrediction;
 use crate::runtime::ActivePy;
 use crate::sampling::{InputSource, SamplingReport};
+use crate::shard::{derive_sharded_plan, ShardedPlan};
 use alang::builtins::Storage;
+use alang::shard::ShardMap;
 use alang::{LoweredProgram, Program};
+use csd_sim::fleet::DEFAULT_BUDGET_LINKS;
 use csd_sim::SystemConfig;
 
 /// Host wall-clock spent in each planning phase, in nanoseconds.
@@ -119,6 +122,12 @@ impl PlanCacheStats {
 
 type PlanKey = (String, u64);
 
+/// A sharded-plan key extends the base key with the [`ShardMap`]
+/// fingerprint, which covers shard count, bounds, strategy, and the set
+/// of sharded sources — so an N=1 and an N=4 plan (or two different hash
+/// seeds over the same rows) can never collide.
+type ShardedPlanKey = (String, u64, u64);
+
 /// A thread-safe cache of [`OffloadPlan`]s keyed by workload name and a
 /// fingerprint of the platform config plus planning options.
 ///
@@ -131,6 +140,7 @@ type PlanKey = (String, u64);
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<PlanKey, Arc<OffloadPlan>>>,
+    sharded: Mutex<HashMap<ShardedPlanKey, Arc<ShardedPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     planning_nanos: AtomicU64,
@@ -173,6 +183,51 @@ impl PlanCache {
         self.planning_nanos.fetch_add(nanos, Ordering::Relaxed);
         plans.insert(key, Arc::clone(&plan));
         Ok(plan)
+    }
+
+    /// Returns the cached fleet plan for (`name`, planning options,
+    /// `config`, `map`), deriving it from the base [`OffloadPlan`] —
+    /// which is itself looked up (or built) under the *unchanged* base
+    /// key, so single-device sampling is reused across every shard
+    /// count. The sharded key appends [`ShardMap::fingerprint`], which
+    /// covers shard count, bounds, strategy, and sharded sources: plans
+    /// for different fleet shapes can never collide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-planning failures; failed plans are not cached.
+    pub fn sharded_plan_for(
+        &self,
+        runtime: &ActivePy,
+        name: &str,
+        program: &Program,
+        input: &dyn InputSource,
+        config: &SystemConfig,
+        map: &ShardMap,
+    ) -> Result<Arc<ShardedPlan>> {
+        let key = (
+            name.to_string(),
+            Self::fingerprint(runtime, config),
+            map.fingerprint(),
+        );
+        {
+            let sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(plan) = sharded.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                runtime.options().tracer.counter_add("plan_cache.hits", 1);
+                return Ok(Arc::clone(plan));
+            }
+        }
+        // The base lookup below does its own hit/miss accounting; the
+        // sharded derivation is cheap (no sampling), so only base-plan
+        // construction contributes to planning_nanos.
+        let base = self.plan_for(runtime, name, program, input, config)?;
+        let budget = config.d2h_bandwidth().scale(DEFAULT_BUDGET_LINKS);
+        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+        let plan = sharded
+            .entry(key)
+            .or_insert_with(|| Arc::new(derive_sharded_plan(&base, map.clone(), config, budget)));
+        Ok(Arc::clone(plan))
     }
 
     /// Current counter values.
@@ -354,6 +409,53 @@ mod tests {
             (3, 1),
             "parallel policy must not split the plan key"
         );
+    }
+
+    #[test]
+    fn shard_count_splits_the_sharded_key_but_not_the_base_plan() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let storage = input().storage_at(1.0);
+        let map1 = alang::shard::ShardMap::auto(&storage, 1, alang::shard::ShardStrategy::Range);
+        let map4 = alang::shard::ShardMap::auto(&storage, 4, alang::shard::ShardStrategy::Range);
+        let p1 = cache
+            .sharded_plan_for(&rt, "w", &program, &input(), &config, &map1)
+            .expect("N=1 plan");
+        let p4 = cache
+            .sharded_plan_for(&rt, "w", &program, &input(), &config, &map4)
+            .expect("N=4 plan");
+        assert!(
+            !Arc::ptr_eq(&p1, &p4),
+            "N=1 and N=4 fleet plans must never share a cache slot"
+        );
+        assert_eq!(p1.count(), 1);
+        assert_eq!(p4.count(), 4);
+        // The expensive half is shared: both fleet shapes derive from ONE
+        // base plan (sampling ran exactly once).
+        assert!(
+            Arc::ptr_eq(&p1.base, &p4.base),
+            "both fleet shapes must reuse the single base plan"
+        );
+        assert_eq!(
+            cache.stats().misses,
+            1,
+            "only the base plan is ever built from scratch"
+        );
+        // Same map → hit on the sharded key.
+        let p4_again = cache
+            .sharded_plan_for(&rt, "w", &program, &input(), &config, &map4)
+            .expect("N=4 again");
+        assert!(Arc::ptr_eq(&p4, &p4_again));
+        // A different hash seed over the same rows is a different
+        // placement: distinct slot even at the same shard count.
+        let hashed =
+            alang::shard::ShardMap::auto(&storage, 4, alang::shard::ShardStrategy::Hash(7));
+        let ph = cache
+            .sharded_plan_for(&rt, "w", &program, &input(), &config, &hashed)
+            .expect("hashed plan");
+        assert!(!Arc::ptr_eq(&p4, &ph), "strategy must split the key");
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! A fleet of computational storage devices behind one host.
+//!
+//! The paper's prototype is a single CSD; "A Moveable Beast" and the
+//! computational-storage surveys argue the interesting planning problem
+//! appears when data spans *N* devices. [`Fleet`] models that minimal
+//! scale-out platform: N independent [`System`]s — each with its own
+//! flash, DMA engine, NVMe queue pair, contention traces, and
+//! [`crate::fault::FaultInjector`] — attached to one host whose PCIe root
+//! complex has a finite aggregate budget. Per-device surfaces are fully
+//! isolated (a GC burst or crash on shard 3 is invisible to shard 5); the
+//! only shared resource is the host-side link budget, which caps how fast
+//! the gather phase can pull shard results in concurrently.
+//!
+//! The timing rule for a concurrent gather of `b_s` bytes from each
+//! shard is the classic max of per-link and aggregate bottlenecks:
+//!
+//! ```text
+//! gather_secs = max( max_s b_s / BW_link , Σ_s b_s / BW_budget )
+//! ```
+//!
+//! and the effective per-shard bandwidth seen by a planner that assumes
+//! all N shards stream at once is `min(BW_link, BW_budget / N)` — the
+//! shared-link term of the shard-aware Eq. 1.
+
+use crate::config::SystemConfig;
+use crate::fault::{FaultCounters, FaultPlan};
+use crate::system::System;
+use crate::units::Bandwidth;
+
+/// How many per-device links the host root complex can sustain at full
+/// rate concurrently (a PCIe x16 root port over x4 device links).
+pub const DEFAULT_BUDGET_LINKS: f64 = 4.0;
+
+/// N independent CSDs sharing one host PCIe budget.
+#[derive(Debug)]
+pub struct Fleet {
+    devices: Vec<System>,
+    link: Bandwidth,
+    budget: Bandwidth,
+}
+
+impl Fleet {
+    /// Builds a fleet of `n` identical devices from `config`, with the
+    /// default host budget of [`DEFAULT_BUDGET_LINKS`] device links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(config: &SystemConfig, n: usize) -> Self {
+        let link = config.d2h_bandwidth();
+        Fleet::with_budget(config, n, link.scale(DEFAULT_BUDGET_LINKS))
+    }
+
+    /// Builds a fleet with an explicit host-side aggregate link budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_budget(config: &SystemConfig, n: usize, budget: Bandwidth) -> Self {
+        assert!(n > 0, "a fleet needs at least one device");
+        Fleet {
+            devices: (0..n).map(|_| config.build()).collect(),
+            link: config.d2h_bandwidth(),
+            budget,
+        }
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty (never true for a constructed fleet).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The per-device D2H link bandwidth.
+    #[must_use]
+    pub fn link_bandwidth(&self) -> Bandwidth {
+        self.link
+    }
+
+    /// The host root-complex aggregate budget.
+    #[must_use]
+    pub fn shared_budget(&self) -> Bandwidth {
+        self.budget
+    }
+
+    /// The bandwidth one shard effectively sees when all N stream at
+    /// once: `min(link, budget / N)` — the shared-link term of Eq. 1.
+    #[must_use]
+    pub fn effective_shard_bandwidth(&self) -> Bandwidth {
+        self.link
+            .min(self.budget.scale(1.0 / self.devices.len() as f64))
+    }
+
+    /// Immutable access to device `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn device(&self, s: usize) -> &System {
+        &self.devices[s]
+    }
+
+    /// Mutable access to device `s` (how the executor runs one shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn device_mut(&mut self, s: usize) -> &mut System {
+        &mut self.devices[s]
+    }
+
+    /// Installs a fault plan on device `s` only; other shards keep their
+    /// current injectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the plan fails validation.
+    pub fn install_faults(&mut self, s: usize, plan: FaultPlan) {
+        self.devices[s].install_faults(plan);
+    }
+
+    /// Seconds a concurrent gather of `per_shard_bytes[s]` from every
+    /// shard takes: per-device links run in parallel, capped by the
+    /// shared budget.
+    #[must_use]
+    pub fn gather_secs(&self, per_shard_bytes: &[u64]) -> f64 {
+        let link = self.link.as_bytes_per_sec();
+        let budget = self.budget.as_bytes_per_sec();
+        let slowest = per_shard_bytes
+            .iter()
+            .map(|b| *b as f64 / link)
+            .fold(0.0f64, f64::max);
+        let aggregate = per_shard_bytes.iter().map(|b| *b as f64).sum::<f64>() / budget;
+        slowest.max(aggregate)
+    }
+
+    /// Sum of every device's injected-fault counters.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for d in &self.devices {
+            let c = d.fault_counters();
+            total.flash_read_errors += c.flash_read_errors;
+            total.nvme_command_errors += c.nvme_command_errors;
+            total.dma_transfer_errors += c.dma_transfer_errors;
+            total.cse_crashes += c.cse_crashes;
+        }
+        total
+    }
+
+    /// Resets every device to time zero (re-arming each injector).
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            d.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::SimTime;
+
+    #[test]
+    fn default_budget_is_four_links() {
+        let cfg = SystemConfig::paper_default();
+        let fleet = Fleet::new(&cfg, 4);
+        let link = cfg.d2h_bandwidth().as_bytes_per_sec();
+        assert_eq!(fleet.len(), 4);
+        assert!((fleet.shared_budget().as_bytes_per_sec() - 4.0 * link).abs() < 1e-6);
+    }
+
+    #[test]
+    fn effective_bandwidth_is_link_until_budget_saturates() {
+        let cfg = SystemConfig::paper_default();
+        let link = cfg.d2h_bandwidth().as_bytes_per_sec();
+        for n in [1usize, 2, 4] {
+            let f = Fleet::new(&cfg, n);
+            assert!(
+                (f.effective_shard_bandwidth().as_bytes_per_sec() - link).abs() < 1e-6,
+                "n={n} should still run at full link rate"
+            );
+        }
+        let f8 = Fleet::new(&cfg, 8);
+        assert!(
+            (f8.effective_shard_bandwidth().as_bytes_per_sec() - 4.0 * link / 8.0).abs() < 1e-6,
+            "8 shards over a 4-link budget halve the per-shard rate"
+        );
+    }
+
+    #[test]
+    fn gather_is_max_of_link_and_budget_bottlenecks() {
+        let cfg = SystemConfig::paper_default();
+        let fleet = Fleet::new(&cfg, 8);
+        let link = fleet.link_bandwidth().as_bytes_per_sec();
+        let budget = fleet.shared_budget().as_bytes_per_sec();
+        // One busy shard: link-bound.
+        let one = vec![1_000_000_000u64, 0, 0, 0, 0, 0, 0, 0];
+        assert!((fleet.gather_secs(&one) - 1e9 / link).abs() < 1e-9);
+        // All shards equally busy: aggregate-bound (8 links vs 4-link budget).
+        let all = vec![1_000_000_000u64; 8];
+        assert!((fleet.gather_secs(&all) - 8e9 / budget).abs() < 1e-9);
+        // Empty gather is free.
+        assert_eq!(fleet.gather_secs(&[0; 8]), 0.0);
+    }
+
+    #[test]
+    fn devices_are_independent_surfaces() {
+        let cfg = SystemConfig::paper_default();
+        let mut fleet = Fleet::new(&cfg, 2);
+        fleet.install_faults(0, FaultPlan::none().with_crash_at(SimTime::from_secs(0.0)));
+        // Crash device 0 by computing past the crash point.
+        let _ = fleet
+            .device_mut(0)
+            .try_compute(crate::EngineKind::Cse, crate::units::Ops::new(1_000));
+        assert!(fleet.device(0).cse_crashed());
+        assert!(!fleet.device(1).cse_crashed(), "shard 1 must be unaffected");
+        assert_eq!(fleet.fault_counters().cse_crashes, 1);
+        fleet.reset();
+        assert!(!fleet.device(0).cse_crashed());
+        assert_eq!(fleet.device(0).now(), SimTime::ZERO);
+    }
+}

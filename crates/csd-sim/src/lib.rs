@@ -39,6 +39,7 @@ pub mod dma;
 pub mod engine;
 pub mod fault;
 pub mod flash;
+pub mod fleet;
 pub mod link;
 pub mod memory;
 pub mod nvme;
@@ -50,6 +51,7 @@ pub use contention::ContentionScenario;
 pub use dma::Direction;
 pub use engine::EngineKind;
 pub use fault::{DeviceFault, FaultCounters, FaultInjector, FaultPlan, GcBurst};
+pub use fleet::Fleet;
 pub use system::System;
 
 #[cfg(test)]

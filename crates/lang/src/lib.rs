@@ -52,6 +52,7 @@ pub mod matrix;
 pub mod par;
 pub mod parser;
 mod pool;
+pub mod shard;
 pub mod table;
 pub mod token;
 pub mod value;
@@ -64,6 +65,7 @@ pub use cost::{CostParams, ExecTier, LineCost};
 pub use error::LangError;
 pub use interp::Interpreter;
 pub use par::{ParEngine, ParStatsNondet, ParStatsSnapshot, ParallelPolicy};
+pub use shard::{ShardAnalysis, ShardMap, ShardStrategy};
 pub use value::Value;
 
 #[cfg(test)]

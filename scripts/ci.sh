@@ -22,6 +22,16 @@ echo "== kernel-scaling smoke (scaling section, determinism, speedup floors) =="
 # no regression on small inputs (see experiments::scaling::check).
 cargo test -q -p isp-bench --lib scaling
 
+echo "== shard-sweep smoke (N=2 fleet fingerprint vs N=1 and the unsharded run) =="
+# The reduced sweep runs blackscholes and PageRank at N in {1, 2} plus the
+# one-shard-crash chaos cell: every fleet fingerprint must equal the
+# unsharded single-device run's, the full dataset is generated once per
+# workload, and the crashed shard migrates alone (experiments::shards).
+cargo test -q -p isp-bench --lib shards
+
+echo "== shard differential (pinned proptest seed, N in {1,2,4,8}, both backends) =="
+cargo test -q --test shard_determinism
+
 echo "== thread determinism (pinned proptest seed, both backends, 1/2/8 threads) =="
 cargo test -q --test thread_determinism
 
