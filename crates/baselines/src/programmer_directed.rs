@@ -135,6 +135,7 @@ pub fn run_plan(
         faults: csd_sim::fault::FaultPlan::none(),
         parallel: alang::ParallelPolicy::default(),
         tracer: isp_obs::Tracer::disabled(),
+        profile: activepy::ProfileRecorder::disabled(),
     };
     let report = execute(
         &program,

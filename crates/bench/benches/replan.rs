@@ -1,0 +1,77 @@
+//! Criterion bench: the profile-feedback loop's host-side costs.
+//!
+//! Planning amortizes across executions only if refits stay cheap:
+//! `replan` must reuse the prior plan's sampling/calibration/lowering
+//! and cost microseconds, and a warm `plan_for` hit must stay far below
+//! a cold plan (which samples the workload at several scales).
+use activepy::runtime::ActivePy;
+use activepy::{PlanCache, ProfileStore};
+use criterion::{criterion_group, criterion_main, Criterion};
+use csd_sim::{ContentionScenario, SystemConfig};
+
+fn bench_replan(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let w = isp_workloads::by_name("TPC-H-6").expect("registered");
+    let program = w.program().expect("parse");
+    let rt = ActivePy::new();
+    let cold = rt.plan(&program, &w, &config).expect("cold plan");
+
+    // One executed run's measured per-line costs = one observation batch.
+    let outcome = rt
+        .execute_plan(&cold, &config, ContentionScenario::none())
+        .expect("reference run");
+    let batch: Vec<alang::LineCost> = outcome.report.lines.iter().map(|l| l.cost).collect();
+    let store = ProfileStore::new();
+    let key = ("TPC-H-6".to_owned(), 0);
+    store.record(&key, &batch);
+    let profile = store.profile(&key);
+
+    let mut g = c.benchmark_group("replan");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    // Absorbing a recorded batch into the store's running sums.
+    g.bench_function("record_observation_batch", |b| {
+        b.iter(|| store.record(std::hint::black_box(&key), std::hint::black_box(&batch)))
+    });
+    // Blend + re-estimate + Algorithm 1, reusing the prior plan's
+    // sampling phases — the per-refit cost of the feedback loop.
+    g.bench_function("refit_from_profile", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                rt.replan(&cold, &config, std::hint::black_box(&profile))
+                    .expect("refit"),
+            )
+        })
+    });
+    // Cold planning from scratch (fresh cache per iteration): the cost a
+    // warm hit and a refit are measured against.
+    g.bench_function("plan_for_cold", |b| {
+        b.iter(|| {
+            let cache = PlanCache::new();
+            std::hint::black_box(
+                cache
+                    .plan_for(&rt, "TPC-H-6", &program, &w, &config)
+                    .expect("cold plan"),
+            )
+        })
+    });
+    // Warm hit on an unchanged profile: the steady-state lookup.
+    let cache = PlanCache::new();
+    cache
+        .plan_for(&rt, "TPC-H-6", &program, &w, &config)
+        .expect("seed plan");
+    g.bench_function("plan_for_warm_hit", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cache
+                    .plan_for(&rt, "TPC-H-6", &program, &w, &config)
+                    .expect("warm hit"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replan);
+criterion_main!(benches);

@@ -69,6 +69,7 @@ struct BenchReport {
     faults: FaultsReport,
     scaling: ex::scaling::Report,
     shards: ex::shards::Report,
+    adapt: ex::adapt::Report,
 }
 
 /// Times per-line execution — the component of sampling wall-clock the
@@ -272,6 +273,32 @@ fn parse_shards() -> Option<usize> {
     Some(n)
 }
 
+/// The `--adapt` mode: runs only the adaptation sweep (optionally a
+/// single workload via `--adapt-workload W`), prints the regret table,
+/// and exits non-zero if an invariant fails. Other experiments are
+/// skipped and `BENCH_repro.json` is not written.
+fn run_adapt_focused(config: &SystemConfig) {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args
+        .iter()
+        .position(|a| a == "--adapt-workload")
+        .and_then(|pos| args.get(pos + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned();
+    let report = match workload.as_deref() {
+        Some(name) => ex::adapt::run_one(name, config).unwrap_or_else(|| {
+            eprintln!("--adapt-workload '{name}' matched no registered workload");
+            std::process::exit(2);
+        }),
+        None => ex::adapt::run(config),
+    };
+    ex::adapt::print(&report);
+    if let Err(e) = ex::adapt::check(&report) {
+        eprintln!("adaptation sweep check failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn usage() {
     println!(
         "repro — run the full ActivePy evaluation\n\n\
@@ -281,6 +308,9 @@ fn usage() {
          \x20   --threads N            run Figure 5 plans under an N-worker kernel policy\n\
          \x20   --shards N             narrow the shard-scaling sweep to fleet sizes {{1, N}}\n\
          \x20                          (default grid: N in {:?})\n\
+         \x20   --adapt                run only the adaptation sweep; exits non-zero if its\n\
+         \x20                          regret/fingerprint checks fail\n\
+         \x20   --adapt-workload W     narrow --adapt to a single workload\n\
          \x20   --trace PATH           trace the Figure 5 grid to PATH (skips other experiments)\n\
          \x20   --trace-format F       trace format: jsonl (default) or chrome\n\
          \x20   --trace-mask-wall      mask wall-clock timestamps in the trace\n\
@@ -323,6 +353,10 @@ fn main() {
     let config = SystemConfig::paper_default();
     if let Some(req) = parse_trace() {
         run_traced(&req, &config, policy);
+        return;
+    }
+    if std::env::args().any(|a| a == "--adapt") {
+        run_adapt_focused(&config);
         return;
     }
     let cache = PlanCache::new();
@@ -422,6 +456,15 @@ fn main() {
             eprintln!("shard sweep check failed: {e}");
         }
     }
+    println!();
+
+    let t = Instant::now();
+    let adapt = ex::adapt::run(&config);
+    time("adapt", t.elapsed().as_secs_f64());
+    ex::adapt::print(&adapt);
+    if let Err(e) = ex::adapt::check(&adapt) {
+        eprintln!("adaptation sweep check failed: {e}");
+    }
 
     let total_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
@@ -482,6 +525,7 @@ fn main() {
         },
         interp,
         shards,
+        adapt,
         faults: FaultsReport {
             seed: ex::faults::FAULT_SEED,
             fault_migrations: faults.iter().map(|r| r.fault_migrations).sum(),

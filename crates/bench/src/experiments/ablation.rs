@@ -55,6 +55,7 @@ fn measure(plan: &OffloadPlan, config: &SystemConfig, assignment: &Assignment) -
         faults: csd_sim::fault::FaultPlan::none(),
         parallel: alang::ParallelPolicy::default(),
         tracer: isp_obs::Tracer::disabled(),
+        profile: activepy::ProfileRecorder::disabled(),
     };
     let placements = assignment.placements(plan.program.len());
     // The plan carries the lowered bytecode; all four variants reuse it.

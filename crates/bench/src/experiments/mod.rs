@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per table/figure.
 
 pub mod ablation;
+pub mod adapt;
 pub mod faults;
 pub mod fig2;
 pub mod fig4;

@@ -72,6 +72,12 @@ pub struct ExecOptions {
     /// Observation-only: a live tracer never perturbs the simulated clock,
     /// `values_fingerprint`, or any [`RunReport`] field.
     pub tracer: Tracer,
+    /// Measured-cost recording handle. Disabled by default; when enabled,
+    /// the run appends its per-line measured [`LineCost`]s to the attached
+    /// [`crate::profile::ProfileStore`] after the report is assembled.
+    /// Observation-only, like the tracer: recording never perturbs the
+    /// simulated clock, `values_fingerprint`, or any [`RunReport`] field.
+    pub profile: crate::profile::ProfileRecorder,
 }
 
 impl ExecOptions {
@@ -91,6 +97,7 @@ impl ExecOptions {
             faults: FaultPlan::none(),
             parallel: ParallelPolicy::default(),
             tracer: Tracer::disabled(),
+            profile: crate::profile::ProfileRecorder::disabled(),
         }
     }
 
@@ -109,6 +116,7 @@ impl ExecOptions {
             faults: FaultPlan::none(),
             parallel: ParallelPolicy::default(),
             tracer: Tracer::disabled(),
+            profile: crate::profile::ProfileRecorder::disabled(),
         }
     }
 
@@ -166,6 +174,13 @@ impl ExecOptions {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a measured-cost recording handle to the run.
+    #[must_use]
+    pub fn with_profile(mut self, profile: crate::profile::ProfileRecorder) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -286,6 +301,11 @@ pub enum MigrationReason {
     /// its retry budget): the remaining work falls back to the host from
     /// the last completed chunk-boundary checkpoint.
     DeviceFault,
+    /// The reverse direction: lines that had migrated to the host after a
+    /// degradation are speculatively re-assigned to the CSD once measured
+    /// availability clears again (profile-guided re-planning's bidirectional
+    /// migration). Hysteresis-guarded to avoid ping-ponging.
+    Reclaim,
 }
 
 impl MigrationReason {
@@ -297,6 +317,7 @@ impl MigrationReason {
             MigrationReason::Degraded => "degraded",
             MigrationReason::Preempted => "preempted",
             MigrationReason::DeviceFault => "device_fault",
+            MigrationReason::Reclaim => "reclaim",
         }
     }
 }
@@ -350,6 +371,13 @@ pub struct RunReport {
     /// zero here; [`crate::plan::PlanCache`] fills them in for cached
     /// runs).
     pub metrics: MetricsSnapshot,
+    /// Every migration the run performed, in decision order — including
+    /// [`MigrationReason::Reclaim`] flips back to the CSD. The legacy
+    /// `migration` field above stays the last *host-ward* event so callers
+    /// that predate bidirectional migration read what they always read.
+    /// Appended after `metrics` so the serialized prefix the golden
+    /// journals predate is unchanged.
+    pub migrations: Vec<MigrationEvent>,
 }
 
 impl RunReport {
@@ -641,11 +669,16 @@ fn execute_impl(
     }
     let mut recov = Recovery::with_tracer(opts.recovery, opts.tracer.clone());
     eval.set_tracer(opts.tracer.clone());
+    // The plan's original placement is the reclaim target set: only lines
+    // the planner offloaded — then migrated host-ward mid-run — are ever
+    // speculatively re-assigned to the CSD.
+    let original: Vec<EngineKind> = placements.to_vec();
     let mut placements = placements.to_vec();
     let mut var_loc: BTreeMap<String, EngineKind> = BTreeMap::new();
     let mut vars = VarSpace::default();
     let mut lines_out = Vec::with_capacity(program.len());
     let mut migration: Option<MigrationEvent> = None;
+    let mut migrations: Vec<MigrationEvent> = Vec::new();
     let mut csd_executed = 0usize;
     let csd_total = placements.iter().filter(|p| **p == EngineKind::Cse).count();
     let mut contention_applied = false;
@@ -688,6 +721,29 @@ fn execute_impl(
             let now = system.now();
             install_contention(system, opts, now);
             contention_applied = true;
+        }
+
+        // Bidirectional migration (§III-D in reverse): when measured CSE
+        // availability has cleared after a degradation migration, the
+        // remaining originally-offloaded lines are speculatively
+        // re-assigned to the CSD at this line boundary. The decision reads
+        // only simulated-clock quantities (availability traces, modelled
+        // estimates), so it is identical across evaluation backends and —
+        // like every placement decision — cannot affect computed values.
+        if let Some(event) = try_reclaim(
+            program,
+            i,
+            &original,
+            &mut placements,
+            system,
+            opts,
+            estimates,
+            migrations.last(),
+        ) {
+            migrations.push(event);
+            // Re-enter the loop at the same line: it is now CSD-resident
+            // and executes through the region path.
+            continue;
         }
 
         if placements[i] == EngineKind::Host {
@@ -801,13 +857,15 @@ fn execute_impl(
                     ],
                 );
                 opts.tracer.counter_add("exec.migrations", 1);
-                migration = Some(MigrationEvent {
+                let event = MigrationEvent {
                     after_line: i.saturating_sub(1),
                     state_bytes: 0,
                     at_secs: decided_at,
                     regen_secs,
                     reason: MigrationReason::DeviceFault,
-                });
+                };
+                migration = Some(event);
+                migrations.push(event);
                 system.advance(csd_sim::units::Duration::from_secs(regen_secs));
                 recov.stats.fault_migrations += 1;
                 opts.tracer.end_with(
@@ -841,6 +899,10 @@ fn execute_impl(
         csd_executed += end - i + 1;
         if let Some(event) = outcome.migration {
             migration = Some(event);
+            migrations.push(event);
+        }
+        if let Some(event) = outcome.reclaim {
+            migrations.push(event);
         }
         vars.release_dead(system, program, end)?;
         i = end + 1;
@@ -873,6 +935,7 @@ fn execute_impl(
         faults: system.fault_counters(),
         recovery: recov.stats,
         par: eval.par_stats(),
+        plan_cache_refits: 0,
     };
     metrics.publish_to(&opts.tracer);
     opts.tracer.end_with(
@@ -880,6 +943,18 @@ fn execute_impl(
         Some(system.now().as_secs()),
         vec![("migrated".into(), migration.is_some().into())],
     );
+    // Feed the run's measured per-line costs to the profile store. Shard
+    // runs are skipped: their costs are slice-scaled and would bias the
+    // unsharded profile the planner refits against.
+    if opts.profile.is_enabled() && shard.is_none() {
+        let mut costs = vec![LineCost::default(); program.len()];
+        for l in &lines_out {
+            if let Some(slot) = costs.get_mut(l.line) {
+                *slot = l.cost;
+            }
+        }
+        opts.profile.record(&costs);
+    }
     Ok(RunReport {
         total_secs: system.now().as_secs(),
         lines: lines_out,
@@ -891,6 +966,7 @@ fn execute_impl(
         values_fingerprint: values_fingerprint(program, &eval),
         parallel: opts.parallel,
         metrics,
+        migrations,
     })
 }
 
@@ -1050,6 +1126,10 @@ fn chunk_slice(total: u64, c: u64) -> u64 {
 struct RegionOutcome {
     lines: Vec<LineOutcome>,
     migration: Option<MigrationEvent>,
+    /// A device-ward reclaim performed *inside* the region's post-migration
+    /// host completion, when availability recovered mid-stream. Always
+    /// chronologically after `migration`.
+    reclaim: Option<MigrationEvent>,
 }
 
 /// A contiguous run of CSD lines prepared for chunk-pipelined execution.
@@ -1229,6 +1309,7 @@ impl RegionRun {
             )
         });
         let mut migration: Option<MigrationEvent> = None;
+        let mut reclaim: Option<MigrationEvent> = None;
         let mut break_submitted = false;
 
         'chunks: for c in 0..REGION_CHUNKS {
@@ -1395,13 +1476,13 @@ impl RegionRun {
             let Some(reason) = reason else {
                 continue;
             };
-            if reason == MigrationReason::Degraded {
-                // The Degraded observation is consumed by this migration:
-                // reset the monitor's streak so a stale count cannot
-                // instantly re-trigger after the move.
-                if let Some(mon) = monitor.as_mut() {
-                    mon.acknowledge_migration();
-                }
+            // Any migration consumes the monitor's accumulated evidence:
+            // after a preemption or device-fault fallback the task is no
+            // longer on the CSD either, so a stale decreasing-IPC streak
+            // must not instantly re-trigger (or poison a later reclaim
+            // decision) once work returns to the device.
+            if let Some(mon) = monitor.as_mut() {
+                mon.acknowledge_migration();
             }
             let state_bytes = (self
                 .escaping_out
@@ -1423,24 +1504,84 @@ impl RegionRun {
                 s.try_transfer(Direction::DeviceToHost, Bytes::new(state_bytes))
             });
             system.advance(csd_sim::units::Duration::from_secs(regen_secs));
+            let decided_at_secs = decided_at;
             for k in 0..len {
                 let t0 = system.now().as_secs();
                 let rem_b = self.costs[k].storage_bytes.saturating_sub(done_storage[k]);
-                if rem_b > 0 {
-                    system.storage_read(EngineKind::Host, Bytes::new(rem_b));
-                }
                 let rem_o = self.ops[k].saturating_sub(done_ops[k]);
-                if rem_o > 0 {
-                    system.compute(EngineKind::Host, Ops::new(rem_o));
+                if opts.scenario.recover_at().is_some() && (rem_b > 0 || rem_o > 0) {
+                    // Availability can recover while the host works off
+                    // the remainder: under a phase-shifting scenario the
+                    // remainder is worked off in chunk slices and the
+                    // Degraded migration is reconsidered at every boundary
+                    // — the in-region mirror of [`try_reclaim`]. Slicing
+                    // partitions the exact remaining bytes/ops, so a trace
+                    // that never recovers would time out identically.
+                    for c in 0..REGION_CHUNKS {
+                        if reclaim.is_none() {
+                            if let Some(event) = self.try_reclaim_remaining(
+                                k,
+                                reason,
+                                system,
+                                opts,
+                                estimates,
+                                &done_ops,
+                                state_bytes,
+                                decided_at_secs,
+                            ) {
+                                // The live state returns to device memory
+                                // and the remaining stream resumes on
+                                // regenerated device code.
+                                recov.run_to_completion(system, |s| {
+                                    s.try_transfer(Direction::HostToDevice, Bytes::new(state_bytes))
+                                });
+                                system
+                                    .advance(csd_sim::units::Duration::from_secs(event.regen_secs));
+                                reclaim = Some(event);
+                            }
+                        }
+                        let engine = if reclaim.is_some() {
+                            EngineKind::Cse
+                        } else {
+                            EngineKind::Host
+                        };
+                        let sb = chunk_slice(rem_b, c);
+                        if sb > 0 {
+                            system.storage_read(engine, Bytes::new(sb));
+                            done_storage[k] += sb;
+                        }
+                        let so = chunk_slice(rem_o, c);
+                        if so > 0 {
+                            system.compute(engine, Ops::new(so));
+                            done_ops[k] += so;
+                        }
+                    }
+                } else {
+                    if rem_b > 0 {
+                        system.storage_read(EngineKind::Host, Bytes::new(rem_b));
+                    }
+                    if rem_o > 0 {
+                        system.compute(EngineKind::Host, Ops::new(rem_o));
+                    }
                 }
                 durations[k] += system.now().as_secs() - t0;
-                // The merged region outputs now live on the host.
-                var_loc.insert(self.targets[k].clone(), EngineKind::Host);
-                vars.move_to(system, &self.targets[k], EngineKind::Host)?;
+                // The merged region outputs live wherever the stream
+                // finished.
+                let engine = if reclaim.is_some() {
+                    EngineKind::Cse
+                } else {
+                    EngineKind::Host
+                };
+                var_loc.insert(self.targets[k].clone(), engine);
+                vars.move_to(system, &self.targets[k], engine)?;
             }
-            for p in placements.iter_mut().skip(self.end + 1) {
-                if *p == EngineKind::Cse {
-                    *p = EngineKind::Host;
+            // A reclaimed stream leaves the rest of the plan in place; the
+            // device is healthy again.
+            if reclaim.is_none() {
+                for p in placements.iter_mut().skip(self.end + 1) {
+                    if *p == EngineKind::Cse {
+                        *p = EngineKind::Host;
+                    }
                 }
             }
             let after_line =
@@ -1485,18 +1626,229 @@ impl RegionRun {
                 }
             })
             .collect();
-        Ok(RegionOutcome { lines, migration })
+        Ok(RegionOutcome {
+            lines,
+            migration,
+            reclaim,
+        })
+    }
+
+    /// In-region mirror of [`try_reclaim`]: after a mid-region
+    /// [`MigrationReason::Degraded`] break moved the stream host-ward,
+    /// decides at host line boundary `k` whether the remaining (unfinished)
+    /// slice of the region should return to the CSD.
+    ///
+    /// Hysteresis and profit mirror the line-boundary rule: the migration
+    /// must be at least `decreasing_streak` monitor windows old, the CSE's
+    /// effective availability must have been healthy at window-spaced
+    /// probes, and finishing on the device — including moving the live
+    /// state back and regenerating device code — must beat finishing on
+    /// the host under the blended estimates, scaled by each line's undone
+    /// fraction. Every input is simulated-clock state: the decision is
+    /// backend-invariant and cannot affect computed values.
+    #[allow(clippy::too_many_arguments)]
+    fn try_reclaim_remaining(
+        &self,
+        k: usize,
+        reason: MigrationReason,
+        system: &System,
+        opts: &ExecOptions,
+        estimates: Option<&[LineEstimate]>,
+        done_ops: &[u64],
+        state_bytes: u64,
+        migrated_at: f64,
+    ) -> Option<MigrationEvent> {
+        // Preempted tasks must stay off the device and fault fallbacks
+        // carry no evidence the device works; only degradations reverse.
+        if reason != MigrationReason::Degraded {
+            return None;
+        }
+        let cfg = opts.monitor?;
+        let est = estimates?;
+        let len = self.end - self.start + 1;
+        let undone = |j: usize| -> f64 {
+            if self.ops[j] == 0 {
+                0.0
+            } else {
+                1.0 - done_ops[j] as f64 / self.ops[j] as f64
+            }
+        };
+        let mut device_secs = 0.0;
+        let mut host_secs = 0.0;
+        for j in k..len {
+            let line = self.start + j;
+            if let Some(e) = est.iter().find(|e| e.line == line) {
+                device_secs += e.ct_device * undone(j);
+                host_secs += e.ct_host * undone(j);
+            }
+        }
+        let window = device_secs / REGION_CHUNKS as f64;
+        if window <= 0.0 {
+            return None;
+        }
+        let now = system.now();
+        if now.as_secs() - f64::from(cfg.decreasing_streak) * window <= migrated_at {
+            return None;
+        }
+        let cse = system.engine(EngineKind::Cse);
+        for j in 0..cfg.decreasing_streak {
+            let probe = csd_sim::units::SimTime::from_secs(now.as_secs() - f64::from(j) * window);
+            if cse.effective_fraction_at(probe) < cfg.degradation_threshold {
+                return None;
+            }
+        }
+        let fraction = cse.effective_fraction_at(now);
+        let bw = system.d2h_bandwidth().as_bytes_per_sec();
+        let regen_secs = CompiledProgram::compile_secs_for(len - k);
+        if device_secs / fraction + state_bytes as f64 / bw + regen_secs >= host_secs {
+            return None;
+        }
+        let decided_at = now.as_secs();
+        let after_line = (self.start + k).saturating_sub(1);
+        opts.tracer.instant(
+            "migration.decision",
+            SpanKind::Migration,
+            Some(decided_at),
+            vec![
+                ("reason".into(), MigrationReason::Reclaim.as_str().into()),
+                ("after_line".into(), after_line.into()),
+                ("state_bytes".into(), state_bytes.into()),
+                ("regen_secs".into(), regen_secs.into()),
+            ],
+        );
+        opts.tracer.counter_add("exec.migrations", 1);
+        Some(MigrationEvent {
+            after_line,
+            state_bytes,
+            at_secs: decided_at,
+            regen_secs,
+            reason: MigrationReason::Reclaim,
+        })
     }
 }
 
+/// Decides whether the remaining originally-offloaded, host-resident lines
+/// should migrate *back* to the CSD at the line boundary `i`, and performs
+/// the flip when profitable.
+///
+/// The decision is hysteresis-guarded against ping-ponging: it only
+/// considers lines a *degradation* pushed host-ward (the last migration
+/// must be [`MigrationReason::Degraded`]; a reclaim arms only after a
+/// fresh degradation), requires the degradation to be at least
+/// `decreasing_streak` monitor windows old, and probes the CSE's effective
+/// availability at `decreasing_streak` window-spaced instants — the mirror
+/// image of the evidence the monitor needed to leave. Every quantity read
+/// is simulated-clock state, so the decision is identical across
+/// evaluation backends; like all placement decisions it cannot affect
+/// computed values, only charged costs.
+#[allow(clippy::too_many_arguments)]
+fn try_reclaim(
+    program: &Program,
+    i: usize,
+    original: &[EngineKind],
+    placements: &mut [EngineKind],
+    system: &mut System,
+    opts: &ExecOptions,
+    estimates: Option<&[LineEstimate]>,
+    last: Option<&MigrationEvent>,
+) -> Option<MigrationEvent> {
+    let cfg = opts.monitor?;
+    let est = estimates?;
+    let last = last?;
+    // Preempted tasks must stay off the device and fault fallbacks carry
+    // no evidence the device works; only degradations are reversible.
+    if last.reason != MigrationReason::Degraded {
+        return None;
+    }
+    if original[i] != EngineKind::Cse || placements[i] != EngineKind::Host {
+        return None;
+    }
+    let is_candidate =
+        |line: usize| original[line] == EngineKind::Cse && placements[line] == EngineKind::Host;
+    let device_secs: f64 = est
+        .iter()
+        .filter(|e| e.line >= i && is_candidate(e.line))
+        .map(|e| e.ct_device)
+        .sum();
+    let host_secs: f64 = est
+        .iter()
+        .filter(|e| e.line >= i && is_candidate(e.line))
+        .map(|e| e.ct_host)
+        .sum();
+    // One monitor window of the reclaimed stream: the candidates would be
+    // chunk-pipelined in REGION_CHUNKS status-update windows.
+    let window = device_secs / REGION_CHUNKS as f64;
+    if window <= 0.0 {
+        return None;
+    }
+    let now = system.now();
+    if now.as_secs() - f64::from(cfg.decreasing_streak) * window <= last.at_secs {
+        return None;
+    }
+    let cse = system.engine(EngineKind::Cse);
+    for j in 0..cfg.decreasing_streak {
+        let probe = csd_sim::units::SimTime::from_secs(now.as_secs() - f64::from(j) * window);
+        if cse.effective_fraction_at(probe) < cfg.degradation_threshold {
+            return None;
+        }
+    }
+    // Speculative profit check at the currently observed availability:
+    // finishing on the device (plus re-staging line `i`'s inputs and
+    // regenerating device code) must beat finishing on the host.
+    let fraction = cse.effective_fraction_at(now);
+    let bw = system.d2h_bandwidth().as_bytes_per_sec();
+    let staging_bytes: u64 = est.iter().filter(|e| e.line == i).map(|e| e.d_in).sum();
+    let candidates: Vec<usize> = (i..program.len()).filter(|&k| is_candidate(k)).collect();
+    let regen_secs = CompiledProgram::compile_secs_for(candidates.len());
+    if device_secs / fraction + staging_bytes as f64 / bw + regen_secs >= host_secs {
+        return None;
+    }
+    for &k in &candidates {
+        placements[k] = EngineKind::Cse;
+    }
+    let decided_at = now.as_secs();
+    // Only code regeneration is charged here: input staging is charged by
+    // the region's normal prepare path once the reclaimed region runs.
+    system.advance(csd_sim::units::Duration::from_secs(regen_secs));
+    opts.tracer.instant(
+        "migration.decision",
+        SpanKind::Migration,
+        Some(decided_at),
+        vec![
+            ("reason".into(), MigrationReason::Reclaim.as_str().into()),
+            ("after_line".into(), i.saturating_sub(1).into()),
+            ("state_bytes".into(), 0u64.into()),
+            ("regen_secs".into(), regen_secs.into()),
+        ],
+    );
+    opts.tracer.counter_add("exec.migrations", 1);
+    Some(MigrationEvent {
+        after_line: i.saturating_sub(1),
+        state_bytes: 0,
+        at_secs: decided_at,
+        regen_secs,
+        reason: MigrationReason::Reclaim,
+    })
+}
+
 /// Installs the scenario's degradation on the CSE (and, for competing ISP
-/// tenants, the internal flash data path) from time `at` onward.
+/// tenants, the internal flash data path) from time `at` onward. A
+/// scenario with a recovery time later than `at` also installs the
+/// recovery edge, so phase-shifting traces (drop, then recover) degrade
+/// and restore every affected resource consistently.
 fn install_contention(system: &mut System, opts: &ExecOptions, at: csd_sim::units::SimTime) {
     system
         .engine_mut(EngineKind::Cse)
         .degrade_from(at, opts.scenario.fraction());
+    let recover = opts.scenario.recover_at().filter(|rec| *rec > at);
+    if let Some(rec) = recover {
+        system.engine_mut(EngineKind::Cse).degrade_from(rec, 1.0);
+    }
     if opts.scenario.affects_storage() {
-        let trace = AvailabilityTrace::full().with_change(at, opts.scenario.fraction());
+        let mut trace = AvailabilityTrace::full().with_change(at, opts.scenario.fraction());
+        if let Some(rec) = recover {
+            trace = trace.with_change(rec, 1.0);
+        }
         system.flash_mut().set_contention(trace);
     }
 }
@@ -1554,6 +1906,7 @@ pub fn execute_all_host_with(
         faults: FaultPlan::none(),
         tracer: Tracer::disabled(),
         parallel: ParallelPolicy::default(),
+        profile: crate::profile::ProfileRecorder::disabled(),
     };
     execute(
         program,
@@ -2217,5 +2570,288 @@ mod tests {
         .expect("run");
         // The scalar result crossing back is tiny but the path is charged.
         assert!(rep.d2h_bytes >= 8);
+    }
+
+    #[test]
+    fn every_migration_reason_acknowledges_the_monitor() {
+        // The exec engine acknowledges unconditionally at its single
+        // migration site; this regression pins the contract per variant: an
+        // acknowledged monitor never carries a decrease streak across the
+        // move, no matter why the move happened.
+        use csd_sim::counters::PerfCounters;
+        for reason in [
+            MigrationReason::Degraded,
+            MigrationReason::Preempted,
+            MigrationReason::DeviceFault,
+            MigrationReason::Reclaim,
+        ] {
+            let cfg = MonitorConfig::default();
+            let mk = || Monitor::new(cfg, 1000.0, PerfCounters::new());
+            // Rates decrease >0.1% per window but keep the smoothed ratio
+            // above the threshold, so only the streak condition is in play.
+            let rates = [1000.0, 997.0, 994.0, 991.0];
+            let mut acked = mk();
+            let mut stale = mk();
+            for r in &rates[..3] {
+                acked.observe_window(*r, 1.0);
+                stale.observe_window(*r, 1.0);
+            }
+            // A migration for `reason` consumes the evidence...
+            acked.acknowledge_migration();
+            assert!(
+                matches!(acked.observe_window(rates[3], 1.0), Observation::Healthy),
+                "{}: acknowledged monitor must not re-trigger on a stale streak",
+                reason.as_str()
+            );
+            // ...while an unacknowledged streak (the old behavior for
+            // non-Degraded reasons) fires immediately.
+            assert!(
+                matches!(
+                    stale.observe_window(rates[3], 1.0),
+                    Observation::Degraded { .. }
+                ),
+                "{}: control monitor must hit the streak",
+                reason.as_str()
+            );
+        }
+    }
+
+    /// Phase-shifting scenario harness for the reclaim tests: CSD region
+    /// [0,1], host line 2, CSD line 3. Contention drops mid-region-0 and
+    /// recovers shortly after, so the degradation migrates line 3 host-ward
+    /// and the recovery hands it back.
+    fn run_phase_shift(backend: ExecBackend) -> RunReport {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let place = placements(&[0, 1, 3], 4);
+        // Reference run (no estimates, so no migration is possible) to
+        // calibrate the estimates to the simulator's real timings: the
+        // monitor then reads a healthy ~1.0 throughput ratio until the
+        // burst hits.
+        let mut ref_sys = SystemConfig::paper_default().build();
+        let reference = execute(
+            &program,
+            &st,
+            &place,
+            &mut ref_sys,
+            &ExecOptions::activepy().with_backend(backend),
+            None,
+            &[],
+        )
+        .expect("reference");
+        let params = CostParams::paper_default();
+        let estimates: Vec<LineEstimate> = reference
+            .lines
+            .iter()
+            .map(|l| {
+                let dur = (l.end_secs - l.start_secs).max(0.02);
+                // Line 3 is the reclaim candidate: clearly device-
+                // profitable, so abandoning it host-ward is a real loss.
+                let (ct_device, ct_host) = if l.line == 3 {
+                    (dur, 4.0 * dur)
+                } else {
+                    (dur, 1.2 * dur)
+                };
+                LineEstimate {
+                    line: l.line,
+                    ct_host,
+                    ct_device,
+                    d_in: 1_000_000,
+                    d_out: 1_000_000,
+                    ops: l.cost.effective_ops(ExecTier::CompiledCopyElim, &params),
+                }
+            })
+            .collect();
+        // A 0.5 s burst at 5% availability starting 30% into region [0,1]:
+        // long enough for the monitor's smoothed rate to collapse and the
+        // re-estimate to favor the host, over well before line 3 is due.
+        let region_start = reference.lines[0].start_secs;
+        let region_end = reference.lines[1].end_secs;
+        let drop_at = region_start + 0.3 * (region_end - region_start);
+        let scenario =
+            ContentionScenario::at_time(csd_sim::units::SimTime::from_secs(drop_at), 0.05)
+                .with_recovery_at(csd_sim::units::SimTime::from_secs(drop_at + 0.5));
+        let opts = ExecOptions::activepy()
+            .with_backend(backend)
+            .with_scenario(scenario);
+        let mut sys = SystemConfig::paper_default().build();
+        execute(
+            &program,
+            &st,
+            &place,
+            &mut sys,
+            &opts,
+            Some(&estimates),
+            &[],
+        )
+        .expect("run")
+    }
+
+    #[test]
+    fn reclaim_returns_work_to_the_csd_after_recovery() {
+        let rep = run_phase_shift(ExecBackend::default());
+        let reasons: Vec<MigrationReason> = rep.migrations.iter().map(|m| m.reason).collect();
+        assert!(
+            reasons.contains(&MigrationReason::Degraded),
+            "the burst must first push work host-ward: {reasons:?}"
+        );
+        assert!(
+            reasons.contains(&MigrationReason::Reclaim),
+            "recovered availability must pull line 3 back: {reasons:?}"
+        );
+        // The reclaimed line really ran on the CSD.
+        let line3 = rep.lines.iter().find(|l| l.line == 3).expect("line 3");
+        assert_eq!(line3.engine, EngineKind::Cse, "line 3 must run reclaimed");
+        // The legacy field still reads the last *host-ward* migration.
+        assert_eq!(
+            rep.migration.expect("legacy migration").reason,
+            MigrationReason::Degraded
+        );
+        // Reclaim charges regeneration on the simulated clock.
+        let reclaim = rep
+            .migrations
+            .iter()
+            .find(|m| m.reason == MigrationReason::Reclaim)
+            .expect("reclaim event");
+        assert!(reclaim.regen_secs > 0.0);
+        assert_eq!(reclaim.state_bytes, 0, "inputs stage via the region path");
+    }
+
+    #[test]
+    fn reclaim_schedule_is_value_and_backend_invariant() {
+        // Placement flips — in either direction — may never change computed
+        // values, and the reclaim decision reads only simulated-clock
+        // state, so both backends take the identical migration schedule.
+        let vm = run_phase_shift(ExecBackend::Vm);
+        let interp = run_phase_shift(ExecBackend::AstWalk);
+        assert_eq!(vm.migrations, interp.migrations);
+        assert_eq!(vm.values_fingerprint, interp.values_fingerprint);
+        assert!((vm.total_secs - interp.total_secs).abs() < 1e-12);
+        // And the fingerprint matches an undisturbed static run.
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let static_run = execute(
+            &program,
+            &st,
+            &placements(&[0, 1, 3], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("static");
+        assert_eq!(vm.values_fingerprint, static_run.values_fingerprint);
+    }
+
+    /// Phase-shifting harness for the *in-region* reclaim path: every line
+    /// is placed on the CSD, so the whole program is one merged region and
+    /// the Degraded break is handled inside the region executor. Estimates
+    /// make the remainder strongly device-favorable, so once availability
+    /// recovers mid-completion the host-side remainder migrates back.
+    fn run_in_region_phase_shift(backend: ExecBackend) -> RunReport {
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let place = placements(&[0, 1, 2, 3], 4);
+        let mut ref_sys = SystemConfig::paper_default().build();
+        let reference = execute(
+            &program,
+            &st,
+            &place,
+            &mut ref_sys,
+            &ExecOptions::activepy().with_backend(backend),
+            None,
+            &[],
+        )
+        .expect("reference");
+        let params = CostParams::paper_default();
+        let estimates: Vec<LineEstimate> = reference
+            .lines
+            .iter()
+            .map(|l| {
+                let dur = (l.end_secs - l.start_secs).max(0.02);
+                LineEstimate {
+                    line: l.line,
+                    // Uniformly device-profitable, so finishing host-side
+                    // is a loss the reclaim check can always recognize.
+                    ct_host: 4.0 * dur,
+                    ct_device: dur,
+                    d_in: 1_000_000,
+                    d_out: 1_000_000,
+                    ops: l.cost.effective_ops(ExecTier::CompiledCopyElim, &params),
+                }
+            })
+            .collect();
+        // Burst 30% into the region, recovering 1.4 s later: the monitor
+        // breaks host-ward mid-region (after ~3 burst-stretched chunk
+        // windows) and the recovery lands while the host is still working
+        // off the (4x slower for it) remainder.
+        let drop_at = 0.3 * reference.total_secs;
+        let scenario =
+            ContentionScenario::at_time(csd_sim::units::SimTime::from_secs(drop_at), 0.05)
+                .with_recovery_at(csd_sim::units::SimTime::from_secs(drop_at + 1.4));
+        let opts = ExecOptions::activepy()
+            .with_backend(backend)
+            .with_scenario(scenario);
+        let mut sys = SystemConfig::paper_default().build();
+        execute(
+            &program,
+            &st,
+            &place,
+            &mut sys,
+            &opts,
+            Some(&estimates),
+            &[],
+        )
+        .expect("run")
+    }
+
+    #[test]
+    fn in_region_reclaim_resumes_the_merged_region_on_the_csd() {
+        let rep = run_in_region_phase_shift(ExecBackend::default());
+        let reasons: Vec<MigrationReason> = rep.migrations.iter().map(|m| m.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![MigrationReason::Degraded, MigrationReason::Reclaim],
+            "burst breaks host-ward, recovery pulls the remainder back"
+        );
+        let degraded = &rep.migrations[0];
+        let reclaim = &rep.migrations[1];
+        assert!(
+            reclaim.at_secs > degraded.at_secs,
+            "reclaim happens strictly after the host-ward break"
+        );
+        assert_eq!(
+            reclaim.state_bytes, degraded.state_bytes,
+            "the drained region state is what returns to the device"
+        );
+        assert!(
+            reclaim.regen_secs > 0.0,
+            "device code regeneration is charged"
+        );
+    }
+
+    #[test]
+    fn in_region_reclaim_is_value_and_backend_invariant() {
+        let vm = run_in_region_phase_shift(ExecBackend::Vm);
+        let interp = run_in_region_phase_shift(ExecBackend::AstWalk);
+        assert_eq!(vm.migrations, interp.migrations);
+        assert_eq!(vm.values_fingerprint, interp.values_fingerprint);
+        assert!((vm.total_secs - interp.total_secs).abs() < 1e-12);
+        // The round trip never touches computed values.
+        let program = parse(SRC).expect("parse");
+        let st = storage();
+        let mut sys = SystemConfig::paper_default().build();
+        let static_run = execute(
+            &program,
+            &st,
+            &placements(&[0, 1, 2, 3], 4),
+            &mut sys,
+            &ExecOptions::native_static(),
+            None,
+            &[],
+        )
+        .expect("static");
+        assert_eq!(vm.values_fingerprint, static_run.values_fingerprint);
     }
 }

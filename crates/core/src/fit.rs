@@ -201,6 +201,56 @@ pub fn predict_lines(samples: &[LineSamples]) -> Result<Vec<LinePrediction>> {
         .collect()
 }
 
+/// The pseudo-count the sampling fit is worth when blending against
+/// measured observations: the paper's four exponentially-spaced sample
+/// runs. One full-scale observation moves the blend to 1/5 measured;
+/// after four observed runs the profile and the fit carry equal weight,
+/// and the blend converges to the measured mean as runs accumulate.
+pub const BLEND_PRIOR_RUNS: f64 = 4.0;
+
+/// Blends measured full-scale observations into sampled predictions.
+///
+/// For every line with at least one recorded observation, each cost field
+/// becomes `(1 − w)·predicted + w·measured_mean` with
+/// `w = count / (count + BLEND_PRIOR_RUNS)` — a deterministic
+/// observation-count-weighted average that never overshoots either input.
+/// Lines without observations (and the fitted curves themselves, which
+/// still describe how costs scale) pass through unchanged. `calls` is
+/// taken from the observation when present: it is an exact integer, not
+/// an extrapolation.
+#[must_use]
+pub fn blend_predictions(
+    predictions: &[LinePrediction],
+    profile: &crate::profile::WorkloadProfile,
+) -> Vec<LinePrediction> {
+    predictions
+        .iter()
+        .map(|p| {
+            let Some(obs) = profile.observation(p.line) else {
+                return p.clone();
+            };
+            let w = obs.count as f64 / (obs.count as f64 + BLEND_PRIOR_RUNS);
+            let measured = obs.mean_cost();
+            let mix = |pred: u64, meas: u64| -> u64 {
+                ((1.0 - w) * pred as f64 + w * meas as f64).round() as u64
+            };
+            let cost = LineCost {
+                compute_ops: mix(p.cost.compute_ops, measured.compute_ops),
+                storage_bytes: mix(p.cost.storage_bytes, measured.storage_bytes),
+                bytes_in: mix(p.cost.bytes_in, measured.bytes_in),
+                bytes_out: mix(p.cost.bytes_out, measured.bytes_out),
+                copy_bytes: mix(p.cost.copy_bytes, measured.copy_bytes),
+                eliminable_copy_bytes: mix(
+                    p.cost.eliminable_copy_bytes,
+                    measured.eliminable_copy_bytes,
+                ),
+                calls: measured.calls,
+            };
+            LinePrediction { cost, ..p.clone() }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +348,80 @@ mod tests {
         assert!((c.bytes_out as f64 - 1e8).abs() / 1e8 < 0.01);
         assert_eq!(c.calls, 2);
         assert_eq!(preds[0].compute_curve.complexity, Complexity::ON);
+    }
+
+    fn line_prediction(line: usize, compute_ops: u64) -> LinePrediction {
+        let curve = FittedCurve {
+            complexity: Complexity::ON,
+            coefficient: compute_ops as f64,
+            residual: 0.0,
+        };
+        LinePrediction {
+            line,
+            cost: LineCost {
+                compute_ops,
+                bytes_out: 1_000,
+                calls: 1,
+                ..LineCost::zero()
+            },
+            compute_curve: curve,
+            out_curve: curve,
+        }
+    }
+
+    #[test]
+    fn blend_is_observation_count_weighted() {
+        let mut profile = crate::profile::WorkloadProfile::default();
+        // Four observed runs at 2_000 ops vs a 1_000-op prediction:
+        // w = 4 / (4 + 4) = 0.5 → blended 1_500.
+        let measured = LineCost {
+            compute_ops: 2_000,
+            bytes_out: 1_000,
+            calls: 1,
+            ..LineCost::zero()
+        };
+        for _ in 0..4 {
+            profile.record_run(&[measured]);
+        }
+        let blended = blend_predictions(&[line_prediction(0, 1_000)], &profile);
+        assert_eq!(blended[0].cost.compute_ops, 1_500);
+        assert_eq!(blended[0].cost.bytes_out, 1_000, "agreeing fields fixed");
+        // Many more runs: converges toward the measured mean.
+        for _ in 0..96 {
+            profile.record_run(&[measured]);
+        }
+        let converged = blend_predictions(&[line_prediction(0, 1_000)], &profile);
+        assert!(converged[0].cost.compute_ops > 1_950);
+    }
+
+    #[test]
+    fn blend_passes_unobserved_lines_through() {
+        let profile = crate::profile::WorkloadProfile::default();
+        let preds = vec![line_prediction(0, 1_000), line_prediction(1, 3_000)];
+        assert_eq!(blend_predictions(&preds, &profile), preds);
+    }
+
+    #[test]
+    fn blend_is_deterministic_across_recording_orders() {
+        let runs = [500u64, 1_500, 2_500];
+        let mut forward = crate::profile::WorkloadProfile::default();
+        let mut reverse = crate::profile::WorkloadProfile::default();
+        for ops in runs {
+            forward.record_run(&[LineCost {
+                compute_ops: ops,
+                ..LineCost::zero()
+            }]);
+        }
+        for ops in runs.iter().rev() {
+            reverse.record_run(&[LineCost {
+                compute_ops: *ops,
+                ..LineCost::zero()
+            }]);
+        }
+        let preds = vec![line_prediction(0, 1_000)];
+        assert_eq!(
+            blend_predictions(&preds, &forward),
+            blend_predictions(&preds, &reverse)
+        );
     }
 }

@@ -62,6 +62,7 @@ pub mod fit;
 pub mod metrics;
 pub mod monitor;
 pub mod plan;
+pub mod profile;
 pub mod recovery;
 pub mod report;
 pub mod runtime;
@@ -75,6 +76,7 @@ pub use exec::{ExecOptions, MigrationCause, MigrationReason, RunReport};
 pub use metrics::MetricsSnapshot;
 pub use monitor::MonitorConfig;
 pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
+pub use profile::{LineObservation, ProfileKey, ProfileRecorder, ProfileStore, WorkloadProfile};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use runtime::{ActivePy, ActivePyOptions, ActivePyOutcome};
 pub use sampling::InputSource;

@@ -38,6 +38,10 @@ pub struct MetricsSnapshot {
     pub recovery: RecoveryStats,
     /// Deterministic kernel-engine counters (chunk grid only).
     pub par: ParStatsSnapshot,
+    /// Cached plans refitted from a newer measured profile (0 for
+    /// uncached runs). Appended after `par` so the serialized prefix the
+    /// golden journals predate is unchanged.
+    pub plan_cache_refits: u64,
 }
 
 impl MetricsSnapshot {
@@ -48,6 +52,7 @@ impl MetricsSnapshot {
     pub fn with_plan_cache(mut self, stats: &crate::plan::PlanCacheStats) -> Self {
         self.plan_cache_hits = stats.hits;
         self.plan_cache_misses = stats.misses;
+        self.plan_cache_refits = stats.refits;
         self
     }
 
@@ -101,6 +106,7 @@ mod tests {
             "faults",
             "recovery",
             "par",
+            "plan_cache_refits",
         ]
         .iter()
         .map(|k| json.find(&format!("\"{k}\"")).expect("key present"))

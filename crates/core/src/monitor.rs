@@ -194,11 +194,13 @@ impl Monitor {
         }
     }
 
-    /// Tells the monitor that a `Degraded` observation was consumed by a
-    /// migration: the decrease streak (and the raw-rate reference it
+    /// Tells the monitor that a migration consumed its accumulated
+    /// evidence — for *every* [`crate::exec::MigrationReason`], not just
+    /// degradations: the decrease streak (and the raw-rate reference it
     /// compares against) belongs to the pre-migration placement, so both
-    /// reset. Without this, a stale streak carried across the migration
-    /// could instantly re-trigger on the next region's first slow window.
+    /// reset. Without this, a stale streak carried across a preemption,
+    /// fault fallback, or reclaim could instantly re-trigger on the next
+    /// region's first slow window.
     pub fn acknowledge_migration(&mut self) {
         self.decreases = 0;
         self.last_raw = None;

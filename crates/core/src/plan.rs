@@ -25,6 +25,7 @@ use crate::assign::Assignment;
 use crate::error::Result;
 use crate::estimate::{Calibration, LineEstimate};
 use crate::fit::LinePrediction;
+use crate::profile::{ProfileKey, ProfileRecorder, ProfileStore};
 use crate::runtime::ActivePy;
 use crate::sampling::{InputSource, SamplingReport};
 use crate::shard::{derive_sharded_plan, ShardedPlan};
@@ -103,6 +104,8 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that had to build a plan.
     pub misses: u64,
+    /// Cached plans refitted from a newer measured profile.
+    pub refits: u64,
     /// Host wall-clock nanoseconds spent building plans.
     pub planning_nanos: u64,
 }
@@ -120,7 +123,19 @@ impl PlanCacheStats {
     }
 }
 
-type PlanKey = (String, u64);
+type PlanKey = ProfileKey;
+
+/// A cached plan plus the profile version it was (re)fitted at.
+///
+/// `generation` 0 is the cold, sampling-only plan; every refit from a
+/// newer [`crate::profile::WorkloadProfile`] evicts the entry and stamps
+/// it with the profile version it blended in, so a plan is refitted at
+/// most once per recorded run no matter how many lookups race.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    plan: Arc<OffloadPlan>,
+    generation: u64,
+}
 
 /// A sharded-plan key extends the base key with the [`ShardMap`]
 /// fingerprint, which covers shard count, bounds, strategy, and the set
@@ -139,10 +154,12 @@ type ShardedPlanKey = (String, u64, u64);
 /// those share one plan.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<OffloadPlan>>>,
+    plans: Mutex<HashMap<PlanKey, CachedPlan>>,
     sharded: Mutex<HashMap<ShardedPlanKey, Arc<ShardedPlan>>>,
+    profiles: Arc<ProfileStore>,
     hits: AtomicU64,
     misses: AtomicU64,
+    refits: AtomicU64,
     planning_nanos: AtomicU64,
 }
 
@@ -155,6 +172,16 @@ impl PlanCache {
 
     /// Returns the cached plan for (`name`, `runtime`'s planning options,
     /// `config`), building it via [`ActivePy::plan`] on first use.
+    ///
+    /// When the cache's [`ProfileStore`] holds measured observations
+    /// newer than the cached plan's generation — i.e. a run recorded
+    /// through [`PlanCache::recorder_for`] since the plan was built — the
+    /// stale plan is evicted and refitted via [`ActivePy::replan`]: the
+    /// profile's per-line means are blended into the predictions and
+    /// Algorithm 1 re-runs under the blended model. Refits count in
+    /// [`PlanCacheStats::refits`] (the lookup itself still counts as a
+    /// hit: sampling never re-runs). With no profile recorded the path is
+    /// inert and behaves exactly like a plain cache.
     ///
     /// # Errors
     ///
@@ -169,20 +196,71 @@ impl PlanCache {
     ) -> Result<Arc<OffloadPlan>> {
         let key = (name.to_string(), Self::fingerprint(runtime, config));
         let tracer = &runtime.options().tracer;
+        let version = self.profiles.version(&key);
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(plan) = plans.get(&key) {
+        if let Some(cached) = plans.get_mut(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             tracer.counter_add("plan_cache.hits", 1);
-            return Ok(Arc::clone(plan));
+            if cached.generation < version {
+                let profile = self.profiles.profile(&key);
+                let refit = Arc::new(runtime.replan(&cached.plan, config, &profile)?);
+                *cached = CachedPlan {
+                    plan: Arc::clone(&refit),
+                    generation: version,
+                };
+                self.refits.fetch_add(1, Ordering::Relaxed);
+                tracer.counter_add("plan_cache.refits", 1);
+                return Ok(refit);
+            }
+            return Ok(Arc::clone(&cached.plan));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         tracer.counter_add("plan_cache.misses", 1);
         let started = Instant::now();
-        let plan = Arc::new(runtime.plan(program, input, config)?);
+        let mut plan = Arc::new(runtime.plan(program, input, config)?);
+        if version > 0 {
+            // A profile can predate the first plan (recorded by a caller
+            // that executed an uncached plan): blend it in immediately.
+            let profile = self.profiles.profile(&key);
+            plan = Arc::new(runtime.replan(&plan, config, &profile)?);
+            self.refits.fetch_add(1, Ordering::Relaxed);
+            tracer.counter_add("plan_cache.refits", 1);
+        }
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.planning_nanos.fetch_add(nanos, Ordering::Relaxed);
-        plans.insert(key, Arc::clone(&plan));
+        plans.insert(
+            key,
+            CachedPlan {
+                plan: Arc::clone(&plan),
+                generation: version,
+            },
+        );
         Ok(plan)
+    }
+
+    /// The cache's profile store: measured per-line costs keyed exactly
+    /// like the plans they refit.
+    #[must_use]
+    pub fn profiles(&self) -> &Arc<ProfileStore> {
+        &self.profiles
+    }
+
+    /// A recorder that feeds this cache's profile store under the same
+    /// key [`PlanCache::plan_for`] would use for (`name`, `runtime`,
+    /// `config`) — attach it via
+    /// [`crate::runtime::ActivePyOptions::with_profile`] and every plan
+    /// execution's measured line costs become refit observations.
+    #[must_use]
+    pub fn recorder_for(
+        &self,
+        runtime: &ActivePy,
+        name: &str,
+        config: &SystemConfig,
+    ) -> ProfileRecorder {
+        ProfileRecorder::to_store(
+            Arc::clone(&self.profiles),
+            (name.to_string(), Self::fingerprint(runtime, config)),
+        )
     }
 
     /// Returns the cached fleet plan for (`name`, planning options,
@@ -236,6 +314,7 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            refits: self.refits.load(Ordering::Relaxed),
             planning_nanos: self.planning_nanos.load(Ordering::Relaxed),
         }
     }
@@ -474,5 +553,104 @@ mod tests {
             .execute_plan(&plan, &config, ContentionScenario::none())
             .expect("execute plan");
         assert_eq!(direct, via_plan);
+    }
+
+    #[test]
+    fn warm_profile_triggers_exactly_one_refit() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let cold = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("cold plan");
+        // No observations yet: a repeat lookup is a plain hit, no refit.
+        let still_cold = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("still cold");
+        assert!(Arc::ptr_eq(&cold, &still_cold));
+        assert_eq!(cache.stats().refits, 0, "empty profiles must be inert");
+        // Record one measured run through the cache's own recorder; the
+        // next lookup must refit exactly once.
+        let recorder = cache.recorder_for(&rt, "w", &config);
+        let measured: Vec<alang::LineCost> = cold
+            .program
+            .lines()
+            .iter()
+            .map(|_| alang::LineCost {
+                compute_ops: 2_000_000_000,
+                storage_bytes: 4_000_000_000,
+                bytes_in: 4_000_000_000,
+                bytes_out: 8,
+                copy_bytes: 0,
+                eliminable_copy_bytes: 0,
+                calls: 1,
+            })
+            .collect();
+        recorder.record(&measured);
+        let warm = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("warm plan");
+        assert!(
+            !Arc::ptr_eq(&cold, &warm),
+            "a newer profile version must evict the stale plan"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.refits, 1);
+        assert_eq!(stats.misses, 1, "refits are not misses");
+        assert_eq!(stats.hits, 2, "refit lookups still count as hits");
+        // Without a new recording the refitted plan is stable.
+        let warm_again = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("warm again");
+        assert!(Arc::ptr_eq(&warm, &warm_again));
+        assert_eq!(
+            cache.stats().refits,
+            1,
+            "at most one refit per recorded run"
+        );
+        // The profile feeds only its own key: a different workload name
+        // under the same config stays cold.
+        cache
+            .plan_for(&rt, "w2", &program, &input(), &config)
+            .expect("other workload");
+        assert_eq!(cache.stats().refits, 1);
+    }
+
+    #[test]
+    fn refitted_plan_computes_identical_values() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let cold = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("cold plan");
+        let cold_run = rt
+            .execute_plan(&cold, &config, ContentionScenario::none())
+            .expect("cold run");
+        // Feed the *actual* measured costs back, as execute() would with a
+        // live recorder, then refit.
+        let recorder = cache.recorder_for(&rt, "w", &config);
+        let mut measured = vec![alang::LineCost::zero(); cold.program.len()];
+        for l in &cold_run.report.lines {
+            measured[l.line] = l.cost;
+        }
+        recorder.record(&measured);
+        let warm = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("warm plan");
+        assert_eq!(cache.stats().refits, 1);
+        let warm_run = rt
+            .execute_plan(&warm, &config, ContentionScenario::none())
+            .expect("warm run");
+        // Re-planning moves costs, never answers.
+        assert_eq!(
+            cold_run.report.values_fingerprint,
+            warm_run.report.values_fingerprint
+        );
+        // The refit keeps the modelled projection at least as good as the
+        // prior assignment's projection under the same blended model.
+        assert!(warm.assignment.t_csd <= warm.assignment.t_host + 1e-12);
     }
 }

@@ -79,6 +79,7 @@ pub fn render_timeline(program: &Program, report: &RunReport) -> String {
                     MigrationReason::Degraded => "throughput degraded",
                     MigrationReason::Preempted => "high-priority preemption",
                     MigrationReason::DeviceFault => "device fault",
+                    MigrationReason::Reclaim => "availability recovered",
                 };
                 let _ = writeln!(
                     out,

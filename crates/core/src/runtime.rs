@@ -10,13 +10,14 @@
 
 use std::time::Instant;
 
-use crate::assign::{assign_refined_traced, Assignment};
+use crate::assign::{assign_refined_traced, projected_cost, Assignment};
 use crate::error::Result;
 use crate::estimate::{estimate_lines, Calibration, LineEstimate};
 use crate::exec::{execute, execute_lowered, ExecOptions, RunReport};
-use crate::fit::{predict_lines, LinePrediction};
+use crate::fit::{blend_predictions, predict_lines, LinePrediction};
 use crate::monitor::MonitorConfig;
 use crate::plan::{OffloadPlan, PlanTimings};
+use crate::profile::{ProfileRecorder, WorkloadProfile};
 use crate::recovery::RecoveryPolicy;
 use crate::sampling::{paper_scales, run_sampling_traced, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
@@ -67,6 +68,12 @@ pub struct ActivePyOptions {
     /// plan-cache fingerprints nor option equality beyond identity, and a
     /// live tracer never perturbs any simulated quantity.
     pub tracer: Tracer,
+    /// Profile recording handle: routes each plan execution's measured
+    /// per-line costs into a [`crate::profile::ProfileStore`] for
+    /// profile-guided re-planning. Disabled by default and
+    /// observation-only, exactly like the tracer: identity equality,
+    /// outside plan-cache fingerprints, never perturbs simulation.
+    pub profile: ProfileRecorder,
 }
 
 impl Default for ActivePyOptions {
@@ -82,6 +89,7 @@ impl Default for ActivePyOptions {
             faults: FaultPlan::none(),
             parallel: ParallelPolicy::default(),
             tracer: Tracer::disabled(),
+            profile: ProfileRecorder::disabled(),
         }
     }
 }
@@ -133,6 +141,13 @@ impl ActivePyOptions {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a profile recording handle to plan executions.
+    #[must_use]
+    pub fn with_profile(mut self, profile: ProfileRecorder) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -337,6 +352,84 @@ impl ActivePy {
         })
     }
 
+    /// Refits a prepared plan from measured observations: blends the
+    /// profile's per-line means into the sampled predictions
+    /// (observation-count-weighted, [`crate::fit::blend_predictions`]),
+    /// re-estimates, and re-runs Algorithm 1 under the blended model.
+    ///
+    /// Everything sampling produced — the measurements, the calibration,
+    /// the lowering, the materialized input — is reused from `prior`, so
+    /// a warm re-plan skips the two expensive planning phases entirely.
+    /// The prior assignment is always evaluated as a candidate under the
+    /// blended cost model, so the refitted plan's modelled sim-time
+    /// ([`crate::assign::projected_cost`]) never exceeds the cold plan's
+    /// under the same model.
+    ///
+    /// # Errors
+    ///
+    /// None currently; the `Result` mirrors [`ActivePy::plan`] so callers
+    /// treat both planning paths uniformly.
+    pub fn replan(
+        &self,
+        prior: &OffloadPlan,
+        config: &SystemConfig,
+        profile: &WorkloadProfile,
+    ) -> Result<OffloadPlan> {
+        let tracer = &self.options.tracer;
+        let span = tracer.begin_with(
+            "phase.refit",
+            SpanKind::Phase,
+            None,
+            vec![("observed_runs".into(), (profile.version as usize).into())],
+        );
+        let predictions = blend_predictions(&prior.predictions, profile);
+        let estimates = estimate_lines(
+            &predictions,
+            ExecTier::CompiledCopyElim,
+            &self.options.params,
+            config,
+            &prior.calibration,
+            &prior.copy_elim,
+        );
+        let bw = config.d2h_bandwidth().as_bytes_per_sec();
+        let mut assignment = assign_refined_traced(&prior.program, &estimates, bw, tracer);
+        let prior_placements = prior.assignment.placements(prior.program.len());
+        let prior_cost = projected_cost(&prior.program, &estimates, &prior_placements, bw);
+        if prior_cost < assignment.t_csd {
+            assignment = Assignment {
+                csd_lines: prior.assignment.csd_lines.clone(),
+                t_host: assignment.t_host,
+                t_csd: prior_cost,
+            };
+        }
+        let csd_line_count = assignment.csd_lines.len();
+        let compile_secs = CompiledProgram::compile_secs_for(prior.program.len())
+            + if csd_line_count > 0 {
+                CompiledProgram::compile_secs_for(csd_line_count)
+            } else {
+                0.0
+            };
+        tracer.end_with(
+            span,
+            None,
+            vec![("csd_lines".into(), csd_line_count.into())],
+        );
+        Ok(OffloadPlan {
+            program: prior.program.clone(),
+            lowered: prior.lowered.clone(),
+            sampling: prior.sampling.clone(),
+            predictions,
+            calibration: prior.calibration,
+            copy_elim: prior.copy_elim.clone(),
+            estimates,
+            assignment,
+            sampling_secs: prior.sampling_secs,
+            compile_secs,
+            full_storage: prior.full_storage.clone(),
+            timings: prior.timings,
+        })
+    }
+
     /// Executes a prepared plan under `scenario` contention on a fresh
     /// system built from `config`, applying this runtime's execution
     /// options (monitoring policy, preemption, overhead charging).
@@ -375,6 +468,7 @@ impl ActivePy {
             faults: self.options.faults.clone(),
             parallel: self.options.parallel,
             tracer: self.options.tracer.clone(),
+            profile: self.options.profile.clone(),
         };
         let placements = plan.assignment.placements(plan.program.len());
         let report = match self.options.backend {

@@ -565,6 +565,9 @@ pub fn execute_sharded_plan(
         faults: FaultPlan::none(),
         parallel: ropts.parallel,
         tracer: ropts.tracer.clone(),
+        // Shard runs never record profiles: their measured costs are
+        // slice-scaled and would bias the unsharded profile.
+        profile: crate::profile::ProfileRecorder::disabled(),
     };
     let lead_in_secs = if ropts.charge_pipeline_overheads {
         plan.base.sampling_secs + plan.base.compile_secs

@@ -33,6 +33,11 @@ pub struct ContentionScenario {
     trigger: Trigger,
     fraction: f64,
     affects_storage: bool,
+    /// Absolute simulated time at which the competing tenants *leave* and
+    /// availability returns to 1.0. `None` (every legacy constructor) means
+    /// the contention persists to the end of the run, which is what the
+    /// paper's Figures 2 and 5 model.
+    recover_at: Option<SimTime>,
 }
 
 impl ContentionScenario {
@@ -44,6 +49,7 @@ impl ContentionScenario {
             trigger: Trigger::AtStart,
             fraction: 1.0,
             affects_storage: false,
+            recover_at: None,
         }
     }
 
@@ -60,6 +66,7 @@ impl ContentionScenario {
             trigger: Trigger::AtStart,
             fraction,
             affects_storage: false,
+            recover_at: None,
         }
     }
 
@@ -82,6 +89,7 @@ impl ContentionScenario {
             trigger: Trigger::AtProgress(progress),
             fraction,
             affects_storage: true,
+            recover_at: None,
         }
     }
 
@@ -99,6 +107,7 @@ impl ContentionScenario {
             trigger: Trigger::AtTime(at),
             fraction,
             affects_storage: true,
+            recover_at: None,
         }
     }
 
@@ -108,6 +117,23 @@ impl ContentionScenario {
     pub fn with_storage_contention(mut self, affects_storage: bool) -> Self {
         self.affects_storage = affects_storage;
         self
+    }
+
+    /// Schedules the competing tenants to leave at the absolute simulated
+    /// time `at`: every throttled resource returns to full availability
+    /// from then on. Phase-shifting traces (drop, then recover) are how the
+    /// adaptation experiment exercises bidirectional migration.
+    #[must_use]
+    pub fn with_recovery_at(mut self, at: SimTime) -> Self {
+        self.recover_at = Some(at);
+        self
+    }
+
+    /// The absolute simulated time at which availability recovers to 1.0,
+    /// if the scenario recovers at all.
+    #[must_use]
+    pub fn recover_at(&self) -> Option<SimTime> {
+        self.recover_at
     }
 
     /// The availability fraction once triggered.
@@ -241,6 +267,18 @@ mod tests {
         assert!(!s.active_at_progress(1.0));
         assert!(matches!(s.trigger(), Trigger::AtTime(_)));
         assert!(s.affects_storage());
+    }
+
+    #[test]
+    fn recovery_time_is_carried_and_defaults_to_none() {
+        assert_eq!(ContentionScenario::none().recover_at(), None);
+        assert_eq!(
+            ContentionScenario::at_time(SimTime::from_secs(1.0), 0.5).recover_at(),
+            None
+        );
+        let s = ContentionScenario::at_time(SimTime::from_secs(1.0), 0.5)
+            .with_recovery_at(SimTime::from_secs(3.0));
+        assert_eq!(s.recover_at(), Some(SimTime::from_secs(3.0)));
     }
 
     #[test]

@@ -140,6 +140,16 @@ impl ComputeEngine {
         &self.fault
     }
 
+    /// The fraction of the engine available to the ISP task at `t`:
+    /// contention and injected-fault traces composed multiplicatively,
+    /// exactly as [`ComputeEngine::time_to_execute`] charges them. This is
+    /// what a reclaim decision probes when asking "has the device
+    /// recovered?".
+    #[must_use]
+    pub fn effective_fraction_at(&self, t: SimTime) -> f64 {
+        self.availability.fraction_at(t) * self.fault.fraction_at(t)
+    }
+
     /// Wall-clock time to retire `ops` when starting at `start`, under the
     /// current availability trace. Does **not** record counters; use
     /// [`ComputeEngine::execute`] for that.

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::metrics::{Histogram, HISTOGRAM_BUCKETS};
 use crate::span::SpanKind;
 
 /// A parsed JSON value. Numbers are `f64` (exact for integers up to
@@ -433,6 +434,28 @@ fn attr_display(v: &JsonValue) -> String {
     }
 }
 
+/// Reconstruct a [`Histogram`] from its JSONL metrics-footer encoding
+/// (`{"count":..,"sum":..,"buckets":{"idx":n,..}}`; zero buckets are
+/// omitted by the writer). Malformed or out-of-range fields degrade to
+/// zero rather than failing the whole summary.
+fn histogram_from_json(v: &JsonValue) -> Histogram {
+    let mut h = Histogram {
+        count: v.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+        sum: v.get("sum").and_then(JsonValue::as_u64).unwrap_or(0),
+        ..Histogram::default()
+    };
+    if let Some(buckets) = v.get("buckets").and_then(JsonValue::as_obj) {
+        for (idx, n) in buckets {
+            if let (Ok(i), Some(n)) = (idx.parse::<usize>(), n.as_u64()) {
+                if i < HISTOGRAM_BUCKETS {
+                    h.buckets[i] = n;
+                }
+            }
+        }
+    }
+    h
+}
+
 /// Render the human summary of a journal: per-phase breakdown on both
 /// clocks, top-N spans by simulated (then wall) duration, the migration
 /// timeline, and the counter footer.
@@ -535,14 +558,22 @@ pub fn summarize(journal: &Journal, top_n: usize) -> String {
             if !hists.is_empty() {
                 let _ = writeln!(out, "\nhistograms:");
                 for (k, v) in hists {
-                    let count = v.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
-                    let sum = v.get("sum").and_then(JsonValue::as_u64).unwrap_or(0);
-                    let mean = if count > 0 {
-                        sum as f64 / count as f64
-                    } else {
-                        0.0
-                    };
-                    let _ = writeln!(out, "  {k:<32} count={count} sum={sum} mean={mean:.1}");
+                    let h = histogram_from_json(v);
+                    let _ = write!(
+                        out,
+                        "  {k:<32} count={} sum={} mean={:.1}",
+                        h.count(),
+                        h.sum,
+                        h.mean()
+                    );
+                    // Quantiles are bucket upper bounds (≤ a factor of
+                    // two above the true value, never below it).
+                    if let (Some(p50), Some(p95), Some(p99)) =
+                        (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
+                    {
+                        let _ = write!(out, " p50≤{p50} p95≤{p95} p99≤{p99}");
+                    }
+                    let _ = writeln!(out);
                 }
             }
         }
@@ -617,6 +648,9 @@ mod tests {
         assert!(summary.contains("reason=Degraded"));
         assert!(summary.contains("recovery.retries"));
         assert!(summary.contains("exec.chunk_sim_ns"));
+        // 512 lands in bucket [512, 1024): every quantile reports the
+        // upper bound of that bucket.
+        assert!(summary.contains("p50≤1024 p95≤1024 p99≤1024"), "{summary}");
     }
 
     #[test]

@@ -74,6 +74,39 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as an upper bucket bound: the
+    /// smallest power-of-two boundary below which at least `ceil(q·count)`
+    /// observations fall. `None` when the histogram is empty.
+    ///
+    /// Resolution is the bucket grid (a factor of two), which is exactly
+    /// what the log₂ buckets can answer without storing raw samples; the
+    /// estimate never *under*-reports a latency quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        // ceil(q·count), clamped to at least the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_bounds(i).1);
+            }
+        }
+        None
+    }
 }
 
 /// Thread-safe registry of named counters and histograms.
@@ -194,6 +227,52 @@ mod tests {
         assert_eq!(h.buckets[3], 1);
         assert_eq!(h.buckets[11], 1);
         assert!((h.mean() - 206.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_walk_the_bucket_grid() {
+        let mut h = Histogram::default();
+        // 90 small values in bucket 7 ([64, 128)), 9 in bucket 11
+        // ([1024, 2048)), 1 in bucket 15 ([16384, 32768)).
+        for _ in 0..90 {
+            h.observe(100);
+        }
+        for _ in 0..9 {
+            h.observe(1500);
+        }
+        h.observe(20_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), Some(128));
+        assert_eq!(h.quantile(0.90), Some(128));
+        assert_eq!(h.quantile(0.95), Some(2048));
+        assert_eq!(h.quantile(0.99), Some(2048));
+        assert_eq!(h.quantile(1.0), Some(32_768));
+        // q = 0 clamps to the first observation.
+        assert_eq!(h.quantile(0.0), Some(128));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_handles_extreme_buckets() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        assert_eq!(h.quantile(0.5), Some(1)); // bucket 0 upper bound
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX)); // saturated top bucket
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range_q() {
+        let mut h = Histogram::default();
+        h.observe(1);
+        let _ = h.quantile(1.5);
     }
 
     #[test]

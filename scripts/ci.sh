@@ -54,6 +54,16 @@ echo "== fig5 golden byte-identity (rows untouched by the obs layer) =="
 # parallel grid (tracing is observation-only at the benchmark level).
 cargo test -q --test fig5_golden
 
+echo "== re-plan determinism (proptest: refit loop never changes values, warm never worse) =="
+cargo test -q --test replan_determinism
+
+echo "== adaptation smoke (regret(replan) < regret(static), >= 1 reclaim, 0 divergences) =="
+# The focused adaptation sweep runs every workload under the
+# phase-shifting trace; repro --adapt exits non-zero if re-planning
+# fails to reduce total regret, no workload reclaims work back to the
+# CSD, or any cell's values_fingerprint diverges from the reference.
+cargo run --release -q -p isp-bench --bin repro -- --adapt
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 
