@@ -136,6 +136,7 @@ pub fn run_plan(
         parallel: alang::ParallelPolicy::default(),
         tracer: isp_obs::Tracer::disabled(),
         profile: activepy::ProfileRecorder::disabled(),
+        journal: activepy::ExecJournal::disabled(),
     };
     let report = execute(
         &program,

@@ -70,6 +70,7 @@ struct BenchReport {
     scaling: ex::scaling::Report,
     shards: ex::shards::Report,
     adapt: ex::adapt::Report,
+    recovery: ex::recovery::Report,
 }
 
 /// Times per-line execution — the component of sampling wall-clock the
@@ -299,6 +300,51 @@ fn run_adapt_focused(config: &SystemConfig) {
     }
 }
 
+/// The `--journal PATH` / `--resume PATH` focused mode: runs the fixed
+/// faulted recovery workload with the execution journal attached.
+/// `--journal` records a fresh journal at PATH (the `ISP_WAL_KILL_AFTER`
+/// env hook can kill the process mid-run to leave a torn tail);
+/// `--resume PATH` replays an existing journal — verifying every
+/// surviving record against the deterministic re-execution — and
+/// appends the rest. Both print a parseable `run fingerprint: 0x…` line
+/// so scripts can compare killed-and-resumed runs against uninterrupted
+/// ones. Other experiments are skipped and `BENCH_repro.json` is not
+/// written.
+fn run_journal_focused(path: &str, resume: bool) {
+    use activepy::ExecJournal;
+    let path = std::path::Path::new(path);
+    let journal = if resume {
+        let (journal, info) = ExecJournal::resume_from(path).unwrap_or_else(|e| {
+            eprintln!("cannot resume from {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!(
+            "resuming from {} journaled records (torn tail discarded: {})",
+            info.records, info.torn_tail
+        );
+        journal
+    } else {
+        ExecJournal::record_to(path).unwrap_or_else(|e| {
+            eprintln!("cannot create journal at {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let report = ex::recovery::run_once(journal.clone());
+    if let Some(stats) = journal.stats() {
+        println!(
+            "journal: {} records replay-verified, {} appended",
+            stats.replayed, stats.appended
+        );
+    }
+    println!(
+        "recovery: {} transients, {} retries, {} migrations",
+        report.metrics.recovery.transient_faults,
+        report.metrics.recovery.retries,
+        report.metrics.recovery.fault_migrations
+    );
+    println!("run fingerprint: {:#018x}", report.values_fingerprint);
+}
+
 fn usage() {
     println!(
         "repro — run the full ActivePy evaluation\n\n\
@@ -311,6 +357,11 @@ fn usage() {
          \x20   --adapt                run only the adaptation sweep; exits non-zero if its\n\
          \x20                          regret/fingerprint checks fail\n\
          \x20   --adapt-workload W     narrow --adapt to a single workload\n\
+         \x20   --journal PATH         run the recovery workload recording an execution\n\
+         \x20                          journal at PATH (skips other experiments)\n\
+         \x20   --resume PATH          resume the recovery workload from the journal at\n\
+         \x20                          PATH, verifying replayed records (skips other\n\
+         \x20                          experiments)\n\
          \x20   --trace PATH           trace the Figure 5 grid to PATH (skips other experiments)\n\
          \x20   --trace-format F       trace format: jsonl (default) or chrome\n\
          \x20   --trace-mask-wall      mask wall-clock timestamps in the trace\n\
@@ -354,6 +405,17 @@ fn main() {
     if let Some(req) = parse_trace() {
         run_traced(&req, &config, policy);
         return;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    for (flag, resume) in [("--journal", false), ("--resume", true)] {
+        if let Some(pos) = args.iter().position(|a| a == flag) {
+            let Some(path) = args.get(pos + 1).filter(|v| !v.starts_with("--")) else {
+                eprintln!("{flag} requires a path");
+                std::process::exit(2);
+            };
+            run_journal_focused(path, resume);
+            return;
+        }
     }
     if std::env::args().any(|a| a == "--adapt") {
         run_adapt_focused(&config);
@@ -465,6 +527,15 @@ fn main() {
     if let Err(e) = ex::adapt::check(&adapt) {
         eprintln!("adaptation sweep check failed: {e}");
     }
+    println!();
+
+    let t = Instant::now();
+    let recovery = ex::recovery::run();
+    time("recovery", t.elapsed().as_secs_f64());
+    ex::recovery::print(&recovery);
+    if let Err(e) = ex::recovery::check(&recovery) {
+        eprintln!("recovery benchmark check failed: {e}");
+    }
 
     let total_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
@@ -526,6 +597,7 @@ fn main() {
         interp,
         shards,
         adapt,
+        recovery,
         faults: FaultsReport {
             seed: ex::faults::FAULT_SEED,
             fault_migrations: faults.iter().map(|r| r.fault_migrations).sum(),

@@ -48,5 +48,12 @@ fn main() {
         eprintln!("trace: {path} is not a JSONL journal: {e}");
         std::process::exit(1);
     });
+    if journal.torn_lines > 0 {
+        eprintln!(
+            "trace: warning: {} torn line(s) skipped at the end of {path} \
+             (crash-truncated journal?)",
+            journal.torn_lines
+        );
+    }
     print!("{}", summarize(&journal, top_n));
 }

@@ -56,6 +56,7 @@ fn measure(plan: &OffloadPlan, config: &SystemConfig, assignment: &Assignment) -
         parallel: alang::ParallelPolicy::default(),
         tracer: isp_obs::Tracer::disabled(),
         profile: activepy::ProfileRecorder::disabled(),
+        journal: activepy::ExecJournal::disabled(),
     };
     let placements = assignment.placements(plan.program.len());
     // The plan carries the lowered bytecode; all four variants reuse it.

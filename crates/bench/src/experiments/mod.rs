@@ -8,6 +8,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod flexibility;
 pub mod prediction;
+pub mod recovery;
 pub mod runtime_opt;
 pub mod scaling;
 pub mod shards;

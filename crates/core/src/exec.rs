@@ -15,6 +15,7 @@ use crate::estimate::LineEstimate;
 use crate::metrics::MetricsSnapshot;
 use crate::monitor::{Monitor, MonitorConfig, Observation};
 use crate::recovery::{Recovery, RecoveryPolicy, RecoveryStats};
+use crate::resume::{backend_code, reason_code, ExecJournal};
 use alang::compile::CompiledProgram;
 use alang::{
     CostParams, ExecBackend, ExecTier, Interpreter, LineCost, LoweredProgram, ParStatsSnapshot,
@@ -26,7 +27,7 @@ use csd_sim::fault::{DeviceFault, FaultPlan};
 use csd_sim::nvme::CommandKind;
 use csd_sim::units::{Bytes, Ops};
 use csd_sim::{Direction, EngineKind, System};
-use isp_obs::{Attrs, SpanKind, Tracer};
+use isp_obs::{Attrs, SpanKind, StateSnap, Tracer, WalRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -78,6 +79,13 @@ pub struct ExecOptions {
     /// Observation-only, like the tracer: recording never perturbs the
     /// simulated clock, `values_fingerprint`, or any [`RunReport`] field.
     pub profile: crate::profile::ProfileRecorder,
+    /// Crash-consistent journal handle. Disabled by default; when enabled,
+    /// the run appends one checksummed WAL record per execution boundary
+    /// (run start/end, host line, region chunk, migration, reclaim) — or,
+    /// when resuming, verifies each boundary against the recovered log.
+    /// Like the tracer, a live journal never perturbs the simulated
+    /// clock, `values_fingerprint`, or any [`RunReport`] field.
+    pub journal: crate::resume::ExecJournal,
 }
 
 impl ExecOptions {
@@ -98,6 +106,7 @@ impl ExecOptions {
             parallel: ParallelPolicy::default(),
             tracer: Tracer::disabled(),
             profile: crate::profile::ProfileRecorder::disabled(),
+            journal: crate::resume::ExecJournal::disabled(),
         }
     }
 
@@ -117,6 +126,7 @@ impl ExecOptions {
             parallel: ParallelPolicy::default(),
             tracer: Tracer::disabled(),
             profile: crate::profile::ProfileRecorder::disabled(),
+            journal: crate::resume::ExecJournal::disabled(),
         }
     }
 
@@ -181,6 +191,13 @@ impl ExecOptions {
     #[must_use]
     pub fn with_profile(mut self, profile: crate::profile::ProfileRecorder) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Attaches a crash-consistent journal handle to the run.
+    #[must_use]
+    pub fn with_journal(mut self, journal: crate::resume::ExecJournal) -> Self {
+        self.journal = journal;
         self
     }
 }
@@ -638,6 +655,35 @@ fn shard_scaled_cost(sh: &ShardSlice, line: usize, cost: LineCost) -> LineCost {
     }
 }
 
+/// Assembles the deterministic boundary snapshot the journal records: sim
+/// clock, recovery accounting, injected-fault counters, the fault
+/// injector's stream position, and (inside regions) the monitor's
+/// degradation evidence. Everything here is simulated-clock state, so an
+/// uninterrupted run and its replay produce bit-identical snapshots.
+fn wal_snap(system: &System, recov: &Recovery, monitor: Option<&Monitor>) -> StateSnap {
+    let counters = system.fault_counters();
+    let (crashed, rng_state) = match system.faults() {
+        Some(f) => (f.crashed(), f.rng_state()),
+        None => (false, 0),
+    };
+    StateSnap {
+        clock_bits: system.now().as_secs().to_bits(),
+        transient_faults: recov.stats.transient_faults,
+        retries: recov.stats.retries,
+        recovered_ops: recov.stats.recovered_ops,
+        hard_faults: recov.stats.hard_faults,
+        fault_migrations: recov.stats.fault_migrations,
+        backoff_bits: recov.stats.backoff_secs.to_bits(),
+        flash_read_errors: counters.flash_read_errors,
+        nvme_command_errors: counters.nvme_command_errors,
+        dma_transfer_errors: counters.dma_transfer_errors,
+        cse_crashes: counters.cse_crashes,
+        crashed,
+        rng_state,
+        monitor: monitor.map(|m| m.wal_snapshot()),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute_impl(
     program: &Program,
@@ -691,6 +737,11 @@ fn execute_impl(
             ("csd_lines".into(), csd_total.into()),
         ],
     );
+    opts.journal.on_record(WalRecord::RunStart {
+        lane: 0,
+        program_len: program.len() as u32,
+        backend: backend_code(opts.backend),
+    })?;
 
     // Distribute the CSD binary into device memory before execution
     // starts. A must-complete transfer: DMA faults only delay it.
@@ -741,6 +792,12 @@ fn execute_impl(
             migrations.last(),
         ) {
             migrations.push(event);
+            opts.journal.on_record(WalRecord::Reclaim {
+                lane: 0,
+                line: i as u32,
+                in_region: false,
+                snap: wal_snap(system, &recov, None),
+            })?;
             // Re-enter the loop at the same line: it is now CSD-resident
             // and executes through the region path.
             continue;
@@ -795,6 +852,11 @@ fn execute_impl(
                 staged_bytes: staged,
             });
             vars.release_dead(system, program, i)?;
+            opts.journal.on_record(WalRecord::HostLine {
+                lane: 0,
+                line: i as u32,
+                snap: wal_snap(system, &recov, None),
+            })?;
             i += 1;
             continue;
         }
@@ -868,6 +930,14 @@ fn execute_impl(
                 migrations.push(event);
                 system.advance(csd_sim::units::Duration::from_secs(regen_secs));
                 recov.stats.fault_migrations += 1;
+                opts.journal.on_record(WalRecord::Migration {
+                    lane: 0,
+                    line: i.saturating_sub(1) as u32,
+                    chunk: 0,
+                    reason: reason_code(MigrationReason::DeviceFault),
+                    state_bytes: 0,
+                    snap: wal_snap(system, &recov, None),
+                })?;
                 opts.tracer.end_with(
                     region_span,
                     Some(system.now().as_secs()),
@@ -955,15 +1025,22 @@ fn execute_impl(
         }
         opts.profile.record(&costs);
     }
+    let fingerprint = values_fingerprint(program, &eval);
+    let total_secs = system.now().as_secs();
+    opts.journal.on_record(WalRecord::RunEnd {
+        lane: 0,
+        fingerprint,
+        total_secs_bits: total_secs.to_bits(),
+    })?;
     Ok(RunReport {
-        total_secs: system.now().as_secs(),
+        total_secs,
         lines: lines_out,
         migration,
         csd_lines_executed: csd_executed,
         d2h_bytes: system.dma().d2h_bytes().as_u64(),
         h2d_bytes: system.dma().h2d_bytes().as_u64(),
         peak_device_bytes: vars.peak_device,
-        values_fingerprint: values_fingerprint(program, &eval),
+        values_fingerprint: fingerprint,
         parallel: opts.parallel,
         metrics,
         migrations,
@@ -1399,6 +1476,13 @@ impl RegionRun {
             } else {
                 let done_fraction = (c + 1) as f64 / REGION_CHUNKS as f64;
                 if done_fraction >= 1.0 {
+                    opts.journal.on_record(WalRecord::Chunk {
+                        lane: 0,
+                        region_start: self.start as u32,
+                        region_end: (self.end + 1) as u32,
+                        chunk: c as u32,
+                        snap: wal_snap(system, recov, monitor.as_ref()),
+                    })?;
                     break;
                 }
                 if let Some(t) = opts.preempt_at {
@@ -1474,6 +1558,13 @@ impl RegionRun {
                 (reason, done_fraction)
             };
             let Some(reason) = reason else {
+                opts.journal.on_record(WalRecord::Chunk {
+                    lane: 0,
+                    region_start: self.start as u32,
+                    region_end: (self.end + 1) as u32,
+                    chunk: c as u32,
+                    snap: wal_snap(system, recov, monitor.as_ref()),
+                })?;
                 continue;
             };
             // Any migration consumes the monitor's accumulated evidence:
@@ -1605,6 +1696,22 @@ impl RegionRun {
                 regen_secs,
                 reason,
             });
+            opts.journal.on_record(WalRecord::Migration {
+                lane: 0,
+                line: after_line as u32,
+                chunk: c as u32,
+                reason: reason_code(reason),
+                state_bytes,
+                snap: wal_snap(system, recov, monitor.as_ref()),
+            })?;
+            if let Some(event) = &reclaim {
+                opts.journal.on_record(WalRecord::Reclaim {
+                    lane: 0,
+                    line: event.after_line as u32,
+                    in_region: true,
+                    snap: wal_snap(system, recov, monitor.as_ref()),
+                })?;
+            }
             break 'chunks;
         }
 
@@ -1907,6 +2014,7 @@ pub fn execute_all_host_with(
         tracer: Tracer::disabled(),
         parallel: ParallelPolicy::default(),
         profile: crate::profile::ProfileRecorder::disabled(),
+        journal: ExecJournal::disabled(),
     };
     execute(
         program,

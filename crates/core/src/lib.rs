@@ -61,10 +61,12 @@ pub mod exec;
 pub mod fit;
 pub mod metrics;
 pub mod monitor;
+pub mod persist;
 pub mod plan;
 pub mod profile;
 pub mod recovery;
 pub mod report;
+pub mod resume;
 pub mod runtime;
 pub mod sampling;
 pub mod shard;
@@ -78,6 +80,7 @@ pub use monitor::MonitorConfig;
 pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
 pub use profile::{LineObservation, ProfileKey, ProfileRecorder, ProfileStore, WorkloadProfile};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
+pub use resume::{plan_fingerprint, ExecJournal, JournalStats, ResumeInfo};
 pub use runtime::{ActivePy, ActivePyOptions, ActivePyOutcome};
 pub use sampling::InputSource;
 pub use shard::{

@@ -212,6 +212,15 @@ impl Monitor {
         self.last_rate
     }
 
+    /// A compact deterministic snapshot of the monitor's accumulated
+    /// evidence — the raw-rate reference and the decrease streak — for
+    /// the execution WAL. `(last_raw.to_bits(), decreases)`; the raw
+    /// reference defaults to a zero bit-pattern before the first window.
+    #[must_use]
+    pub fn wal_snapshot(&self) -> (u64, u32) {
+        (self.last_raw.unwrap_or(0.0).to_bits(), self.decreases)
+    }
+
     /// Re-estimates the wall-clock seconds the remaining `est_device_secs`
     /// of nominal device work will really take, given the measured
     /// throughput ("ActivePy will use the measured IPC to re-estimate the

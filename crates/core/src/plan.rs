@@ -17,6 +17,7 @@
 //! and counts hits, misses, and host wall-clock spent planning.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -25,6 +26,7 @@ use crate::assign::Assignment;
 use crate::error::Result;
 use crate::estimate::{Calibration, LineEstimate};
 use crate::fit::LinePrediction;
+use crate::persist::WarmSeed;
 use crate::profile::{ProfileKey, ProfileRecorder, ProfileStore};
 use crate::runtime::ActivePy;
 use crate::sampling::{InputSource, SamplingReport};
@@ -156,10 +158,15 @@ type ShardedPlanKey = (String, u64, u64);
 pub struct PlanCache {
     plans: Mutex<HashMap<PlanKey, CachedPlan>>,
     sharded: Mutex<HashMap<ShardedPlanKey, Arc<ShardedPlan>>>,
+    /// Warm-start seeds loaded from a persisted cache: per-key sampling
+    /// reports and materialized inputs that let a miss plan through
+    /// [`ActivePy::plan_from_sampling`] with zero datagen calls.
+    warm: Mutex<HashMap<PlanKey, WarmSeed>>,
     profiles: Arc<ProfileStore>,
     hits: AtomicU64,
     misses: AtomicU64,
     refits: AtomicU64,
+    warm_starts: AtomicU64,
     planning_nanos: AtomicU64,
 }
 
@@ -217,7 +224,23 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         tracer.counter_add("plan_cache.misses", 1);
         let started = Instant::now();
-        let mut plan = Arc::new(runtime.plan(program, input, config)?);
+        // Warm start: a persisted sampling report plus materialized input
+        // for this exact key re-plans through phases 2–5 only — zero
+        // sampling runs, zero `storage_at` calls against `input`.
+        let seed = self
+            .warm
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        let mut plan = Arc::new(match seed {
+            Some(seed) => {
+                self.warm_starts.fetch_add(1, Ordering::Relaxed);
+                tracer.counter_add("plan_cache.warm_starts", 1);
+                runtime.plan_from_sampling(program, seed.sampling, seed.storage, config)?
+            }
+            None => runtime.plan(program, input, config)?,
+        });
         if version > 0 {
             // A profile can predate the first plan (recorded by a caller
             // that executed an uncached plan): blend it in immediately.
@@ -332,6 +355,77 @@ impl PlanCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Plans warm-started from persisted seeds (a subset of `misses`).
+    #[must_use]
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts.load(Ordering::Relaxed)
+    }
+
+    /// The cache key [`PlanCache::plan_for`] derives for (`name`,
+    /// `runtime`'s planning options, `config`) — also the
+    /// [`ProfileStore`] key, and the identity persisted warm-start seeds
+    /// are matched against.
+    #[must_use]
+    pub fn key_for(runtime: &ActivePy, name: &str, config: &SystemConfig) -> ProfileKey {
+        (name.to_string(), Self::fingerprint(runtime, config))
+    }
+
+    /// Persists this cache's warm-start state to `path`: for every cached
+    /// plan, its sampling report and materialized full-scale input (keyed
+    /// by the plan's cache key), plus the profile store's accumulated
+    /// observations — everything a restarted process needs to re-plan
+    /// identical plans without a single datagen call. The format is the
+    /// checksummed binary codec of [`crate::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn save_warm(&self, path: &Path) -> std::io::Result<()> {
+        let seeds: Vec<(ProfileKey, WarmSeed)> = {
+            let plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut v: Vec<_> = plans
+                .iter()
+                .map(|(k, c)| {
+                    (
+                        k.clone(),
+                        WarmSeed {
+                            sampling: c.plan.sampling.clone(),
+                            storage: c.plan.full_storage.clone(),
+                        },
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        crate::persist::save_warm_file(path, &seeds, &self.profiles.entries())
+    }
+
+    /// Loads warm-start state saved by [`PlanCache::save_warm`]: seeds
+    /// install into this cache's warm map (consulted on plan misses) and
+    /// persisted profiles restore into the profile store. Returns the
+    /// number of seeds loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; a corrupt or truncated file surfaces
+    /// as [`std::io::ErrorKind::InvalidData`] (warm start is strictly
+    /// optional, so callers typically fall back to cold planning).
+    pub fn load_warm(&self, path: &Path) -> std::io::Result<usize> {
+        let (seeds, profiles) = crate::persist::load_warm_file(path)?;
+        let n = seeds.len();
+        {
+            let mut warm = self.warm.lock().unwrap_or_else(PoisonError::into_inner);
+            for (k, seed) in seeds {
+                warm.insert(k, seed);
+            }
+        }
+        for (k, p) in profiles {
+            self.profiles.restore(k, p);
+        }
+        Ok(n)
     }
 
     /// FNV-1a over the `Debug` forms of the platform config and the

@@ -53,6 +53,27 @@ impl LineObservation {
         self.calls = cost.calls;
     }
 
+    /// Rebuilds an observation from serialized parts (the inverse of
+    /// [`LineObservation::sums`] / [`LineObservation::calls`]).
+    #[must_use]
+    pub fn from_parts(count: u64, sums: [u128; 6], calls: u32) -> Self {
+        LineObservation { count, sums, calls }
+    }
+
+    /// The raw integer accumulators, in [`LineCost`] field order
+    /// (compute_ops, storage_bytes, bytes_in, bytes_out, copy_bytes,
+    /// eliminable_copy_bytes). Exposed for serialization.
+    #[must_use]
+    pub fn sums(&self) -> [u128; 6] {
+        self.sums
+    }
+
+    /// The last observed call count. Exposed for serialization.
+    #[must_use]
+    pub fn calls(&self) -> u32 {
+        self.calls
+    }
+
     /// The mean observed cost (zero when nothing was recorded).
     #[must_use]
     pub fn mean_cost(&self) -> LineCost {
@@ -107,6 +128,18 @@ impl WorkloadProfile {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.version == 0
+    }
+
+    /// Rebuilds a profile from serialized parts.
+    #[must_use]
+    pub fn from_parts(version: u64, lines: Vec<LineObservation>) -> Self {
+        WorkloadProfile { version, lines }
+    }
+
+    /// All per-line aggregates in line order. Exposed for serialization.
+    #[must_use]
+    pub fn observations(&self) -> &[LineObservation] {
+        &self.lines
     }
 }
 
@@ -164,6 +197,30 @@ impl ProfileStore {
     #[must_use]
     pub fn runs_recorded(&self) -> u64 {
         self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every (key, profile) pair, sorted by key for
+    /// deterministic serialization order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(ProfileKey, WorkloadProfile)> {
+        let profiles = self.profiles.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<_> = profiles
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Installs a deserialized profile under `key`, replacing whatever is
+    /// there. The warm-start path uses this to hand a restarted process
+    /// its accumulated observations; `runs_recorded` counts only runs
+    /// recorded live, so it is intentionally left untouched.
+    pub fn restore(&self, key: ProfileKey, profile: WorkloadProfile) {
+        self.profiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, profile);
     }
 }
 

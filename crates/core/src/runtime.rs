@@ -19,15 +19,16 @@ use crate::monitor::MonitorConfig;
 use crate::plan::{OffloadPlan, PlanTimings};
 use crate::profile::{ProfileRecorder, WorkloadProfile};
 use crate::recovery::RecoveryPolicy;
+use crate::resume::{plan_fingerprint, ExecJournal};
 use crate::sampling::{paper_scales, run_sampling_traced, InputSource, SamplingReport};
 use alang::compile::CompiledProgram;
 use alang::copyelim::eliminable_lines;
-use alang::{CostParams, ExecBackend, ExecTier, ParallelPolicy, Program};
+use alang::{CostParams, ExecBackend, ExecTier, ParallelPolicy, Program, Storage};
 use csd_sim::contention::ContentionScenario;
 use csd_sim::fault::FaultPlan;
 use csd_sim::units::Duration;
 use csd_sim::SystemConfig;
-use isp_obs::{SpanKind, Tracer};
+use isp_obs::{SpanKind, Tracer, WalRecord};
 
 /// Configuration of the ActivePy runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +75,12 @@ pub struct ActivePyOptions {
     /// observation-only, exactly like the tracer: identity equality,
     /// outside plan-cache fingerprints, never perturbs simulation.
     pub profile: ProfileRecorder,
+    /// Crash-consistent journal handle threaded through plan executions.
+    /// Disabled by default. When recording, each execution boundary
+    /// appends a checksummed WAL record; when resuming, each boundary is
+    /// verified against the recovered log instead. Identity equality,
+    /// outside plan-cache fingerprints, never perturbs simulation.
+    pub journal: ExecJournal,
 }
 
 impl Default for ActivePyOptions {
@@ -90,6 +97,7 @@ impl Default for ActivePyOptions {
             parallel: ParallelPolicy::default(),
             tracer: Tracer::disabled(),
             profile: ProfileRecorder::disabled(),
+            journal: ExecJournal::disabled(),
         }
     }
 }
@@ -148,6 +156,13 @@ impl ActivePyOptions {
     #[must_use]
     pub fn with_profile(mut self, profile: ProfileRecorder) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Attaches a crash-consistent journal handle to plan executions.
+    #[must_use]
+    pub fn with_journal(mut self, journal: ExecJournal) -> Self {
+        self.journal = journal;
         self
     }
 }
@@ -240,7 +255,6 @@ impl ActivePy {
         input: &dyn InputSource,
         config: &SystemConfig,
     ) -> Result<OffloadPlan> {
-        let mut timings = PlanTimings::default();
         let tracer = &self.options.tracer;
 
         // 1. Sampling phase on down-scaled inputs.
@@ -264,7 +278,44 @@ impl ActivePy {
             None,
             vec![("sampling_secs".into(), sampling_secs.into())],
         );
-        timings.sampling_nanos = phase_nanos(phase);
+        let sampling_nanos = phase_nanos(phase);
+
+        // Materialize the full-scale input the plan will execute on.
+        let phase = Instant::now();
+        let full_storage = input.storage_at(1.0);
+        let materialize_nanos = phase_nanos(phase);
+
+        let mut plan = self.plan_from_sampling(program, sampling, full_storage, config)?;
+        plan.timings.sampling_nanos = sampling_nanos;
+        plan.timings.materialize_nanos = materialize_nanos;
+        Ok(plan)
+    }
+
+    /// Runs planning phases 2–5 (curve fitting, calibration,
+    /// copy-elimination analysis, Eq.1 estimation, Algorithm 1, and code
+    /// generation) from an already-collected [`SamplingReport`] and an
+    /// already-materialized full-scale input.
+    ///
+    /// This is the warm-start entry point: it performs **zero** input
+    /// generation — no sampling runs, no `storage_at` calls — so a
+    /// process restarted with a persisted sampling report re-plans
+    /// without touching the data generator at all. [`ActivePy::plan`] is
+    /// exactly sampling + materialization + this method, so the two paths
+    /// produce identical plans (timings aside) from the same report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting and lowering failures.
+    pub fn plan_from_sampling(
+        &self,
+        program: &Program,
+        sampling: SamplingReport,
+        full_storage: Storage,
+        config: &SystemConfig,
+    ) -> Result<OffloadPlan> {
+        let mut timings = PlanTimings::default();
+        let tracer = &self.options.tracer;
+        let sampling_secs = self.sampling_secs(&sampling, config);
 
         // 2. Fit the five candidate curves and extrapolate to full scale.
         let phase = Instant::now();
@@ -330,11 +381,6 @@ impl ActivePy {
             vec![("compile_secs".into(), compile_secs.into())],
         );
         timings.assign_nanos = phase_nanos(phase);
-
-        // 6. Materialize the full-scale input the plan will execute on.
-        let phase = Instant::now();
-        let full_storage = input.storage_at(1.0);
-        timings.materialize_nanos = phase_nanos(phase);
 
         Ok(OffloadPlan {
             program: program.clone(),
@@ -469,7 +515,16 @@ impl ActivePy {
             parallel: self.options.parallel,
             tracer: self.options.tracer.clone(),
             profile: self.options.profile.clone(),
+            journal: self.options.journal.clone(),
         };
+        // Journal the plan identity before executing: a resume against a
+        // different plan (changed program, drifted fit) is detected at
+        // the very first record rather than at some divergent boundary.
+        opts.journal.on_record(WalRecord::PlanCommit {
+            lane: 0,
+            plan_fp: plan_fingerprint(plan),
+            shard_fp: 0,
+        })?;
         let placements = plan.assignment.placements(plan.program.len());
         let report = match self.options.backend {
             // The plan carries the lowering; don't re-lower per scenario.

@@ -347,6 +347,9 @@ pub fn execute_sharded(
         };
         let mut shard_opts = opts.clone();
         shard_opts.faults = shard_faults.get(s).cloned().unwrap_or_else(FaultPlan::none);
+        // Shard s journals (and replays) on its own WAL lane, so fleet
+        // record streams interleave in the file but verify independently.
+        shard_opts.journal = opts.journal.lane(s as u32);
         let estimates = shard_estimates.map(|est| est[s].as_slice());
         let shard_span = opts.tracer.begin_with(
             "fleet.shard",
@@ -452,6 +455,8 @@ pub fn execute_sharded(
     };
     let mut tail_opts = opts.clone();
     tail_opts.faults = FaultPlan::none();
+    // The host-side tail journals on lane n, after the shard lanes.
+    tail_opts.journal = opts.journal.lane(n as u32);
     let tail_t0 = host.now().as_secs();
     let tail = execute_with_shard(
         run.program,
@@ -568,7 +573,16 @@ pub fn execute_sharded_plan(
         // Shard runs never record profiles: their measured costs are
         // slice-scaled and would bias the unsharded profile.
         profile: crate::profile::ProfileRecorder::disabled(),
+        journal: ropts.journal.clone(),
     };
+    // Journal the fleet's plan identity — base plan fingerprint plus the
+    // shard map's — so a resume against a re-planned fleet or a different
+    // shard count fails at the first record.
+    opts.journal.on_record(isp_obs::WalRecord::PlanCommit {
+        lane: 0,
+        plan_fp: crate::resume::plan_fingerprint(&plan.base),
+        shard_fp: plan.map.fingerprint(),
+    })?;
     let lead_in_secs = if ropts.charge_pipeline_overheads {
         plan.base.sampling_secs + plan.base.compile_secs
     } else {

@@ -357,6 +357,15 @@ impl FaultInjector {
         self.crashed
     }
 
+    /// The raw PRNG state — the injector's position in its fault
+    /// stream. Two injectors with equal plans and equal states produce
+    /// identical future draws, which is what the execution WAL's replay
+    /// verification checks at every journaled boundary.
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng_state
+    }
+
     /// Rewinds to the start of the stream for a fresh, identical replay.
     pub fn reset(&mut self) {
         self.rng_state = StdRng::seed_from_u64(self.plan.seed).state();

@@ -133,6 +133,13 @@ impl Tree {
         }
     }
 
+    /// The nodes in array form (node 0 is the root). Exposed for
+    /// serialization; rebuild with [`Tree::new`] so validation reruns.
+    #[must_use]
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
     /// Maximum root-to-leaf depth.
     #[must_use]
     pub fn depth(&self) -> u32 {
@@ -181,6 +188,13 @@ impl Forest {
     #[must_use]
     pub fn feature_count(&self) -> u32 {
         self.features
+    }
+
+    /// The ensemble's trees. Exposed for serialization; rebuild with
+    /// [`Forest::new`] so validation reruns.
+    #[must_use]
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
     }
 
     /// Total node count across all trees.

@@ -261,6 +261,84 @@ pub struct Csr {
 }
 
 impl Csr {
+    /// Rebuilds a CSR matrix from its raw arrays (the inverse of reading
+    /// them back via [`Csr::row_ptr`] / [`Csr::col_idx`] / [`Csr::values`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the arrays are not a well-formed CSR
+    /// structure (`row_ptr` wrong length, non-monotonic, or disagreeing
+    /// with `values.len()`; column indices out of range) or the logical
+    /// dimensions are smaller than the materialized ones.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+        rows: usize,
+        cols: usize,
+        logical_rows: u64,
+        logical_cols: u64,
+        logical_nnz: u64,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
+            return Err(LangError::runtime(format!(
+                "csr row_ptr length {} does not match {rows} rows",
+                row_ptr.len()
+            )));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1])
+            || row_ptr.last().copied().unwrap_or(0) as usize != values.len()
+        {
+            return Err(LangError::runtime("csr row_ptr is not a valid prefix sum"));
+        }
+        if col_idx.len() != values.len() || col_idx.iter().any(|&c| c as usize >= cols.max(1)) {
+            return Err(LangError::runtime("csr col_idx out of range"));
+        }
+        if logical_rows < rows as u64
+            || logical_cols < cols as u64
+            || logical_nnz < values.len() as u64
+        {
+            return Err(LangError::runtime(
+                "csr logical dimensions must be at least the materialized ones",
+            ));
+        }
+        Ok(Csr {
+            row_ptr: Arc::new(row_ptr),
+            col_idx: Arc::new(col_idx),
+            values: Arc::new(values),
+            rows,
+            cols,
+            logical_rows,
+            logical_cols,
+            logical_nnz,
+        })
+    }
+
+    /// The row-pointer prefix-sum array (`rows + 1` entries).
+    #[must_use]
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column index of each stored non-zero.
+    #[must_use]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value of each stored non-zero.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Paper-scale column count.
+    #[must_use]
+    pub fn logical_cols(&self) -> u64 {
+        self.logical_cols
+    }
+
     /// Materialized row count.
     #[must_use]
     pub fn rows(&self) -> usize {

@@ -347,6 +347,10 @@ pub struct Journal {
     pub instants: Vec<JournalInstant>,
     /// The metrics footer, when present.
     pub metrics: Option<JsonValue>,
+    /// Torn final lines skipped instead of failing the parse (0 or 1: a
+    /// crash mid-write can only corrupt the last line of an
+    /// append-ordered JSONL file).
+    pub torn_lines: u32,
 }
 
 fn opt_f64(v: Option<&JsonValue>) -> Option<f64> {
@@ -376,45 +380,66 @@ fn attrs_of(obj: &JsonValue) -> Vec<(String, JsonValue)> {
         .unwrap_or_default()
 }
 
+/// Parse one journal line into `journal`. Records are constructed in
+/// full before being pushed, so a failed line never leaves a partial
+/// record behind.
+fn parse_journal_line(line: &str, line_no: usize, journal: &mut Journal) -> Result<(), String> {
+    let v = parse_json(line).map_err(|e| format!("journal line {line_no}: {e}"))?;
+    let t = req_str(&v, "t", line_no)?;
+    match t.as_str() {
+        "span" => journal.spans.push(JournalSpan {
+            id: req_u64(&v, "id", line_no)?,
+            parent: req_u64(&v, "parent", line_no)?,
+            seq: req_u64(&v, "seq", line_no)?,
+            name: req_str(&v, "name", line_no)?,
+            kind: req_str(&v, "kind", line_no)?,
+            wall_ns: req_u64(&v, "wall_ns", line_no)?,
+            wall_dur_ns: req_u64(&v, "wall_dur_ns", line_no)?,
+            sim_secs: opt_f64(v.get("sim_secs")),
+            sim_dur_secs: opt_f64(v.get("sim_dur_secs")),
+            attrs: attrs_of(&v),
+        }),
+        "instant" => journal.instants.push(JournalInstant {
+            parent: req_u64(&v, "parent", line_no)?,
+            seq: req_u64(&v, "seq", line_no)?,
+            name: req_str(&v, "name", line_no)?,
+            kind: req_str(&v, "kind", line_no)?,
+            wall_ns: req_u64(&v, "wall_ns", line_no)?,
+            sim_secs: opt_f64(v.get("sim_secs")),
+            attrs: attrs_of(&v),
+        }),
+        "metrics" => journal.metrics = Some(v),
+        other => {
+            return Err(format!(
+                "journal line {line_no}: unknown record type '{other}'"
+            ))
+        }
+    }
+    Ok(())
+}
+
 /// Parse a JSONL journal as written by [`crate::export::jsonl`].
+///
+/// Journals are append-ordered, so a process killed mid-write can only
+/// corrupt the *final* line: a torn or malformed last line is skipped
+/// (counted in [`Journal::torn_lines`]) instead of failing the parse —
+/// the JSONL analog of the binary WAL's torn-tail rule
+/// ([`crate::wal`]). Corruption anywhere *before* the final line cannot
+/// come from a crash and remains a hard error.
 pub fn parse_journal(text: &str) -> Result<Journal, String> {
     let mut journal = Journal::default();
-    for (i, line) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let v = parse_json(line).map_err(|e| format!("journal line {line_no}: {e}"))?;
-        let t = req_str(&v, "t", line_no)?;
-        match t.as_str() {
-            "span" => journal.spans.push(JournalSpan {
-                id: req_u64(&v, "id", line_no)?,
-                parent: req_u64(&v, "parent", line_no)?,
-                seq: req_u64(&v, "seq", line_no)?,
-                name: req_str(&v, "name", line_no)?,
-                kind: req_str(&v, "kind", line_no)?,
-                wall_ns: req_u64(&v, "wall_ns", line_no)?,
-                wall_dur_ns: req_u64(&v, "wall_dur_ns", line_no)?,
-                sim_secs: opt_f64(v.get("sim_secs")),
-                sim_dur_secs: opt_f64(v.get("sim_dur_secs")),
-                attrs: attrs_of(&v),
-            }),
-            "instant" => journal.instants.push(JournalInstant {
-                parent: req_u64(&v, "parent", line_no)?,
-                seq: req_u64(&v, "seq", line_no)?,
-                name: req_str(&v, "name", line_no)?,
-                kind: req_str(&v, "kind", line_no)?,
-                wall_ns: req_u64(&v, "wall_ns", line_no)?,
-                sim_secs: opt_f64(v.get("sim_secs")),
-                attrs: attrs_of(&v),
-            }),
-            "metrics" => journal.metrics = Some(v),
-            other => {
-                return Err(format!(
-                    "journal line {line_no}: unknown record type '{other}'"
-                ))
-            }
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| (i + 1, line.trim()))
+        .filter(|(_, line)| !line.is_empty())
+        .collect();
+    let last_idx = lines.len().saturating_sub(1);
+    for (idx, (line_no, line)) in lines.iter().enumerate() {
+        match parse_journal_line(line, *line_no, &mut journal) {
+            Ok(()) => {}
+            Err(_) if idx == last_idx => journal.torn_lines += 1,
+            Err(e) => return Err(e),
         }
     }
     Ok(journal)
@@ -654,10 +679,48 @@ mod tests {
     }
 
     #[test]
-    fn parse_journal_reports_bad_lines() {
-        let err = parse_journal("{\"t\":\"span\"}\n").unwrap_err();
-        assert!(err.contains("line 1"), "{err}");
-        let err = parse_journal("{\"t\":\"bogus\"}\n").unwrap_err();
+    fn torn_final_line_is_skipped_with_a_counter() {
+        // A bad *final* line is treated as a crash-torn tail: skipped,
+        // counted, never a hard error.
+        let j = parse_journal("{\"t\":\"span\"}\n").expect("torn tail tolerated");
+        assert_eq!((j.spans.len(), j.torn_lines), (0, 1));
+        let j = parse_journal("{\"t\":\"bogus\"}\n").expect("torn tail tolerated");
+        assert_eq!(j.torn_lines, 1);
+    }
+
+    #[test]
+    fn mid_record_truncation_keeps_the_valid_prefix() {
+        // Build a real journal, then cut it mid-way through its last
+        // line (a crash mid-write).
+        let (t, sink) = Tracer::to_memory();
+        let a = t.begin("phase.a", SK::Phase, Some(0.0));
+        t.end(a, Some(0.5));
+        let b = t.begin("phase.b", SK::Phase, Some(0.5));
+        t.end(b, Some(1.0));
+        let text = jsonl(&sink.events(), None, true);
+        let full = parse_journal(&text).expect("full journal parses");
+        assert_eq!((full.spans.len(), full.torn_lines), (2, 0));
+
+        let cut = text.trim_end().len() - 10;
+        let torn = parse_journal(&text[..cut]).expect("truncated tail tolerated");
+        assert_eq!(torn.spans.len(), full.spans.len() - 1);
+        assert_eq!(torn.torn_lines, 1);
+        assert_eq!(torn.spans[0], full.spans[0]);
+    }
+
+    #[test]
+    fn corruption_before_the_final_line_stays_a_hard_error() {
+        // A bad line with valid lines after it cannot be a torn tail;
+        // that is real corruption and must fail loudly.
+        let (t, sink) = Tracer::to_memory();
+        let a = t.begin("phase.a", SK::Phase, Some(0.0));
+        t.end(a, Some(0.5));
+        let good_line = jsonl(&sink.events(), None, true);
+        let text = format!("{{\"t\":\"bogus\"}}\n{good_line}");
+        let err = parse_journal(&text).unwrap_err();
         assert!(err.contains("unknown record type"), "{err}");
+        let text = format!("{{broken\n{good_line}");
+        let err = parse_journal(&text).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 }

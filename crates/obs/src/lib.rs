@@ -36,10 +36,15 @@ pub mod export;
 pub mod journal;
 pub mod metrics;
 pub mod span;
+pub mod wal;
 
 pub use journal::{parse_journal, summarize, Journal};
 pub use metrics::{Histogram, MetricsRegistry, RegistrySnapshot};
 pub use span::{
     AttrValue, Attrs, InstantEvent, MemorySink, Span, SpanHandle, SpanKind, TraceEvent, TraceSink,
     Tracer,
+};
+pub use wal::{
+    fnv1a, parse_wal_bytes, read_wal, ByteReader, ByteWriter, StateSnap, WalReadOutcome, WalRecord,
+    WalWriter, KILL_ENV, KILL_EXIT_CODE,
 };

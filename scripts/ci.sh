@@ -57,6 +57,35 @@ cargo test -q --test fig5_golden
 echo "== re-plan determinism (proptest: refit loop never changes values, warm never worse) =="
 cargo test -q --test replan_determinism
 
+echo "== kill-resume smoke (journaled run killed mid-stream resumes to the same fingerprint) =="
+# Records the recovery workload's execution journal, kills the process
+# after 20 appends via the WAL kill hook (exit 86 + a deliberately torn
+# tail), resumes from the survived prefix, and demands the uninterrupted
+# run's fingerprint. Exercises create -> kill -> torn-tail truncation ->
+# replay-verify -> append end to end through the public CLI.
+FULL_FP="$(cargo run --release -q -p isp-bench --bin repro -- \
+  --journal "$TRACE_TMP/full.wal" | grep '^run fingerprint:')"
+set +e
+ISP_WAL_KILL_AFTER=20 cargo run --release -q -p isp-bench --bin repro -- \
+  --journal "$TRACE_TMP/killed.wal"
+KILL_STATUS=$?
+set -e
+if [ "$KILL_STATUS" -ne 86 ]; then
+  echo "kill hook did not fire (exit $KILL_STATUS, expected 86)"; exit 1
+fi
+RESUMED_FP="$(cargo run --release -q -p isp-bench --bin repro -- \
+  --resume "$TRACE_TMP/killed.wal" | grep '^run fingerprint:')"
+if [ "$FULL_FP" != "$RESUMED_FP" ]; then
+  echo "resumed fingerprint '$RESUMED_FP' != uninterrupted '$FULL_FP'"; exit 1
+fi
+echo "resumed fingerprint matches: $RESUMED_FP"
+
+echo "== crash-resume chaos (proptest: kill at random journal offsets, N in {1,4}, both backends) =="
+cargo test -q --test wal_resume
+
+echo "== recovery benchmark smoke (journal overhead, resume, zero-datagen warm start) =="
+cargo test -q -p isp-bench --lib recovery
+
 echo "== adaptation smoke (regret(replan) < regret(static), >= 1 reclaim, 0 divergences) =="
 # The focused adaptation sweep runs every workload under the
 # phase-shifting trace; repro --adapt exits non-zero if re-planning
