@@ -7,11 +7,20 @@
 //! CI compiles this with `cargo bench --no-run`; the timed run is for
 //! developers on multi-core machines (on a single-core host the parallel
 //! numbers simply track the serial ones plus scheduling overhead).
+//!
+//! Two further groups cover the wire-format PR: `simd` times each hot
+//! reduction's plain sequential fold against its 8-lane kernel (after
+//! asserting the lane kernel is bit-identical to its strided-scalar
+//! reference twin *and* that the chunked engine returns the same bits at
+//! 1/2/4/8 worker threads), and `decode` times `decode_all` per wire
+//! format.
 use alang::builtins::{call_in, KernelCtx, Storage};
 use alang::matrix::Matrix;
-use alang::value::{ArrayVal, BoolArrayVal};
+use alang::simd;
+use alang::value::{ArrayVal, BoolArrayVal, EncodedVal};
 use alang::{ParEngine, ParallelPolicy, Value};
 use criterion::{criterion_group, criterion_main, Criterion};
+use csd_sim::wire::{ByteOrder, Codec, Encoding};
 
 /// Engagement threshold: low enough that every benched input chunks
 /// under the parallel policy.
@@ -108,5 +117,142 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Asserts the reduction builtins return the same bits at every worker
+/// count — the determinism contract the SIMD fast path must preserve.
+fn assert_thread_bit_identity(xs: &[f64], ys: &[f64]) {
+    let storage = Storage::new();
+    let reference: Vec<u64> = {
+        let engine = ParEngine::new(ParallelPolicy::new(1, MIN_PARALLEL_LEN).expect("policy"));
+        let ctx = KernelCtx {
+            storage: &storage,
+            par: &engine,
+        };
+        reduction_bits(&ctx, xs, ys)
+    };
+    for threads in [2, 4, 8] {
+        let engine =
+            ParEngine::new(ParallelPolicy::new(threads, MIN_PARALLEL_LEN).expect("policy"));
+        let ctx = KernelCtx {
+            storage: &storage,
+            par: &engine,
+        };
+        assert_eq!(
+            reduction_bits(&ctx, xs, ys),
+            reference,
+            "a reduction changed bits at {threads} threads"
+        );
+    }
+}
+
+/// The reduction outputs as raw bits, in a fixed kernel order.
+fn reduction_bits(ctx: &KernelCtx, xs: &[f64], ys: &[f64]) -> Vec<u64> {
+    ["sum", "dot", "minv", "maxv"]
+        .iter()
+        .map(|kernel| {
+            let argv: Vec<Value> = match *kernel {
+                "dot" => vec![arr(xs.to_vec()), arr(ys.to_vec())],
+                _ => vec![arr(xs.to_vec())],
+            };
+            match call_in(kernel, &argv, ctx).expect("kernel runs").value {
+                Value::Num(x) => x.to_bits(),
+                other => panic!("{kernel} returned {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn bench_simd(c: &mut Criterion) {
+    let xs = series(1 << 20, 37, 101, 0.5, -20.0);
+    let ys = series(1 << 20, 13, 89, 0.25, -10.0);
+    assert_thread_bit_identity(&xs, &ys);
+    // The lane kernels must match their strided-scalar twins bit for bit
+    // before their numbers mean anything.
+    assert_eq!(simd::sum8(&xs).to_bits(), simd::sum8_ref(&xs).to_bits());
+    assert_eq!(
+        simd::dot8(&xs, &ys).to_bits(),
+        simd::dot8_ref(&xs, &ys).to_bits()
+    );
+    assert_eq!(
+        simd::min8(&xs, f64::INFINITY).to_bits(),
+        simd::min8_ref(&xs, f64::INFINITY).to_bits()
+    );
+    assert_eq!(
+        simd::max8(&xs, f64::NEG_INFINITY).to_bits(),
+        simd::max8_ref(&xs, f64::NEG_INFINITY).to_bits()
+    );
+
+    let mut g = c.benchmark_group("simd");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.bench_function("sum/scalar", |b| {
+        b.iter(|| std::hint::black_box(xs.iter().fold(0.0, |a, &b| a + b)))
+    });
+    g.bench_function("sum/simd8", |b| {
+        b.iter(|| std::hint::black_box(simd::sum8(&xs)))
+    });
+    g.bench_function("dot/scalar", |b| {
+        b.iter(|| std::hint::black_box(xs.iter().zip(&ys).fold(0.0, |a, (&x, &y)| a + x * y)))
+    });
+    g.bench_function("dot/simd8", |b| {
+        b.iter(|| std::hint::black_box(simd::dot8(&xs, &ys)))
+    });
+    g.bench_function("min/scalar", |b| {
+        b.iter(|| std::hint::black_box(xs.iter().fold(f64::INFINITY, |a, &b| a.min(b))))
+    });
+    g.bench_function("min/simd8", |b| {
+        b.iter(|| std::hint::black_box(simd::min8(&xs, f64::INFINITY)))
+    });
+    g.bench_function("max/scalar", |b| {
+        b.iter(|| std::hint::black_box(xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))))
+    });
+    g.bench_function("max/simd8", |b| {
+        b.iter(|| std::hint::black_box(simd::max8(&xs, f64::NEG_INFINITY)))
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let data: Vec<f64> = (0..1 << 16)
+        .map(|i| {
+            if i % 10 == 0 {
+                -1.0
+            } else {
+                ((i * 7919) % 50) as f64
+            }
+        })
+        .collect();
+    let formats = [
+        ("gzip_shuffle", Encoding::gzip_shuffled()),
+        (
+            "shuffle_bigendian",
+            Encoding {
+                codec: Codec::None,
+                shuffle: true,
+                byte_order: ByteOrder::Big,
+                fill_value: None,
+            },
+        ),
+        (
+            "fill_sentinel",
+            Encoding {
+                codec: Codec::None,
+                shuffle: false,
+                byte_order: ByteOrder::Little,
+                fill_value: Some(-1.0),
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("decode");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (name, enc) in formats {
+        let ev = EncodedVal::from_f64s(enc, &data, data.len() as u64);
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(ev.decode_all().expect("decode")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simd, bench_decode);
 criterion_main!(benches);

@@ -67,6 +67,7 @@ struct BenchReport {
     fig5_before_after: Fig5Comparison,
     interp: InterpComparison,
     faults: FaultsReport,
+    decode: ex::decode::Report,
     scaling: ex::scaling::Report,
     shards: ex::shards::Report,
     adapt: ex::adapt::Report,
@@ -488,6 +489,15 @@ fn main() {
     println!();
 
     let t = Instant::now();
+    let decode = ex::decode::run_with(&config, &cache);
+    time("decode", t.elapsed().as_secs_f64());
+    ex::decode::print(&decode);
+    if let Err(e) = ex::decode::check(&decode) {
+        eprintln!("decode experiment check failed: {e}");
+    }
+    println!();
+
+    let t = Instant::now();
     let scaling = ex::scaling::run();
     time("scaling", t.elapsed().as_secs_f64());
     ex::scaling::print(&scaling);
@@ -604,6 +614,7 @@ fn main() {
             wrong_answers: faults.iter().filter(|r| !r.values_match).count(),
             rows: faults,
         },
+        decode,
         scaling,
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -142,9 +142,13 @@ fn run_workload(w: &isp_workloads::Workload, config: &SystemConfig) -> Row {
         .expect("static run");
 
     // Monitored cold run, recording its measured per-line costs.
-    let monitored_rt = ActivePy::with_options(
-        ActivePyOptions::default().with_profile(cache.recorder_for(&static_rt, w.name(), config)),
-    );
+    let monitored_rt =
+        ActivePy::with_options(ActivePyOptions::default().with_profile(cache.recorder_for(
+            &static_rt,
+            w.name(),
+            w,
+            config,
+        )));
     let monitored = monitored_rt
         .execute_plan(&cold, config, scenario)
         .expect("monitored run");
@@ -227,7 +231,7 @@ fn aggregate(rows: Vec<Row>) -> Report {
 /// Panics if a registered workload fails to plan or run.
 #[must_use]
 pub fn run(config: &SystemConfig) -> Report {
-    let rows = crate::sweep::run_grid(isp_workloads::with_sparsemv(), |w| run_workload(&w, config));
+    let rows = crate::sweep::run_grid(isp_workloads::full_set(), |w| run_workload(&w, config));
     aggregate(rows)
 }
 
@@ -320,7 +324,7 @@ mod tests {
     fn sweep_reduces_regret_and_never_changes_values() {
         let config = SystemConfig::paper_default();
         let report = run(&config);
-        assert_eq!(report.rows.len(), isp_workloads::with_sparsemv().len());
+        assert_eq!(report.rows.len(), isp_workloads::full_set().len());
         check(&report).expect("adaptation invariants hold");
         // Every workload triggered exactly one refit in its private cache.
         for r in &report.rows {
@@ -336,7 +340,7 @@ mod tests {
     #[test]
     fn focused_run_matches_the_sweep_row() {
         let config = SystemConfig::paper_default();
-        let name = isp_workloads::with_sparsemv()[0].name().to_owned();
+        let name = isp_workloads::full_set()[0].name().to_owned();
         let focused = run_one(&name, &config).expect("workload exists");
         assert_eq!(focused.rows.len(), 1);
         assert_eq!(focused.rows[0].name, name);

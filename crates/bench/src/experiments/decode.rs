@@ -1,0 +1,524 @@
+//! Decode-placement experiment: where Eq. 1 puts the wire-format decode,
+//! and what the SIMD fast path buys the hot kernels.
+//!
+//! **Placement.** Each wire-format workload (the [`isp_workloads::decode_set`])
+//! is executed three ways under the same uncontended scenario: the plan
+//! Algorithm 1 chose, the same pipeline forced all-host, and forced
+//! all-CSD. Decode placement is the whole story of the contrast:
+//!
+//! * `TPC-H-6-gz` stores ~20×-compressed columns, so the raw stream the
+//!   host would pull (`DS_raw` in Eq. 1) is tiny while inflating costs
+//!   real operations on the slower CSE cores — decode-on-host wins.
+//! * `LogGrep` stores length-preserving shuffled/big-endian streams, so
+//!   decode is cheap but offloading the decode→grep prefix collapses
+//!   `DS_raw` from the full stream to the selected tail — decode-on-CSD
+//!   wins.
+//!
+//! Every row checks three facts: the measured winner between the forced
+//! placements has the sign Eq. 1 predicts (via the executor-faithful
+//! [`activepy::assign::projected_cost`] model over the plan's own
+//! estimates), the planner picked that winner, and all three runs produce
+//! one byte-identical `values_fingerprint`.
+//!
+//! **SIMD.** The lane-reassociated kernels of [`alang::simd`] are timed
+//! against the plain sequential folds they replaced, minimum-of-rounds.
+//! Each row also re-asserts the determinism contract: the vector kernel
+//! is bit-identical to its strided-scalar reference twin (and, for
+//! min/max, to the sequential fold itself).
+
+use std::time::Instant;
+
+use activepy::runtime::{ActivePy, ActivePyOptions};
+use activepy::{Assignment, OffloadPlan, PlanCache};
+use alang::simd;
+use alang::value::EncodedVal;
+use csd_sim::engine::EngineKind;
+use csd_sim::wire::{ByteOrder, Codec, Encoding};
+use csd_sim::{ContentionScenario, SystemConfig};
+use serde::Serialize;
+
+/// Relative tolerance when asserting the planner's run is no slower than
+/// the best forced placement (simulation microseconds of queue noise).
+const PLAN_TOLERANCE: f64 = 1e-6;
+
+/// Timing rounds per kernel; the minimum round is kept (the standard
+/// guard against scheduler noise).
+const ROUNDS: usize = 7;
+
+/// Elements per SIMD-kernel timing input — large enough that the chunked
+/// engaged path dominates.
+const KERNEL_ELEMS: usize = 1 << 20;
+
+/// Elements per decode-throughput input (many 4096-element wire chunks).
+const DECODE_ELEMS: usize = 1 << 16;
+
+/// One wire-format workload under the three placements.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlacementRow {
+    /// Workload name.
+    pub name: String,
+    /// Program length in lines.
+    pub lines: usize,
+    /// Lines Algorithm 1 put on the CSD.
+    pub planned_csd_lines: usize,
+    /// Whether the planner offloaded the decode pipeline (its regime).
+    pub decode_on_csd: bool,
+    /// Simulated seconds of the plan Algorithm 1 chose.
+    pub planned_secs: f64,
+    /// Simulated seconds with every line forced onto the host.
+    pub all_host_secs: f64,
+    /// Simulated seconds with every line forced onto the CSD.
+    pub all_csd_secs: f64,
+    /// Eq. 1 net profit of full-pipeline offload, in projected seconds:
+    /// `projected_cost(all-host) − projected_cost(all-CSD)` under the
+    /// plan's own estimates. Positive ⇒ the model says offload decode.
+    pub eq1_profit_secs: f64,
+    /// Whether the *measured* winner between the forced placements has
+    /// the sign [`Self::eq1_profit_secs`] predicts.
+    pub eq1_agrees: bool,
+    /// Whether the planner's run is no slower than the best forced
+    /// placement.
+    pub planner_matches_winner: bool,
+    /// Whether all three runs produced one `values_fingerprint`.
+    pub values_match: bool,
+}
+
+/// One hot kernel, scalar fold vs SIMD fast path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Input elements.
+    pub n: usize,
+    /// Plain sequential fold, best-of-rounds seconds.
+    pub scalar_secs: f64,
+    /// Lane-reassociated kernel, best-of-rounds seconds.
+    pub simd_secs: f64,
+    /// `scalar_secs / simd_secs`.
+    pub speedup: f64,
+    /// Whether the SIMD kernel is bit-identical to its strided-scalar
+    /// reference twin.
+    pub deterministic: bool,
+}
+
+/// Decode throughput of one wire format, best-of-rounds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DecodeKernelRow {
+    /// Human-readable wire format.
+    pub wire: String,
+    /// Encoded-over-decoded size ratio (1.0 for codec-less formats).
+    pub compression: f64,
+    /// Decoded megabytes per second.
+    pub decoded_mb_per_s: f64,
+}
+
+/// The full decode experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// One row per wire-format workload.
+    pub placements: Vec<PlacementRow>,
+    /// Scalar-vs-SIMD rows for the hot reduction kernels.
+    pub kernels: Vec<KernelRow>,
+    /// Decode throughput per wire format.
+    pub decode_kernels: Vec<DecodeKernelRow>,
+}
+
+/// Forces every line of `plan` onto one engine, re-projecting the
+/// assignment's bookkeeping costs so the report stays honest.
+fn forced(plan: &OffloadPlan, engine: EngineKind, bw_d2h: f64) -> OffloadPlan {
+    let mut p = plan.clone();
+    let n = p.program.len();
+    let placements = vec![engine; n];
+    let cost = activepy::assign::projected_cost(&p.program, &p.estimates, &placements, bw_d2h);
+    let t_host: f64 = p.estimates.iter().map(|e| e.ct_host).sum();
+    p.assignment = Assignment {
+        csd_lines: match engine {
+            EngineKind::Host => std::collections::BTreeSet::new(),
+            EngineKind::Cse => (0..n).collect(),
+        },
+        t_host,
+        t_csd: cost,
+    };
+    p
+}
+
+/// Runs one wire-format workload under the three placements.
+fn run_placement(
+    w: &isp_workloads::Workload,
+    config: &SystemConfig,
+    cache: &PlanCache,
+) -> PlacementRow {
+    let program = w.program().expect("registered workloads parse");
+    let rt = ActivePy::with_options(ActivePyOptions::default().without_migration());
+    let plan = cache
+        .plan_for(&rt, w.name(), &program, w, config)
+        .expect("planning succeeds");
+    let bw = config.d2h_bandwidth().as_bytes_per_sec();
+
+    let planned = rt
+        .execute_plan(&plan, config, ContentionScenario::none())
+        .expect("planned run");
+    let host_plan = forced(&plan, EngineKind::Host, bw);
+    let all_host = rt
+        .execute_plan(&host_plan, config, ContentionScenario::none())
+        .expect("all-host run");
+    let csd_plan = forced(&plan, EngineKind::Cse, bw);
+    let all_csd = rt
+        .execute_plan(&csd_plan, config, ContentionScenario::none())
+        .expect("all-CSD run");
+
+    let eq1_profit_secs = host_plan.assignment.t_csd - csd_plan.assignment.t_csd;
+    let host_secs = all_host.report.total_secs;
+    let csd_secs = all_csd.report.total_secs;
+    let planned_secs = planned.report.total_secs;
+    let eq1_agrees = (eq1_profit_secs > 0.0) == (csd_secs < host_secs);
+    let winner_secs = host_secs.min(csd_secs);
+    let planner_matches_winner = planned_secs <= winner_secs * (1.0 + PLAN_TOLERANCE);
+    let fp = planned.report.values_fingerprint;
+    let values_match =
+        all_host.report.values_fingerprint == fp && all_csd.report.values_fingerprint == fp;
+
+    PlacementRow {
+        name: w.name().to_owned(),
+        lines: program.len(),
+        planned_csd_lines: plan.assignment.csd_lines.len(),
+        decode_on_csd: !plan.assignment.csd_lines.is_empty(),
+        planned_secs,
+        all_host_secs: host_secs,
+        all_csd_secs: csd_secs,
+        eq1_profit_secs,
+        eq1_agrees,
+        planner_matches_winner,
+        values_match,
+    }
+}
+
+/// Deterministic mixed-magnitude timing input — exponents spread over
+/// several decades so sum reassociation differences would be visible if
+/// the determinism contract broke.
+fn kernel_input(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt);
+            let mag = [1e-6, 1e-2, 1.0, 1e3][(h % 4) as usize];
+            let sign = if h & 8 == 0 { 1.0 } else { -1.0 };
+            sign * mag * ((h >> 4) % 10_000) as f64 / 10_000.0
+        })
+        .collect()
+}
+
+/// Best-of-[`ROUNDS`] seconds of `f`.
+fn best_of<F: FnMut() -> f64>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the hot reduction kernels, scalar fold vs SIMD fast path.
+fn run_kernels() -> Vec<KernelRow> {
+    let xs = kernel_input(KERNEL_ELEMS, 1);
+    let ys = kernel_input(KERNEL_ELEMS, 2);
+    let sq = |x: f64| x * x;
+
+    let mut rows = Vec::new();
+    let mut push = |kernel: &str, scalar_secs: f64, simd_secs: f64, deterministic: bool| {
+        rows.push(KernelRow {
+            kernel: kernel.to_owned(),
+            n: KERNEL_ELEMS,
+            scalar_secs,
+            simd_secs,
+            speedup: scalar_secs / simd_secs,
+            deterministic,
+        });
+    };
+
+    push(
+        "sum",
+        best_of(|| xs.iter().fold(0.0, |a, &b| a + b)),
+        best_of(|| simd::sum8(&xs)),
+        simd::sum8(&xs).to_bits() == simd::sum8_ref(&xs).to_bits(),
+    );
+    push(
+        "sum_by(x*x)",
+        best_of(|| xs.iter().fold(0.0, |a, &b| a + sq(b))),
+        best_of(|| simd::sum8_by(&xs, sq)),
+        simd::sum8_by(&xs, sq).to_bits() == simd::sum8_by_ref(&xs, sq).to_bits(),
+    );
+    push(
+        "dot",
+        best_of(|| xs.iter().zip(&ys).fold(0.0, |a, (&x, &y)| a + x * y)),
+        best_of(|| simd::dot8(&xs, &ys)),
+        simd::dot8(&xs, &ys).to_bits() == simd::dot8_ref(&xs, &ys).to_bits(),
+    );
+    push(
+        "min",
+        best_of(|| xs.iter().fold(f64::INFINITY, |a, &b| a.min(b))),
+        best_of(|| simd::min8(&xs, f64::INFINITY)),
+        simd::min8(&xs, f64::INFINITY).to_bits() == simd::min8_ref(&xs, f64::INFINITY).to_bits()
+            && simd::min8(&xs, f64::INFINITY).to_bits()
+                == xs.iter().fold(f64::INFINITY, |a, &b| a.min(b)).to_bits(),
+    );
+    push(
+        "max",
+        best_of(|| xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))),
+        best_of(|| simd::max8(&xs, f64::NEG_INFINITY)),
+        simd::max8(&xs, f64::NEG_INFINITY).to_bits()
+            == simd::max8_ref(&xs, f64::NEG_INFINITY).to_bits()
+            && simd::max8(&xs, f64::NEG_INFINITY).to_bits()
+                == xs
+                    .iter()
+                    .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+                    .to_bits(),
+    );
+    rows
+}
+
+/// The wire formats timed by [`run_decode_kernels`], with display names.
+fn wire_formats() -> Vec<(String, Encoding)> {
+    vec![
+        ("gzip+shuffle".to_owned(), Encoding::gzip_shuffled()),
+        (
+            "shuffle+big-endian".to_owned(),
+            Encoding {
+                codec: Codec::None,
+                shuffle: true,
+                byte_order: ByteOrder::Big,
+                fill_value: None,
+            },
+        ),
+        (
+            "fill(-1)".to_owned(),
+            Encoding {
+                codec: Codec::None,
+                shuffle: false,
+                byte_order: ByteOrder::Little,
+                fill_value: Some(-1.0),
+            },
+        ),
+    ]
+}
+
+/// Times `decode_all` per wire format.
+fn run_decode_kernels() -> Vec<DecodeKernelRow> {
+    // Low-cardinality data so the gzip row compresses the way columnar
+    // stores do; the sentinel row masks every 10th element.
+    let data: Vec<f64> = (0..DECODE_ELEMS)
+        .map(|i| {
+            if i % 10 == 0 {
+                -1.0
+            } else {
+                ((i * 7919) % 50) as f64
+            }
+        })
+        .collect();
+    wire_formats()
+        .into_iter()
+        .map(|(wire, enc)| {
+            let ev = EncodedVal::from_f64s(enc, &data, data.len() as u64);
+            let decoded_bytes = (data.len() * 8) as f64;
+            let compression = decoded_bytes / ev.encoded_actual_bytes() as f64;
+            let secs = best_of(|| ev.decode_all().expect("decode").len() as f64);
+            DecodeKernelRow {
+                wire,
+                compression,
+                decoded_mb_per_s: decoded_bytes / 1e6 / secs,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full decode experiment with a shared plan cache.
+///
+/// # Panics
+///
+/// Panics if a wire-format workload fails to plan or run.
+#[must_use]
+pub fn run_with(config: &SystemConfig, cache: &PlanCache) -> Report {
+    let placements = crate::sweep::run_grid(isp_workloads::decode_set(), |w| {
+        run_placement(&w, config, cache)
+    });
+    Report {
+        placements,
+        kernels: run_kernels(),
+        decode_kernels: run_decode_kernels(),
+    }
+}
+
+/// Runs the full decode experiment with a private cache.
+#[must_use]
+pub fn run(config: &SystemConfig) -> Report {
+    run_with(config, &PlanCache::new())
+}
+
+/// The smoke gate: both decode-placement regimes present and correct,
+/// every run byte-identical, and the SIMD fast path actually fast.
+///
+/// # Errors
+///
+/// Describes the first violated invariant.
+pub fn check(report: &Report) -> std::result::Result<(), String> {
+    for row in &report.placements {
+        if !row.values_match {
+            return Err(format!("{}: placement changed the answer", row.name));
+        }
+        if !row.eq1_agrees {
+            return Err(format!(
+                "{}: Eq. 1 profit {:+.4}s disagrees with measured winner \
+                 (host {:.4}s vs CSD {:.4}s)",
+                row.name, row.eq1_profit_secs, row.all_host_secs, row.all_csd_secs
+            ));
+        }
+        if !row.planner_matches_winner {
+            return Err(format!(
+                "{}: planner {:.4}s slower than best forced placement \
+                 (host {:.4}s, CSD {:.4}s)",
+                row.name, row.planned_secs, row.all_host_secs, row.all_csd_secs
+            ));
+        }
+    }
+    if !report.placements.iter().any(|r| r.decode_on_csd) {
+        return Err("no workload in the decode-on-CSD regime".to_owned());
+    }
+    if !report.placements.iter().any(|r| !r.decode_on_csd) {
+        return Err("no workload in the decode-on-host regime".to_owned());
+    }
+    for row in &report.kernels {
+        if !row.deterministic {
+            return Err(format!(
+                "{}: SIMD kernel diverges from its scalar reference",
+                row.kernel
+            ));
+        }
+    }
+    let fast = report.kernels.iter().filter(|r| r.speedup >= 1.5).count();
+    if fast < 3 {
+        let sheet: Vec<String> = report
+            .kernels
+            .iter()
+            .map(|r| format!("{} {:.2}x", r.kernel, r.speedup))
+            .collect();
+        return Err(format!(
+            "only {fast} kernels reach 1.5x over scalar ({})",
+            sheet.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+/// Prints the report as aligned tables.
+pub fn print(report: &Report) {
+    println!("Decode placement (Eq. 1 decides where the wire format is decoded):");
+    println!(
+        "  {:<12} {:>5} {:>9} {:>11} {:>11} {:>11} {:>11}  regime",
+        "workload", "lines", "csd-lines", "planned(s)", "all-host(s)", "all-csd(s)", "Eq1-S(s)"
+    );
+    for r in &report.placements {
+        println!(
+            "  {:<12} {:>5} {:>9} {:>11.4} {:>11.4} {:>11.4} {:>+11.4}  decode-on-{}{}",
+            r.name,
+            r.lines,
+            r.planned_csd_lines,
+            r.planned_secs,
+            r.all_host_secs,
+            r.all_csd_secs,
+            r.eq1_profit_secs,
+            if r.decode_on_csd { "CSD" } else { "host" },
+            if r.eq1_agrees && r.planner_matches_winner && r.values_match {
+                ""
+            } else {
+                "  [CHECK FAILED]"
+            },
+        );
+    }
+    println!();
+    println!("SIMD fast path (scalar fold vs 8-lane kernels, best of {ROUNDS} rounds):");
+    println!(
+        "  {:<12} {:>9} {:>12} {:>12} {:>8}  deterministic",
+        "kernel", "elems", "scalar(s)", "simd(s)", "speedup"
+    );
+    for r in &report.kernels {
+        println!(
+            "  {:<12} {:>9} {:>12.6} {:>12.6} {:>7.2}x  {}",
+            r.kernel, r.n, r.scalar_secs, r.simd_secs, r.speedup, r.deterministic
+        );
+    }
+    println!();
+    println!("Decode kernels (chunked decode_all throughput):");
+    println!(
+        "  {:<20} {:>12} {:>14}",
+        "wire format", "compression", "decoded MB/s"
+    );
+    for r in &report.decode_kernels {
+        println!(
+            "  {:<20} {:>11.2}x {:>14.0}",
+            r.wire, r.compression, r.decoded_mb_per_s
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The placement invariants at unit-test cost. Kernel speedups are
+    /// asserted only by [`check`] under the release repro run — a debug
+    /// build neither vectorizes nor represents the shipped binary.
+    #[test]
+    fn both_regimes_present_and_placement_invariants_hold() {
+        let config = SystemConfig::paper_default();
+        let report = Report {
+            placements: crate::sweep::run_grid(isp_workloads::decode_set(), |w| {
+                run_placement(&w, &config, &PlanCache::new())
+            }),
+            kernels: Vec::new(),
+            decode_kernels: Vec::new(),
+        };
+        assert_eq!(report.placements.len(), 2);
+        for r in &report.placements {
+            assert!(r.values_match, "{r:?}");
+            assert!(r.eq1_agrees, "{r:?}");
+            assert!(r.planner_matches_winner, "{r:?}");
+        }
+        let gz = report
+            .placements
+            .iter()
+            .find(|r| r.name == "TPC-H-6-gz")
+            .expect("gz row");
+        assert!(!gz.decode_on_csd, "compressed columns decode on the host");
+        assert!(gz.eq1_profit_secs < 0.0, "{gz:?}");
+        let lg = report
+            .placements
+            .iter()
+            .find(|r| r.name == "LogGrep")
+            .expect("loggrep row");
+        assert!(lg.decode_on_csd, "raw streams decode on the CSD");
+        assert!(lg.eq1_profit_secs > 0.0, "{lg:?}");
+    }
+
+    #[test]
+    fn simd_kernels_are_deterministic_and_decode_rows_sane() {
+        for r in run_kernels() {
+            assert!(r.deterministic, "{r:?}");
+            assert!(r.scalar_secs > 0.0 && r.simd_secs > 0.0, "{r:?}");
+        }
+        let rows = run_decode_kernels();
+        assert_eq!(rows.len(), 3);
+        let gz = &rows[0];
+        assert!(gz.compression > 2.0, "gzip row must compress: {gz:?}");
+        for r in &rows[1..] {
+            assert!(
+                (r.compression - 1.0).abs() < 1e-9,
+                "codec-less formats are length-preserving: {r:?}"
+            );
+        }
+        for r in &rows {
+            assert!(r.decoded_mb_per_s > 0.0, "{r:?}");
+        }
+    }
+}

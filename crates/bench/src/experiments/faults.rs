@@ -152,7 +152,7 @@ pub fn run(config: &SystemConfig) -> Vec<Row> {
 /// Panics if a registered workload fails to run.
 #[must_use]
 pub fn run_with(config: &SystemConfig, cache: &PlanCache) -> Vec<Row> {
-    let per_workload: Vec<Vec<Row>> = crate::sweep::run_grid(isp_workloads::with_sparsemv(), |w| {
+    let per_workload: Vec<Vec<Row>> = crate::sweep::run_grid(isp_workloads::full_set(), |w| {
         run_workload(&w, config, cache)
     });
     per_workload.into_iter().flatten().collect()
@@ -212,7 +212,7 @@ mod tests {
         let rows = run_with(&config, &cache);
         assert_eq!(
             rows.len(),
-            isp_workloads::with_sparsemv().len() * FAULT_RATES.len()
+            isp_workloads::full_set().len() * FAULT_RATES.len()
         );
         // Zero wrong answers, at any fault rate, crash or not.
         assert!(

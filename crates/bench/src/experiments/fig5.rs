@@ -45,6 +45,10 @@ pub struct Row {
     pub without_migration_secs: f64,
     /// Whether a migration actually occurred.
     pub migrated: bool,
+    /// Whether the plan put any line on the CSD at all. The wire-format
+    /// decode-on-host regime (e.g. TPC-H-6-gz) legitimately plans
+    /// all-host, and an all-host plan has nothing to migrate.
+    pub offloaded: bool,
     /// Speedup over baseline with migration.
     pub with_speedup: f64,
     /// Speedup over baseline without migration.
@@ -135,6 +139,7 @@ fn run_workload_traced(
         .report
         .time_at_csd_progress(0.5)
         .unwrap_or(reference.report.total_secs * 0.5);
+    let offloaded = !plan.assignment.csd_lines.is_empty();
     let no_mig = ActivePy::with_options(
         ActivePyOptions::default()
             .without_migration()
@@ -158,6 +163,7 @@ fn run_workload_traced(
                 with_migration_secs: with_mig.report.total_secs,
                 without_migration_secs: without_mig.report.total_secs,
                 migrated: with_mig.report.migration.is_some(),
+                offloaded,
                 with_speedup: baseline / with_mig.report.total_secs,
                 without_speedup: baseline / without_mig.report.total_secs,
             }
@@ -167,8 +173,8 @@ fn run_workload_traced(
     rows
 }
 
-/// Runs the full Figure 5 grid (10 workloads × {50 %, 10 %}) with a
-/// private plan cache.
+/// Runs the full Figure 5 grid (every registered workload × {50 %, 10 %})
+/// with a private plan cache.
 ///
 /// # Panics
 ///
@@ -241,7 +247,7 @@ pub fn run_traced(
     workload_filter: Option<&str>,
 ) -> Vec<Row> {
     let counters = RunCounters::default();
-    let per_workload: Vec<Vec<Row>> = isp_workloads::with_sparsemv()
+    let per_workload: Vec<Vec<Row>> = isp_workloads::full_set()
         .into_iter()
         .filter(|w| workload_filter.is_none_or(|f| w.name() == f))
         .map(|w| run_workload_traced(&w, config, cache, &counters, policy, tracer))
@@ -257,7 +263,7 @@ fn run_grid_with(
     counters: &RunCounters,
     policy: ParallelPolicy,
 ) -> Vec<Row> {
-    let per_workload: Vec<Vec<Row>> = crate::sweep::run_grid(isp_workloads::with_sparsemv(), |w| {
+    let per_workload: Vec<Vec<Row>> = crate::sweep::run_grid(isp_workloads::full_set(), |w| {
         run_workload(&w, config, cache, counters, policy)
     });
     // Flatten workload-major results into the figure's availability-major
@@ -291,7 +297,7 @@ pub fn run_serial(config: &SystemConfig) -> Vec<Row> {
 pub fn run_serial_with_backend(config: &SystemConfig, backend: ExecBackend) -> Vec<Row> {
     let mut rows = Vec::new();
     for pct in AVAILABILITY_PCTS {
-        for w in isp_workloads::with_sparsemv() {
+        for w in isp_workloads::full_set() {
             rows.push(run_one_serial(&w, config, pct, backend));
         }
     }
@@ -336,6 +342,7 @@ fn run_one_serial(
         with_migration_secs: with_mig.report.total_secs,
         without_migration_secs: without_mig.report.total_secs,
         migrated: with_mig.report.migration.is_some(),
+        offloaded: !with_mig.assignment.csd_lines.is_empty(),
         with_speedup: baseline / with_mig.report.total_secs,
         without_speedup: baseline / without_mig.report.total_secs,
     }
@@ -433,9 +440,20 @@ mod tests {
             "advantage {} too small",
             s.migration_advantage
         );
-        // Every workload migrated under 10% availability.
+        // Every offloaded workload migrated under 10% availability; only
+        // plans with CSD lines have anything to move. The decode-on-host
+        // wire-format regime is the one legitimate all-host plan.
         let at_ten: Vec<&Row> = rows.iter().filter(|r| r.availability_pct == 10).collect();
-        assert!(at_ten.iter().all(|r| r.migrated), "{at_ten:?}");
+        assert!(
+            at_ten.iter().filter(|r| r.offloaded).all(|r| r.migrated),
+            "{at_ten:?}"
+        );
+        let offloaded = at_ten.iter().filter(|r| r.offloaded).count();
+        assert!(
+            offloaded >= at_ten.len() - 1,
+            "at most one all-host regime expected, {offloaded}/{} offloaded",
+            at_ten.len()
+        );
 
         // 50%: the trade-offs are balanced — migration must not lose on
         // average and losses stay moderate.
@@ -459,7 +477,7 @@ mod tests {
         let cache = PlanCache::new();
         let counters = RunCounters::default();
         let rows = run_with_counters(&config, &cache, &counters);
-        let n = isp_workloads::with_sparsemv().len();
+        let n = isp_workloads::full_set().len();
         assert_eq!(rows.len(), n * AVAILABILITY_PCTS.len());
         assert_eq!(
             counters.baselines.load(Ordering::Relaxed),
@@ -479,7 +497,7 @@ mod tests {
         assert_eq!(stats.hits, 0, "one plan_for call per workload");
         assert_eq!(cache.len(), n);
         // Rows come out availability-major in AVAILABILITY_PCTS order.
-        let workloads = isp_workloads::with_sparsemv();
+        let workloads = isp_workloads::full_set();
         for (level, &pct) in AVAILABILITY_PCTS.iter().enumerate() {
             for (j, w) in workloads.iter().enumerate() {
                 let row = &rows[level * n + j];

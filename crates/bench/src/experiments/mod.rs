@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod adapt;
+pub mod decode;
 pub mod faults;
 pub mod fig2;
 pub mod fig4;

@@ -39,15 +39,18 @@ pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// phase dominates and scales with N. TPC-H-1 fences mid-program at its
 /// `group_sum` and scales only its scan-filter prefix; PageRank's graph
 /// has fewer logical rows than [`alang::shard::SHARD_MIN_ROWS`], so the
-/// auto map replicates everything and the fleet buys nothing — the two
-/// known contrasts the floors exclude.
-pub const WORKLOADS: [&str; 6] = [
+/// auto map replicates everything and the fleet buys nothing — and
+/// LogGrep's encoded streams replicate rather than shard (wire-format
+/// chunks carry no rowwise split), the three known contrasts the floors
+/// exclude.
+pub const WORKLOADS: [&str; 7] = [
     "blackscholes",
     "TPC-H-6",
     "MatrixMul",
     "LightGBM",
     "TPC-H-1",
     "PageRank",
+    "LogGrep",
 ];
 
 /// The subset of [`WORKLOADS`] whose rowwise prefix dominates; [`check`]
@@ -443,15 +446,20 @@ mod tests {
     fn smoke_sweep_holds_invariants_with_one_datagen_per_workload() {
         let cache = PlanCache::new();
         let counters = RunCounters::default();
-        let report = run_configured(&["blackscholes", "PageRank"], &[1, 2], &cache, &counters);
-        assert_eq!(report.rows.len(), 4);
+        let report = run_configured(
+            &["blackscholes", "PageRank", "LogGrep"],
+            &[1, 2],
+            &cache,
+            &counters,
+        );
+        assert_eq!(report.rows.len(), 6);
         assert_eq!(report.fingerprint_divergences, 0);
         assert!(report.rows.iter().all(|r| r.fingerprint_ok));
         // Satellite invariant: the full dataset is generated once per
         // workload and sliced by the ShardMap for every fleet size —
         // including the chaos cell, which reuses blackscholes' plan.
         assert_eq!(
-            report.full_datagens, 2,
+            report.full_datagens, 3,
             "one full-scale datagen per workload across all N"
         );
         let bs2 = report
@@ -481,6 +489,20 @@ mod tests {
             (pr2.speedup - 1.0).abs() < 0.05,
             "a fully replicated workload cannot scale: {:.2}x",
             pr2.speedup
+        );
+        // LogGrep's encoded streams replicate the same way: the sharded
+        // run stays byte-identical but the fleet buys nothing.
+        let lg2 = report
+            .rows
+            .iter()
+            .find(|r| r.name == "LogGrep" && r.shards == 2)
+            .expect("LogGrep N=2 row");
+        assert!(lg2.fingerprint_ok, "{lg2:?}");
+        assert_eq!(lg2.fence, lg2.lines, "encoded datasets never shard");
+        assert!(
+            (lg2.speedup - 1.0).abs() < 0.05,
+            "replicated wire-format workload cannot scale: {:.2}x",
+            lg2.speedup
         );
         // The chaos cell: exactly one shard crashed, it alone migrated,
         // and the answer is byte-identical.

@@ -21,11 +21,15 @@ fn shared_cache_plans_each_workload_once_across_experiments() {
     );
     assert_eq!(after_fig4.hits, 0);
 
-    // fig5 adds only SparseMV; the other ten lookups hit.
+    // fig5 adds SparseMV and the two wire-format workloads; the other
+    // nine lookups hit.
     let fig5 = ex::fig5::run_with(&config, &cache);
-    assert_eq!(fig5.len(), 20);
+    assert_eq!(fig5.len(), 24);
     let after_fig5 = cache.stats();
-    assert_eq!(after_fig5.misses, 10, "only SparseMV is new after fig4");
+    assert_eq!(
+        after_fig5.misses, 12,
+        "only SparseMV, TPC-H-6-gz, and LogGrep are new after fig4"
+    );
     assert_eq!(after_fig5.hits, 9);
 
     // prediction and ablation replay cached plans entirely.
@@ -33,7 +37,7 @@ fn shared_cache_plans_each_workload_once_across_experiments() {
     let _ = ex::ablation::run_with(&config, &cache);
     let stats = cache.stats();
     assert_eq!(
-        stats.misses, 10,
+        stats.misses, 12,
         "no experiment may replan a cached workload"
     );
     assert_eq!(
@@ -41,6 +45,6 @@ fn shared_cache_plans_each_workload_once_across_experiments() {
         9 + 10 + 9,
         "prediction (10) and ablation (9) all hit"
     );
-    assert_eq!(cache.len(), 10);
+    assert_eq!(cache.len(), 12);
     assert!(stats.planning_nanos > 0);
 }

@@ -34,8 +34,9 @@ use alang::copyelim::StaticType;
 use alang::forest::{Forest, Tree, TreeNode};
 use alang::matrix::{Csr, Matrix};
 use alang::table::{Column, Table};
-use alang::value::{ArrayVal, BoolArrayVal};
+use alang::value::{ArrayVal, BoolArrayVal, EncodedVal};
 use alang::{LineCost, Storage, Value};
+use csd_sim::wire::{ByteOrder, Codec, Encoding};
 use isp_obs::wal::{fnv1a, ByteReader, ByteWriter};
 use std::io;
 use std::path::Path;
@@ -192,6 +193,7 @@ fn static_type_code(t: StaticType) -> u8 {
         StaticType::Csr => 7,
         StaticType::Forest => 8,
         StaticType::Unknown => 9,
+        StaticType::Encoded => 10,
     }
 }
 
@@ -207,6 +209,7 @@ fn static_type_from(code: u8) -> Result<StaticType, String> {
         7 => StaticType::Csr,
         8 => StaticType::Forest,
         9 => StaticType::Unknown,
+        10 => StaticType::Encoded,
         other => return Err(format!("unknown static type code {other}")),
     })
 }
@@ -384,7 +387,60 @@ fn enc_value(w: &mut ByteWriter, v: &Value) {
                 }
             }
         }
+        Value::Encoded(e) => {
+            w.u8(9);
+            enc_encoding(w, e.encoding());
+            w.u64(e.logical_len());
+            w.u64(e.encoded_logical_bytes());
+            w.u32(e.actual_len() as u32);
+            w.u32(e.chunks().len() as u32);
+            for chunk in e.chunks() {
+                w.bytes(chunk);
+            }
+        }
     }
+}
+
+fn enc_encoding(w: &mut ByteWriter, enc: &Encoding) {
+    w.u8(match enc.codec {
+        Codec::Gzip => 0,
+        Codec::Zlib => 1,
+        Codec::None => 2,
+    });
+    w.bool(enc.shuffle);
+    w.u8(match enc.byte_order {
+        ByteOrder::Little => 0,
+        ByteOrder::Big => 1,
+    });
+    match enc.fill_value {
+        None => w.bool(false),
+        Some(f) => {
+            w.bool(true);
+            w.f64(f);
+        }
+    }
+}
+
+fn dec_encoding(r: &mut ByteReader<'_>) -> Result<Encoding, String> {
+    let codec = match r.u8()? {
+        0 => Codec::Gzip,
+        1 => Codec::Zlib,
+        2 => Codec::None,
+        other => return Err(format!("unknown codec tag {other}")),
+    };
+    let shuffle = r.bool()?;
+    let byte_order = match r.u8()? {
+        0 => ByteOrder::Little,
+        1 => ByteOrder::Big,
+        other => return Err(format!("unknown byte-order tag {other}")),
+    };
+    let fill_value = if r.bool()? { Some(r.f64()?) } else { None };
+    Ok(Encoding {
+        codec,
+        shuffle,
+        byte_order,
+        fill_value,
+    })
 }
 
 fn dec_value(r: &mut ByteReader<'_>) -> Result<Value, String> {
@@ -522,6 +578,24 @@ fn dec_value(r: &mut ByteReader<'_>) -> Result<Value, String> {
             }
             Value::Forest(Forest::new(trees, features).map_err(err_str)?)
         }
+        9 => {
+            let encoding = dec_encoding(r)?;
+            let logical_len = r.u64()?;
+            let encoded_logical_bytes = r.u64()?;
+            let actual_len = r.u32()? as usize;
+            let nchunks = r.u32()? as usize;
+            let mut chunks = Vec::with_capacity(nchunks);
+            for _ in 0..nchunks {
+                chunks.push(r.bytes()?);
+            }
+            Value::Encoded(EncodedVal::from_parts(
+                encoding,
+                chunks,
+                actual_len,
+                logical_len,
+                encoded_logical_bytes,
+            ))
+        }
         other => return Err(format!("unknown value tag {other}")),
     })
 }
@@ -603,6 +677,20 @@ mod tests {
         let m = Matrix::with_logical(vec![0.0, 1.0, 2.0, 0.0], 2, 2, 100, 100).expect("matrix");
         st.insert("csr", Value::Csr(m.to_csr()));
         st.insert("mat", Value::Matrix(m));
+        let wire: Vec<f64> = (0..5000).map(|i| f64::from(i % 13)).collect();
+        st.insert(
+            "wire",
+            Value::Encoded(EncodedVal::from_f64s(
+                Encoding {
+                    codec: Codec::Gzip,
+                    shuffle: true,
+                    byte_order: ByteOrder::Big,
+                    fill_value: Some(-9999.0),
+                },
+                &wire,
+                5_000_000,
+            )),
+        );
         st.insert(
             "model",
             Value::Forest(
@@ -634,6 +722,7 @@ mod tests {
         let mut dataset_types = alang::copyelim::DatasetTypes::new();
         dataset_types.insert("arr".into(), StaticType::Array);
         dataset_types.insert("tab".into(), StaticType::Table);
+        dataset_types.insert("wire".into(), StaticType::Encoded);
         SamplingReport {
             lines: vec![LineSamples {
                 line: 0,

@@ -201,7 +201,10 @@ impl PlanCache {
         input: &dyn InputSource,
         config: &SystemConfig,
     ) -> Result<Arc<OffloadPlan>> {
-        let key = (name.to_string(), Self::fingerprint(runtime, config));
+        let key = (
+            name.to_string(),
+            Self::fingerprint(runtime, config, input.wire_fingerprint()),
+        );
         let tracer = &runtime.options().tracer;
         let version = self.profiles.version(&key);
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
@@ -278,11 +281,15 @@ impl PlanCache {
         &self,
         runtime: &ActivePy,
         name: &str,
+        input: &dyn InputSource,
         config: &SystemConfig,
     ) -> ProfileRecorder {
         ProfileRecorder::to_store(
             Arc::clone(&self.profiles),
-            (name.to_string(), Self::fingerprint(runtime, config)),
+            (
+                name.to_string(),
+                Self::fingerprint(runtime, config, input.wire_fingerprint()),
+            ),
         )
     }
 
@@ -308,7 +315,7 @@ impl PlanCache {
     ) -> Result<Arc<ShardedPlan>> {
         let key = (
             name.to_string(),
-            Self::fingerprint(runtime, config),
+            Self::fingerprint(runtime, config, input.wire_fingerprint()),
             map.fingerprint(),
         );
         {
@@ -368,8 +375,16 @@ impl PlanCache {
     /// [`ProfileStore`] key, and the identity persisted warm-start seeds
     /// are matched against.
     #[must_use]
-    pub fn key_for(runtime: &ActivePy, name: &str, config: &SystemConfig) -> ProfileKey {
-        (name.to_string(), Self::fingerprint(runtime, config))
+    pub fn key_for(
+        runtime: &ActivePy,
+        name: &str,
+        input: &dyn InputSource,
+        config: &SystemConfig,
+    ) -> ProfileKey {
+        (
+            name.to_string(),
+            Self::fingerprint(runtime, config, input.wire_fingerprint()),
+        )
     }
 
     /// Persists this cache's warm-start state to `path`: for every cached
@@ -429,12 +444,17 @@ impl PlanCache {
     }
 
     /// FNV-1a over the `Debug` forms of the platform config and the
-    /// planning-relevant options. `Debug` output of the plain-data config
-    /// structs is deterministic, which is all a cache key needs.
-    fn fingerprint(runtime: &ActivePy, config: &SystemConfig) -> u64 {
+    /// planning-relevant options, plus the input's declared wire-format
+    /// fingerprint ([`InputSource::wire_fingerprint`]) — re-encoding a
+    /// dataset (codec, shuffle, byte order, fill sentinel) changes
+    /// decode costs and therefore invalidates cached plans, without the
+    /// key ever needing to materialize storage (warm starts stay
+    /// zero-datagen). `Debug` output of the plain-data config structs is
+    /// deterministic, which is all a cache key needs.
+    fn fingerprint(runtime: &ActivePy, config: &SystemConfig, wire: u64) -> u64 {
         let opts = runtime.options();
         let text = format!(
-            "{config:?}|{:?}|{:?}|{:?}",
+            "{config:?}|{:?}|{:?}|{:?}|wire:{wire:#x}",
             opts.scales, opts.params, opts.backend
         );
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -666,7 +686,7 @@ mod tests {
         assert_eq!(cache.stats().refits, 0, "empty profiles must be inert");
         // Record one measured run through the cache's own recorder; the
         // next lookup must refit exactly once.
-        let recorder = cache.recorder_for(&rt, "w", &config);
+        let recorder = cache.recorder_for(&rt, "w", &input(), &config);
         let measured: Vec<alang::LineCost> = cold
             .program
             .lines()
@@ -725,7 +745,7 @@ mod tests {
             .expect("cold run");
         // Feed the *actual* measured costs back, as execute() would with a
         // live recorder, then refit.
-        let recorder = cache.recorder_for(&rt, "w", &config);
+        let recorder = cache.recorder_for(&rt, "w", &input(), &config);
         let mut measured = vec![alang::LineCost::zero(); cold.program.len()];
         for l in &cold_run.report.lines {
             measured[l.line] = l.cost;

@@ -27,6 +27,17 @@ use serde::{Deserialize, Serialize};
 pub trait InputSource {
     /// Materializes the named datasets at the given scale.
     fn storage_at(&self, scale: f64) -> Storage;
+
+    /// Combined fingerprint of the wire-format encodings this source
+    /// declares for its datasets, `0` when everything is served as plain
+    /// in-memory values.
+    ///
+    /// Folded into plan-cache keys so plans for differently-encoded
+    /// inputs never collide — and answerable *without* materializing
+    /// storage, preserving the zero-datagen warm-start path.
+    fn wire_fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 impl<F: Fn(f64) -> Storage> InputSource for F {
@@ -202,6 +213,7 @@ fn observe_type(v: &Value) -> StaticType {
         Value::Matrix(_) => StaticType::Matrix,
         Value::Csr(_) => StaticType::Csr,
         Value::Forest(_) => StaticType::Forest,
+        Value::Encoded(_) => StaticType::Encoded,
     }
 }
 

@@ -45,6 +45,7 @@ pub mod memory;
 pub mod nvme;
 pub mod system;
 pub mod units;
+pub mod wire;
 
 pub use config::SystemConfig;
 pub use contention::ContentionScenario;

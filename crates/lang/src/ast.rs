@@ -151,12 +151,15 @@ impl Expr {
         }
     }
 
-    /// Whether the expression contains a `scan(...)` (stored-data access).
+    /// Whether the expression contains a `scan(...)` or `scan_raw(...)`
+    /// (stored-data access).
     #[must_use]
     pub fn contains_scan(&self) -> bool {
         match self {
             Expr::Num(_) | Expr::Str(_) | Expr::Ident(_) => false,
-            Expr::Call { name, args } => name == "scan" || args.iter().any(Expr::contains_scan),
+            Expr::Call { name, args } => {
+                name == "scan" || name == "scan_raw" || args.iter().any(Expr::contains_scan)
+            }
             Expr::Binary { lhs, rhs, .. } => lhs.contains_scan() || rhs.contains_scan(),
             Expr::Unary { expr, .. } => expr.contains_scan(),
         }

@@ -55,6 +55,14 @@ pub mod weights {
     pub const ERF: u64 = 30;
     /// Elementwise select (`where`, `select`).
     pub const SELECT: u64 = 2;
+    /// Per *encoded* byte of DEFLATE stream inflated by `decode`
+    /// (Huffman walk + LZ77 copy).
+    pub const INFLATE_BYTE: u64 = 6;
+    /// Per *decoded* byte moved by the un-shuffle transpose.
+    pub const SHUFFLE_BYTE: u64 = 1;
+    /// Per element of `decode` byte-assembly work (bit-pattern load;
+    /// charged again for a byte swap and again for a fill-value check).
+    pub const DECODE_ELEM: u64 = 1;
 }
 
 /// Named stored datasets visible to `scan`.
@@ -156,6 +164,8 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "gather",
     "frob",
     "gram",
+    "scan_raw",
+    "decode",
 ];
 
 /// Execution context handed to every kernel: the stored datasets plus the
@@ -311,6 +321,14 @@ static KERNELS: &[Kernel] = &[
         name: "gram",
         func: k_gram,
     },
+    Kernel {
+        name: "scan_raw",
+        func: k_scan_raw,
+    },
+    Kernel {
+        name: "decode",
+        func: k_decode,
+    },
 ];
 
 /// Dense identifier of a builtin kernel: an index into the dispatch table,
@@ -347,15 +365,19 @@ impl KernelId {
     }
 
     /// Whether calls to this kernel charge an output-copy to the cost model
-    /// (`scan` is the only exception: it streams from storage instead).
+    /// (the two scan forms are the exceptions: they stream from storage
+    /// instead).
     #[must_use]
     pub fn charges_copy(self) -> bool {
-        self.0 != SCAN_INDEX
+        self.0 != SCAN_INDEX && self.0 != SCAN_RAW_INDEX
     }
 }
 
 /// Index of `scan` in [`KERNELS`] (asserted by the alignment test).
 const SCAN_INDEX: u16 = 0;
+
+/// Index of `scan_raw` in [`KERNELS`] (asserted by the alignment test).
+const SCAN_RAW_INDEX: u16 = 30;
 
 /// Kernel names sorted for binary-search resolution, each carrying its
 /// index into the (insertion-ordered) dispatch table.
@@ -411,13 +433,107 @@ pub fn call_in(name: &str, args: &[Value], ctx: &KernelCtx<'_>) -> Result<Builti
 
 fn k_scan(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
     let [a] = expect_args::<1>("scan", args)?;
-    let value = ctx.storage.get(a.as_str()?)?.clone();
+    let name = a.as_str()?;
+    let value = ctx.storage.get(name)?.clone();
+    if matches!(value, Value::Encoded(_)) {
+        return Err(LangError::type_error(format!(
+            "scan: dataset `{name}` is wire-encoded; use scan_raw + decode"
+        )));
+    }
     let bytes = value.virtual_bytes();
     Ok(BuiltinOutput {
         value,
         ops: 0,
         storage_bytes: bytes,
     })
+}
+
+fn k_scan_raw(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    // Reads a dataset *without* decoding: the result is the encoded byte
+    // stream, so only `Encoding::encoded_logical_bytes` move off flash
+    // and the decode stage becomes a separately placeable line.
+    let [a] = expect_args::<1>("scan_raw", args)?;
+    let name = a.as_str()?;
+    let value = ctx.storage.get(name)?.clone();
+    if !matches!(value, Value::Encoded(_)) {
+        return Err(LangError::type_error(format!(
+            "scan_raw: dataset `{name}` is not wire-encoded; use scan"
+        )));
+    }
+    let bytes = value.virtual_bytes();
+    Ok(BuiltinOutput {
+        value,
+        ops: 0,
+        storage_bytes: bytes,
+    })
+}
+
+fn k_decode(args: &[Value], ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
+    use csd_sim::wire::Codec;
+
+    let [a] = expect_args::<1>("decode", args)?;
+    let e = a.as_encoded()?;
+    let encoding = *e.encoding();
+    let chunks = e.chunks();
+    // One encoded chunk per grid chunk: decode parallelizes over exactly
+    // the deterministic ENCODED_CHUNK_ELEMS boundaries the value was
+    // encoded on, and decoding is exact, so chunk-ordered concat is
+    // bit-identical to the serial loop at any thread count.
+    let decode_range = |range: std::ops::Range<usize>| -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(range.len() * crate::value::ENCODED_CHUNK_ELEMS);
+        for chunk in &chunks[range] {
+            out.extend(encoding.decode(chunk).map_err(LangError::type_error)?);
+        }
+        Ok(out)
+    };
+    let data: Vec<f64> =
+        match ctx
+            .par
+            .map_chunks(chunks.len(), crate::value::ENCODED_CHUNK_ELEMS, |_, r| {
+                decode_range(r)
+            }) {
+            Some(parts) => {
+                let mut data = Vec::with_capacity(e.actual_len());
+                for part in parts {
+                    data.extend(part?);
+                }
+                data
+            }
+            None => decode_range(0..chunks.len())?,
+        };
+    let logical = e.logical_len();
+    // Analytic cost per feature actually present in the encoding: the
+    // inflate walk is priced per *encoded* byte, the un-shuffle per
+    // decoded byte, byte swap and fill check per element.
+    let mut ops = logical * weights::DECODE_ELEM;
+    if matches!(encoding.codec, Codec::Gzip | Codec::Zlib) {
+        ops += e.encoded_logical_bytes() * weights::INFLATE_BYTE;
+    }
+    if encoding.shuffle {
+        ops += logical * 8 * weights::SHUFFLE_BYTE;
+    }
+    if encoding.byte_order == csd_sim::wire::ByteOrder::Big {
+        ops += logical * weights::DECODE_ELEM;
+    }
+    if encoding.fill_value.is_some() {
+        ops += logical * weights::DECODE_ELEM;
+    }
+    let tracer = ctx.par.tracer();
+    tracer.counter_add("kernel.decode.calls", 1);
+    tracer.counter_add("kernel.decode.bytes_in", e.encoded_actual_bytes());
+    tracer.counter_add("kernel.decode.bytes_out", data.len() as u64 * 8);
+    tracer.counter_add(
+        match encoding.codec {
+            Codec::Gzip => "kernel.decode.codec.gzip",
+            Codec::Zlib => "kernel.decode.codec.zlib",
+            Codec::None => "kernel.decode.codec.none",
+        },
+        1,
+    );
+    Ok(BuiltinOutput::new(
+        Value::Array(ArrayVal::with_logical(data, logical)),
+        ops,
+    ))
 }
 
 fn k_col(args: &[Value], _ctx: &KernelCtx<'_>) -> Result<BuiltinOutput> {
@@ -740,8 +856,8 @@ fn reduce(name: &str, args: &[Value], par: &ParEngine) -> Result<BuiltinOutput> 
         // identical at any thread count.
         "sum" => par.sum(data) * ratio,
         "mean" => par.sum(data) / data.len() as f64,
-        "minv" => par.fold(data, f64::INFINITY, f64::min),
-        "maxv" => par.fold(data, f64::NEG_INFINITY, f64::max),
+        "minv" => par.min(data),
+        "maxv" => par.max(data),
         _ => unreachable!("reduce called with {name}"),
     };
     Ok(BuiltinOutput::new(
@@ -1221,6 +1337,80 @@ mod tests {
         let out = call("gram", &[m], &st).expect("gram");
         let g = out.value.as_matrix().expect("g");
         assert_eq!(g.data(), &[10.0, 14.0, 14.0, 20.0]);
+    }
+
+    #[test]
+    fn scan_raw_and_decode_round_trip_encoded_datasets() {
+        use crate::value::EncodedVal;
+        use csd_sim::wire::Encoding;
+
+        let data: Vec<f64> = (0..10_000).map(|i| ((i * 31) % 257) as f64 * 0.5).collect();
+        let mut st = Storage::new();
+        st.insert(
+            "wire",
+            Value::Encoded(EncodedVal::from_f64s(
+                Encoding::gzip_shuffled(),
+                &data,
+                10_000_000,
+            )),
+        );
+        st.insert("plain", arr_logical(data.clone(), 10_000_000));
+
+        // scan_raw streams the *encoded* bytes — far fewer than the
+        // decoded 8 B/elem — and scan refuses encoded datasets.
+        let raw = call("scan_raw", &[Value::Str("wire".into())], &st).expect("scan_raw");
+        let plain = call("scan", &[Value::Str("plain".into())], &st).expect("scan");
+        assert!(raw.storage_bytes * 2 < plain.storage_bytes);
+        assert!(call("scan", &[Value::Str("wire".into())], &st).is_err());
+        assert!(call("scan_raw", &[Value::Str("plain".into())], &st).is_err());
+
+        // decode restores the exact f64s and charges inflate + shuffle ops.
+        let out = call("decode", std::slice::from_ref(&raw.value), &st).expect("decode");
+        assert_eq!(out.value.as_array().expect("arr").data(), &data[..]);
+        assert_eq!(out.value.as_array().expect("arr").logical_len(), 10_000_000);
+        assert!(out.ops > 10_000_000 * weights::SHUFFLE_BYTE * 8);
+        assert_eq!(out.storage_bytes, 0);
+        assert!(call("decode", &[Value::Num(1.0)], &st).is_err());
+    }
+
+    #[test]
+    fn decode_is_bit_identical_across_thread_counts() {
+        use crate::par::ParallelPolicy;
+        use crate::value::EncodedVal;
+        use csd_sim::wire::{ByteOrder, Codec, Encoding};
+
+        let data: Vec<f64> = (0..20_000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.5 - 20.0)
+            .collect();
+        let st = Storage::new();
+        for encoding in [
+            Encoding::gzip_shuffled(),
+            Encoding {
+                codec: Codec::Zlib,
+                shuffle: false,
+                byte_order: ByteOrder::Big,
+                fill_value: Some(-15.0),
+            },
+            Encoding::raw(),
+        ] {
+            let arg = [Value::Encoded(EncodedVal::from_f64s(
+                encoding, &data, 2_000_000,
+            ))];
+            let mut outputs = Vec::new();
+            for threads in [1usize, 2, 4, 8] {
+                let engine = ParEngine::new(ParallelPolicy::new(threads, 512).expect("policy"));
+                let ctx = KernelCtx {
+                    storage: &st,
+                    par: &engine,
+                };
+                let out = call_in("decode", &arg, &ctx).expect("decode");
+                outputs.push((threads, format!("{out:?}")));
+            }
+            let (_, reference) = &outputs[0];
+            for (threads, repr) in &outputs[1..] {
+                assert_eq!(repr, reference, "decode differs at {threads} threads");
+            }
+        }
     }
 
     #[test]

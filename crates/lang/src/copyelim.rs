@@ -38,6 +38,8 @@ pub enum StaticType {
     Csr,
     /// Forest model.
     Forest,
+    /// Wire-format encoded bulk data (not yet decoded).
+    Encoded,
     /// Not statically determinable.
     Unknown,
 }
@@ -54,6 +56,7 @@ impl StaticType {
                 | StaticType::Matrix
                 | StaticType::Csr
                 | StaticType::Forest
+                | StaticType::Encoded
         )
     }
 }
@@ -145,12 +148,12 @@ fn builtin_return_type(
     datasets: &DatasetTypes,
 ) -> StaticType {
     match name {
-        "scan" => match args.first() {
+        "scan" | "scan_raw" => match args.first() {
             Some(Expr::Str(ds)) => datasets.get(ds).copied().unwrap_or(StaticType::Unknown),
             _ => StaticType::Unknown,
         },
         "col" | "select" | "sort" | "where" | "spmv" | "pagerank_step" | "kmeans_assign"
-        | "forest_score" | "gather" => StaticType::Array,
+        | "forest_score" | "gather" | "decode" => StaticType::Array,
         "exp" | "log" | "sqrt" | "erf" | "abs" => {
             arg_types.first().copied().unwrap_or(StaticType::Unknown)
         }
@@ -186,7 +189,7 @@ fn scan_types_known(expr: &Expr, datasets: &DatasetTypes) -> bool {
     match expr {
         Expr::Num(_) | Expr::Str(_) | Expr::Ident(_) => true,
         Expr::Call { name, args } => {
-            let self_ok = if name == "scan" {
+            let self_ok = if name == "scan" || name == "scan_raw" {
                 matches!(args.first(), Some(Expr::Str(ds))
                     if datasets.get(ds).is_some_and(|t| *t != StaticType::Unknown))
             } else {

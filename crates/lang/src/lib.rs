@@ -53,6 +53,7 @@ pub mod par;
 pub mod parser;
 mod pool;
 pub mod shard;
+pub mod simd;
 pub mod table;
 pub mod token;
 pub mod value;

@@ -266,7 +266,7 @@ impl Lowerer {
             kernel,
             args_start,
             args_len,
-            charge_copy: kernel.name() != "scan",
+            charge_copy: kernel.charges_copy(),
         })
     }
 

@@ -22,6 +22,7 @@
 //! serial fast path for small arrays.
 
 use crate::pool;
+use crate::simd;
 use isp_obs::{SpanKind, Tracer};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -212,6 +213,15 @@ impl ParEngine {
         self.tracer = tracer;
     }
 
+    /// The attached tracer (disabled by default). Kernels use it to
+    /// publish kernel-level counters — e.g. the decode kernel's
+    /// `kernel.decode.*` byte and codec counters — without threading a
+    /// second handle through [`crate::builtins::KernelCtx`].
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// A fresh serial engine.
     #[must_use]
     pub fn serial() -> Self {
@@ -325,14 +335,15 @@ impl ParEngine {
     }
 
     /// Chunk-ordered sum of `f(x)` over `data` (serial fallback below
-    /// the engagement threshold).
+    /// the engagement threshold). The engaged in-chunk body runs the
+    /// [`crate::simd`] lane kernel — bit-identical at every thread count
+    /// because the chunk grid and the in-chunk lane order are both fixed
+    /// by shape alone.
     pub fn sum_by<F>(&self, data: &[f64], f: F) -> f64
     where
         F: Fn(f64) -> f64 + Sync,
     {
-        match self.map_chunks(data.len(), 1, |_, r| {
-            data[r].iter().map(|x| f(*x)).sum::<f64>()
-        }) {
+        match self.map_chunks(data.len(), 1, |_, r| simd::sum8_by(&data[r], &f)) {
             Some(partials) => partials.into_iter().sum(),
             None => data.iter().map(|x| f(*x)).sum(),
         }
@@ -357,18 +368,39 @@ impl ParEngine {
         }
     }
 
-    /// Chunk-ordered dot product; caller guarantees equal lengths.
+    /// Chunk-ordered dot product; caller guarantees equal lengths. The
+    /// engaged in-chunk body runs the [`crate::simd`] lane kernel.
     pub fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        match self.map_chunks(a.len(), 1, |_, r| {
-            a[r.clone()]
-                .iter()
-                .zip(&b[r])
-                .map(|(x, y)| x * y)
-                .sum::<f64>()
-        }) {
+        match self.map_chunks(a.len(), 1, |_, r| simd::dot8(&a[r.clone()], &b[r])) {
             Some(partials) => partials.into_iter().sum(),
             None => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+        }
+    }
+
+    /// Chunk-ordered minimum of `data` (`+inf` on empty input). The
+    /// engaged path runs the [`crate::simd`] lane kernel per chunk and
+    /// combines chunk partials with `f64::min` in chunk order; the
+    /// serial fallback is the exact `fold(+inf, f64::min)` this call
+    /// replaces at `reduce("minv")` call sites, so below-threshold
+    /// results are byte-for-byte unchanged.
+    #[must_use]
+    pub fn min(&self, data: &[f64]) -> f64 {
+        match self.map_chunks(data.len(), 1, |_, r| simd::min8(&data[r], f64::INFINITY)) {
+            Some(partials) => partials.into_iter().fold(f64::INFINITY, f64::min),
+            None => data.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        }
+    }
+
+    /// Chunk-ordered maximum of `data` (`-inf` on empty input); the
+    /// mirror of [`Self::min`].
+    #[must_use]
+    pub fn max(&self, data: &[f64]) -> f64 {
+        match self.map_chunks(data.len(), 1, |_, r| {
+            simd::max8(&data[r], f64::NEG_INFINITY)
+        }) {
+            Some(partials) => partials.into_iter().fold(f64::NEG_INFINITY, f64::max),
+            None => data.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
         }
     }
 

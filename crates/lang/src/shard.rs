@@ -365,7 +365,7 @@ pub struct ShardAnalysis {
 }
 
 /// Elementwise builtins: output rows align with the (any) sharded input.
-const ELEMENTWISE: [&str; 6] = ["exp", "log", "sqrt", "erf", "abs", "where"];
+const ELEMENTWISE: [&str; 7] = ["exp", "log", "sqrt", "erf", "abs", "where", "decode"];
 
 /// Builtins whose output is row-aligned with their *first* argument;
 /// remaining arguments must be replicated (the sharded lhs of `matmul`,
@@ -404,7 +404,10 @@ fn class_of(expr: &Expr, sharded_vars: &BTreeSet<String>, map: &ShardMap) -> Opt
                 .collect();
             let classes = classes?;
             let any_sharded = classes.contains(&Sharded);
-            if name == "scan" {
+            if name == "scan" || name == "scan_raw" {
+                // Encoded datasets are never sharded (ShardMap::auto
+                // replicates Value::Encoded), so scan_raw follows the
+                // same source-name rule and lands on Replicated.
                 return Some(match args.first() {
                     Some(Expr::Str(source)) if map.is_sharded(source) => Sharded,
                     _ => Replicated,

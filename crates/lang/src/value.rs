@@ -12,8 +12,157 @@ use crate::error::{LangError, Result};
 use crate::forest::Forest;
 use crate::matrix::{Csr, Matrix};
 use crate::table::Table;
+use csd_sim::wire::Encoding;
 use std::fmt;
 use std::sync::Arc;
+
+/// Elements per independently-encoded chunk of an [`EncodedVal`].
+///
+/// Matches the parallel engine's chunk grid, so decode parallelizes over
+/// the same deterministic chunk boundaries every other kernel uses, and a
+/// journaled run replays each chunk's bytes exactly.
+pub const ENCODED_CHUNK_ELEMS: usize = 4096;
+
+/// A bulk numeric value still in its on-storage wire format.
+///
+/// The materialized sample is held as independently-encoded
+/// [`ENCODED_CHUNK_ELEMS`]-element chunks (so decode can run under the
+/// chunk grid), while `logical_len` and `encoded_logical_bytes` describe
+/// the paper-scale dataset: the logical byte volume is the materialized
+/// compression ratio extrapolated to the logical length, so Eq. 1 prices
+/// moving the *encoded* stream, not the decoded array it stands for.
+#[derive(Debug, Clone)]
+pub struct EncodedVal {
+    encoding: Encoding,
+    chunks: Arc<Vec<Vec<u8>>>,
+    actual_len: usize,
+    logical_len: u64,
+    encoded_logical_bytes: u64,
+}
+
+impl PartialEq for EncodedVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.encoding == other.encoding
+            && self.logical_len == other.logical_len
+            && self.actual_len == other.actual_len
+            && (Arc::ptr_eq(&self.chunks, &other.chunks) || self.chunks == other.chunks)
+    }
+}
+
+impl EncodedVal {
+    /// Encodes a materialized sample standing for `logical_len`
+    /// paper-scale elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_len` is smaller than the materialized length.
+    #[must_use]
+    pub fn from_f64s(encoding: Encoding, data: &[f64], logical_len: u64) -> Self {
+        assert!(
+            logical_len >= data.len() as u64,
+            "logical length must cover the materialized data"
+        );
+        let chunks: Vec<Vec<u8>> = data
+            .chunks(ENCODED_CHUNK_ELEMS)
+            .map(|c| encoding.encode(c))
+            .collect();
+        let actual_bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        // Extrapolate the sample's real compression ratio to paper scale.
+        let encoded_logical_bytes = if data.is_empty() {
+            0
+        } else {
+            let ratio = logical_len as f64 / data.len() as f64;
+            (actual_bytes as f64 * ratio).round() as u64
+        };
+        EncodedVal {
+            encoding,
+            chunks: Arc::new(chunks),
+            actual_len: data.len(),
+            logical_len,
+            encoded_logical_bytes,
+        }
+    }
+
+    /// Reassembles an encoded value from serialized parts (warm-start
+    /// persistence). The chunks must have been produced by
+    /// `encoding.encode` over [`ENCODED_CHUNK_ELEMS`]-element slices;
+    /// byte-level round trips are exact because encoding is
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_len` is smaller than `actual_len`.
+    #[must_use]
+    pub fn from_parts(
+        encoding: Encoding,
+        chunks: Vec<Vec<u8>>,
+        actual_len: usize,
+        logical_len: u64,
+        encoded_logical_bytes: u64,
+    ) -> Self {
+        assert!(
+            logical_len >= actual_len as u64,
+            "logical length must cover the materialized data"
+        );
+        EncodedVal {
+            encoding,
+            chunks: Arc::new(chunks),
+            actual_len,
+            logical_len,
+            encoded_logical_bytes,
+        }
+    }
+
+    /// The wire-format descriptor.
+    #[must_use]
+    pub fn encoding(&self) -> &Encoding {
+        &self.encoding
+    }
+
+    /// The encoded chunks (each covers [`ENCODED_CHUNK_ELEMS`] decoded
+    /// elements, except a shorter tail).
+    #[must_use]
+    pub fn chunks(&self) -> &[Vec<u8>] {
+        &self.chunks
+    }
+
+    /// Materialized (decoded) element count.
+    #[must_use]
+    pub fn actual_len(&self) -> usize {
+        self.actual_len
+    }
+
+    /// Logical (paper-scale) decoded element count.
+    #[must_use]
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// Paper-scale size of the *encoded* stream in bytes.
+    #[must_use]
+    pub fn encoded_logical_bytes(&self) -> u64 {
+        self.encoded_logical_bytes
+    }
+
+    /// Materialized size of the encoded stream in bytes.
+    #[must_use]
+    pub fn encoded_actual_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Decodes every chunk serially.
+    ///
+    /// # Errors
+    ///
+    /// Returns a corruption description from the wire layer.
+    pub fn decode_all(&self) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.actual_len);
+        for chunk in self.chunks.iter() {
+            out.extend(self.encoding.decode(chunk).map_err(LangError::type_error)?);
+        }
+        Ok(out)
+    }
+}
 
 /// A 1-D array of `f64` with a logical length.
 #[derive(Debug, Clone)]
@@ -190,6 +339,8 @@ pub enum Value {
     Csr(Csr),
     /// Decision-tree forest model.
     Forest(Forest),
+    /// Bulk numeric data still in its on-storage wire format.
+    Encoded(EncodedVal),
 }
 
 impl Value {
@@ -206,6 +357,7 @@ impl Value {
             Value::Matrix(_) => "matrix",
             Value::Csr(_) => "csr",
             Value::Forest(_) => "forest",
+            Value::Encoded(_) => "encoded",
         }
     }
 
@@ -228,6 +380,10 @@ impl Value {
             Value::Matrix(m) => m.virtual_bytes(),
             Value::Csr(c) => c.virtual_bytes(),
             Value::Forest(f) => f.virtual_bytes(),
+            // Moving an encoded value moves the compressed stream — this
+            // asymmetry against the decoded Array is exactly what makes
+            // decode placement a profitable axis for Eq. 1.
+            Value::Encoded(e) => e.encoded_logical_bytes(),
         }
     }
 
@@ -243,6 +399,7 @@ impl Value {
             Value::Matrix(m) => m.logical_rows() * m.logical_cols(),
             Value::Csr(c) => c.logical_nnz(),
             Value::Forest(f) => f.node_count() as u64,
+            Value::Encoded(e) => e.logical_len(),
         }
     }
 
@@ -353,6 +510,18 @@ impl Value {
             other => Err(type_err("forest", other)),
         }
     }
+
+    /// Extracts a wire-format encoded value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for other values.
+    pub fn as_encoded(&self) -> Result<&EncodedVal> {
+        match self {
+            Value::Encoded(e) => Ok(e),
+            other => Err(type_err("encoded", other)),
+        }
+    }
 }
 
 fn type_err(wanted: &str, got: &Value) -> LangError {
@@ -375,6 +544,13 @@ impl fmt::Display for Value {
             Value::Matrix(m) => write!(f, "{m}"),
             Value::Csr(c) => write!(f, "{c}"),
             Value::Forest(fr) => write!(f, "{fr}"),
+            Value::Encoded(e) => write!(
+                f,
+                "encoded[{}B for {} elems (logical {})]",
+                e.encoded_actual_bytes(),
+                e.actual_len(),
+                e.logical_len()
+            ),
         }
     }
 }
@@ -458,6 +634,36 @@ mod tests {
         let msg = format!("{}", Value::from(true).as_num().unwrap_err());
         assert!(msg.contains("expected num"));
         assert!(msg.contains("bool"));
+    }
+
+    #[test]
+    fn encoded_values_extrapolate_compressed_bytes() {
+        let data: Vec<f64> = (0..6000).map(|i| f64::from(i % 97)).collect();
+        let e = EncodedVal::from_f64s(Encoding::gzip_shuffled(), &data, 6_000_000);
+        // 6000 elems at 4096/chunk -> 2 chunks.
+        assert_eq!(e.chunks().len(), 2);
+        assert_eq!(e.actual_len(), 6000);
+        let v = Value::Encoded(e.clone());
+        assert!(v.is_bulk());
+        assert_eq!(v.logical_elems(), 6_000_000);
+        // Compressible data: encoded logical bytes are far below the
+        // 8 B/elem a decoded Array would report, and the extrapolation
+        // preserves the materialized ratio.
+        assert!(v.virtual_bytes() < 6_000_000 * 8 / 4);
+        let ratio = e.encoded_logical_bytes() as f64 / e.encoded_actual_bytes() as f64;
+        assert!((ratio - 1000.0).abs() < 1.0);
+        // Decode returns the original data.
+        assert_eq!(e.decode_all().expect("decodes"), data);
+        assert_eq!(v.as_encoded().expect("encoded").actual_len(), 6000);
+        assert!(Value::Num(1.0).as_encoded().is_err());
+        // Equality: clone (shared chunks) and a re-encode both compare
+        // equal; a different encoding does not.
+        assert_eq!(e, e.clone());
+        assert_eq!(
+            e,
+            EncodedVal::from_f64s(Encoding::gzip_shuffled(), &data, 6_000_000)
+        );
+        assert_ne!(e, EncodedVal::from_f64s(Encoding::raw(), &data, 6_000_000));
     }
 
     #[test]

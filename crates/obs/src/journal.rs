@@ -572,6 +572,37 @@ pub fn summarize(journal: &Journal, top_n: usize) -> String {
     // Counter footer.
     if let Some(metrics) = &journal.metrics {
         if let Some(counters) = metrics.get("counters").and_then(JsonValue::as_obj) {
+            // Wire-format decode footer: the kernel.decode.* counters
+            // folded into one block of decode arithmetic.
+            let named = |name: &str| -> u64 {
+                counters
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_u64())
+                    .unwrap_or(0)
+            };
+            let calls = named("kernel.decode.calls");
+            if calls > 0 {
+                let bytes_in = named("kernel.decode.bytes_in");
+                let bytes_out = named("kernel.decode.bytes_out");
+                let _ = writeln!(out, "\ndecode kernels:");
+                let _ = writeln!(
+                    out,
+                    "  calls={calls} encoded={bytes_in}B decoded={bytes_out}B \
+                     expansion={:.2}x",
+                    if bytes_in > 0 {
+                        bytes_out as f64 / bytes_in as f64
+                    } else {
+                        0.0
+                    }
+                );
+                for codec in ["gzip", "zlib", "none"] {
+                    let n = named(&format!("kernel.decode.codec.{codec}"));
+                    if n > 0 {
+                        let _ = writeln!(out, "  codec.{codec:<26} {n}");
+                    }
+                }
+            }
             if !counters.is_empty() {
                 let _ = writeln!(out, "\ncounters:");
                 for (k, v) in counters {
@@ -676,6 +707,40 @@ mod tests {
         // 512 lands in bucket [512, 1024): every quantile reports the
         // upper bound of that bucket.
         assert!(summary.contains("p50≤1024 p95≤1024 p99≤1024"), "{summary}");
+    }
+
+    #[test]
+    fn decode_counters_render_a_dedicated_footer() {
+        let (t, sink) = Tracer::to_memory();
+        let run = t.begin("phase.run", SK::Phase, Some(0.0));
+        t.end(run, Some(1.0));
+        let reg = MetricsRegistry::default();
+        reg.counter_add("kernel.decode.calls", 4);
+        reg.counter_add("kernel.decode.bytes_in", 1_000);
+        reg.counter_add("kernel.decode.bytes_out", 20_000);
+        reg.counter_add("kernel.decode.codec.gzip", 3);
+        reg.counter_add("kernel.decode.codec.none", 1);
+
+        let text = jsonl(&sink.events(), Some(&reg.snapshot()), true);
+        let journal = parse_journal(&text).expect("journal parses");
+        let summary = summarize(&journal, 5);
+        assert!(summary.contains("decode kernels:"), "{summary}");
+        assert!(
+            summary.contains("calls=4 encoded=1000B decoded=20000B expansion=20.00x"),
+            "{summary}"
+        );
+        assert!(summary.contains("codec.gzip"), "{summary}");
+        assert!(summary.contains("codec.none"), "{summary}");
+        assert!(!summary.contains("codec.zlib"), "{summary}");
+
+        // A journal with no decode traffic renders no decode block.
+        let text = jsonl(
+            &sink.events(),
+            Some(&MetricsRegistry::default().snapshot()),
+            true,
+        );
+        let plain = parse_journal(&text).expect("journal parses");
+        assert!(!summarize(&plain, 5).contains("decode kernels:"));
     }
 
     #[test]

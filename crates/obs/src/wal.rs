@@ -486,6 +486,16 @@ impl ByteWriter {
         self.out.extend_from_slice(v.as_bytes());
     }
 
+    /// Appends a length-prefixed raw byte string (`u32` length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds `u32::MAX` bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("byte string fits u32"));
+        self.out.extend_from_slice(v);
+    }
+
     /// The accumulated bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
@@ -576,6 +586,16 @@ impl<'a> ByteReader<'a> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| "invalid utf-8 in string".to_string())
+    }
+
+    /// Reads a length-prefixed raw byte string.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the payload is exhausted.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Bytes remaining.

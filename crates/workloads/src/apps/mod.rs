@@ -8,6 +8,7 @@
 pub mod blackscholes;
 pub mod kmeans;
 pub mod lightgbm;
+pub mod loggrep;
 pub mod matrixmul;
 pub mod mixedgemm;
 pub mod pagerank;
@@ -15,6 +16,7 @@ pub mod sparsemv;
 pub mod tpch_q1;
 pub mod tpch_q14;
 pub mod tpch_q6;
+pub mod tpch_q6_gz;
 
 use crate::spec::Workload;
 
@@ -42,10 +44,26 @@ pub fn with_sparsemv() -> Vec<Workload> {
     v
 }
 
+/// The wire-format workloads: datasets stored encoded (gzip, shuffle,
+/// endianness, missing-value sentinels), read through
+/// `scan_raw`/`decode`. One per decode-placement regime of Eq. 1.
+#[must_use]
+pub fn decode_set() -> Vec<Workload> {
+    vec![tpch_q6_gz::workload(), loggrep::workload()]
+}
+
+/// Every workload: Figure 5's set plus the wire-format families.
+#[must_use]
+pub fn full_set() -> Vec<Workload> {
+    let mut v = with_sparsemv();
+    v.extend(decode_set());
+    v
+}
+
 /// Looks up a workload by (case-insensitive) name.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
-    with_sparsemv()
+    full_set()
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case(name))
 }
@@ -81,7 +99,7 @@ mod tests {
 
     #[test]
     fn all_programs_parse() {
-        for w in with_sparsemv() {
+        for w in full_set() {
             let p = w
                 .program()
                 .unwrap_or_else(|e| panic!("{} fails to parse: {e}", w.name()));
@@ -92,7 +110,7 @@ mod tests {
     #[test]
     fn all_programs_execute_at_tiny_scale() {
         use alang::Interpreter;
-        for w in with_sparsemv() {
+        for w in full_set() {
             let program = w.program().expect("parse");
             let storage = w.storage_at(1.0 / 1024.0);
             let mut interp = Interpreter::new(&storage);
@@ -104,7 +122,7 @@ mod tests {
 
     #[test]
     fn declared_sizes_match_generated_volumes() {
-        for w in with_sparsemv() {
+        for w in full_set() {
             let storage = w.storage_at(1.0);
             let gb = storage.total_virtual_bytes() as f64 / 1e9;
             assert!(
@@ -120,6 +138,34 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("pagerank").is_some());
         assert!(by_name("TPC-H-6").is_some());
+        assert!(by_name("tpc-h-6-gz").is_some());
+        assert!(by_name("LogGrep").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn decode_set_declares_encodings_and_plain_workloads_do_not() {
+        for w in decode_set() {
+            assert!(
+                !w.encodings().is_empty(),
+                "{} must declare its wire formats",
+                w.name()
+            );
+            assert_ne!(
+                activepy::sampling::InputSource::wire_fingerprint(&w),
+                0,
+                "{} needs a nonzero wire fingerprint",
+                w.name()
+            );
+        }
+        for w in with_sparsemv() {
+            assert_eq!(activepy::sampling::InputSource::wire_fingerprint(&w), 0);
+        }
+        // The two regimes must never share a plan-cache key.
+        let fps: Vec<u64> = decode_set()
+            .iter()
+            .map(activepy::sampling::InputSource::wire_fingerprint)
+            .collect();
+        assert_ne!(fps[0], fps[1]);
     }
 }

@@ -35,5 +35,5 @@ pub mod apps;
 pub mod datagen;
 pub mod spec;
 
-pub use apps::{by_name, table1, with_sparsemv};
+pub use apps::{by_name, decode_set, full_set, table1, with_sparsemv};
 pub use spec::Workload;

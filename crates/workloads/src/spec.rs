@@ -5,6 +5,7 @@ use activepy::sampling::InputSource;
 use alang::builtins::Storage;
 use alang::error::Result;
 use alang::{parser, Program};
+use csd_sim::wire::Encoding;
 use std::fmt;
 use std::sync::Arc;
 
@@ -21,6 +22,11 @@ pub struct Workload {
     description: String,
     source: String,
     generator: Generator,
+    /// Declared on-storage wire formats, `(dataset, encoding)` pairs in
+    /// declaration order. Metadata mirroring what the generator encodes —
+    /// it lets [`InputSource::wire_fingerprint`] answer without ever
+    /// materializing storage, keeping warm starts zero-datagen.
+    encodings: Vec<(String, Encoding)>,
 }
 
 impl Workload {
@@ -39,7 +45,25 @@ impl Workload {
             description: description.into(),
             source: source.into(),
             generator,
+            encodings: Vec::new(),
         }
+    }
+
+    /// Declares the on-storage wire formats the generator applies, as
+    /// `(dataset, encoding)` pairs. The declaration feeds plan-cache
+    /// fingerprints (a re-encoded dataset invalidates cached plans);
+    /// generators must encode exactly what is declared here.
+    #[must_use]
+    pub fn with_encodings(mut self, encodings: Vec<(String, Encoding)>) -> Self {
+        self.encodings = encodings;
+        self
+    }
+
+    /// The declared `(dataset, encoding)` pairs (empty for plain
+    /// workloads).
+    #[must_use]
+    pub fn encodings(&self) -> &[(String, Encoding)] {
+        &self.encodings
     }
 
     /// The workload's name as printed in Table I.
@@ -85,6 +109,27 @@ impl Workload {
 impl InputSource for Workload {
     fn storage_at(&self, scale: f64) -> Storage {
         Workload::storage_at(self, scale)
+    }
+
+    /// FNV-1a over the declared `(dataset, encoding)` pairs — `0` for
+    /// plain workloads, matching the trait default. Computed from the
+    /// declarations alone, so plan-cache keys never materialize storage.
+    fn wire_fingerprint(&self) -> u64 {
+        if self.encodings.is_empty() {
+            return 0;
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (name, enc) in &self.encodings {
+            for &byte in name
+                .as_bytes()
+                .iter()
+                .chain(&enc.fingerprint().to_le_bytes())
+            {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
     }
 }
 

@@ -57,6 +57,17 @@ cargo test -q --test fig5_golden
 echo "== re-plan determinism (proptest: refit loop never changes values, warm never worse) =="
 cargo test -q --test replan_determinism
 
+echo "== decode smoke (both Eq.1 regimes present, placements beat forced plans, one fingerprint) =="
+# The decode experiment's unit slice: TPC-H-6-gz must plan decode-on-host,
+# LogGrep decode-on-CSD, the measured winner between forced all-host and
+# forced all-CSD must match the sign of the projected Eq. 1 profit, and
+# all three placements of each workload must produce one values
+# fingerprint (experiments::decode).
+cargo test -q -p isp-bench --lib decode
+
+echo "== decode determinism (proptest: wire formats x placements x faults x backends x shards) =="
+cargo test -q --test decode_determinism
+
 echo "== kill-resume smoke (journaled run killed mid-stream resumes to the same fingerprint) =="
 # Records the recovery workload's execution journal, kills the process
 # after 20 appends via the WAL kill hook (exit 86 + a deliberately torn

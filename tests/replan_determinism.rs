@@ -143,7 +143,7 @@ proptest! {
             let monitored_rt = ActivePy::with_options(
                 ActivePyOptions::default()
                     .with_backend(backend)
-                    .with_profile(cache.recorder_for(&static_rt, "prop", &config)),
+                    .with_profile(cache.recorder_for(&static_rt, "prop", &input(), &config)),
             );
             let monitored = monitored_rt
                 .execute_plan(&cold, &config, scenario)

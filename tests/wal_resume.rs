@@ -456,3 +456,68 @@ fn warm_start_replans_identically_with_zero_datagen_calls() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+/// Kill/resume chaos over a wire-format workload: the journaled decode
+/// pipeline (scan_raw → decode on the CSD, under a retry-forcing fault
+/// plan) resumes from cuts across the whole journal to the exact
+/// uninterrupted fingerprint, and the resumed journal file is
+/// byte-for-byte the uninterrupted record stream — decode chunks replay,
+/// they do not re-execute differently.
+#[test]
+fn decode_workload_resumes_byte_exact() {
+    let w = isp_workloads::by_name("LogGrep").expect("registered workload");
+    let program = w.program().expect("parses");
+    let st = w.storage_at(1.0 / 1024.0);
+    // The workload's planned regime: the whole pipeline on the CSD.
+    let placements = vec![EngineKind::Cse; program.len()];
+    let faults = FaultPlan::none()
+        .with_seed(23)
+        .with_flash_read_error_prob(0.25)
+        .with_nvme_error_prob(0.2)
+        .with_dma_error_prob(0.15);
+    let config = SystemConfig::paper_default();
+
+    for backend in [ExecBackend::Vm, ExecBackend::AstWalk] {
+        let path = wal_path("decode");
+        let journal = ExecJournal::record_to(&path).expect("create journal");
+        let opts = ExecOptions::activepy()
+            .with_backend(backend)
+            .with_faults(faults.clone())
+            .with_journal(journal);
+        let mut system = config.build();
+        let full = execute(&program, &st, &placements, &mut system, &opts, None, &[])
+            .expect("uninterrupted run");
+        assert!(
+            full.metrics.recovery.retries > 0,
+            "fault plan must force retries through the decode pipeline"
+        );
+        let full_journal = std::fs::read(&path).expect("journal exists");
+
+        for frac in [0.1, 0.5, 0.9] {
+            std::fs::write(&path, &full_journal).expect("restore journal");
+            truncate_at_fraction(&path, frac);
+            let (journal, _) = ExecJournal::resume_from(&path).expect("resume");
+            let opts = ExecOptions::activepy()
+                .with_backend(backend)
+                .with_faults(faults.clone())
+                .with_journal(journal);
+            let mut system = config.build();
+            let resumed = execute(&program, &st, &placements, &mut system, &opts, None, &[])
+                .expect("resumed run");
+            assert_eq!(
+                full.values_fingerprint, resumed.values_fingerprint,
+                "resume at {frac} changed the decode answer on {backend:?}"
+            );
+            assert_eq!(
+                full.metrics.recovery.retries, resumed.metrics.recovery.retries,
+                "retry accounting diverged at {frac} on {backend:?}"
+            );
+            let resumed_journal = std::fs::read(&path).expect("journal exists");
+            assert_eq!(
+                full_journal, resumed_journal,
+                "resumed journal bytes diverged at {frac} on {backend:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
