@@ -1,0 +1,317 @@
+//! Bench-history tooling: an append-only JSONL ledger of `BENCH_repro.json`
+//! runs plus the regression check CI runs against it.
+//!
+//! ```text
+//! history append [--report BENCH_repro.json] [--history BENCH_history.jsonl] [--sha SHA]
+//! history check  [--history BENCH_history.jsonl] [--band FACTOR]
+//! ```
+//!
+//! `append` extracts one line per run: the git SHA, a config fingerprint
+//! (FNV-1a over the thread count and the ordered experiment-section
+//! names, so rows from differently-shaped runs never get compared), the
+//! per-section wall-clock scalars, and the run's *deterministic*
+//! outcomes (fingerprint divergences, wrong answers, audit flips…).
+//!
+//! `check` walks the ledger newest-entry-last: deterministic outcomes
+//! must be identical across every entry sharing a config fingerprint —
+//! those are seeded simulations, and any drift is a real regression.
+//! Wall-clock sections only *flag* when the newest entry exceeds the
+//! best prior entry by more than the noise band (default 2.5×, generous
+//! because ledger entries may come from different machines).
+
+use std::fmt::Write as _;
+
+use isp_obs::journal::{parse_json, JsonValue};
+
+/// Default multiplicative noise band for wall-clock comparisons.
+const DEFAULT_BAND: f64 = 2.5;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: history append [--report PATH] [--history PATH] [--sha SHA]\n\
+         \x20      history check  [--history PATH] [--band FACTOR]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|pos| {
+        args.get(pos + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+    })
+}
+
+fn read_json(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("history: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("history: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn num(v: &JsonValue, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64()
+}
+
+/// The deterministic outcomes a run must reproduce bit-for-bit:
+/// `(name, value)` rows in a fixed order.
+fn deterministic_scalars(report: &JsonValue) -> Vec<(&'static str, u64)> {
+    let b = |path: &[&str]| -> u64 {
+        path.iter()
+            .try_fold(report, |cur, k| cur.get(k))
+            .map(|v| match v {
+                JsonValue::Bool(true) => 1,
+                JsonValue::Bool(false) => 0,
+                other => other.as_u64().unwrap_or(0),
+            })
+            .unwrap_or_default()
+    };
+    vec![
+        (
+            "fig5_rows_identical",
+            b(&["fig5_before_after", "rows_identical"]),
+        ),
+        ("interp_rows_identical", b(&["interp", "rows_identical"])),
+        ("faults_wrong_answers", b(&["faults", "wrong_answers"])),
+        ("adapt_divergences", b(&["adapt", "divergences"])),
+        (
+            "shards_divergences",
+            b(&["shards", "fingerprint_divergences"]),
+        ),
+        (
+            "audit_divergences",
+            b(&["audit", "fingerprint_divergences"]),
+        ),
+        ("audit_flips", b(&["audit", "counterfactual_flips"])),
+        ("audit_lines", b(&["audit", "lines_audited"])),
+    ]
+}
+
+/// Wall-clock sections: experiment name → wall seconds, plus the total.
+fn wall_sections(report: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(JsonValue::Arr(items)) = report.get("experiments") {
+        for item in items {
+            if let (Some(name), Some(secs)) = (
+                item.get("name").and_then(JsonValue::as_str),
+                num(item, &["wall_secs"]),
+            ) {
+                out.push((name.to_string(), secs));
+            }
+        }
+    }
+    if let Some(total) = num(report, &["total_secs"]) {
+        out.push(("total".to_string(), total));
+    }
+    out
+}
+
+/// FNV-1a over the run shape: thread count and ordered section names.
+fn config_fingerprint(report: &JsonValue) -> u64 {
+    let mut desc = format!(
+        "threads={};sections=",
+        num(report, &["threads"]).unwrap_or(0.0) as u64
+    );
+    for (name, _) in wall_sections(report) {
+        desc.push_str(&name);
+        desc.push(',');
+    }
+    isp_obs::fnv1a(desc.as_bytes())
+}
+
+fn append(args: &[String]) {
+    let report_path = flag_value(args, "--report").unwrap_or_else(|| "BENCH_repro.json".into());
+    let history_path =
+        flag_value(args, "--history").unwrap_or_else(|| "BENCH_history.jsonl".into());
+    let sha = flag_value(args, "--sha").unwrap_or_else(git_sha);
+    let report = read_json(&report_path);
+
+    // Hand-rolled JSON line with a fixed field order, matching the
+    // repo-wide byte-stability idiom.
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"sha\":\"{sha}\",\"config_fp\":\"{:#018x}\",\"determinism\":{{",
+        config_fingerprint(&report)
+    );
+    for (i, (name, value)) in deterministic_scalars(&report).iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "\"{name}\":{value}");
+    }
+    line.push_str("},\"wall_secs\":{");
+    for (i, (name, secs)) in wall_sections(&report).iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "\"{name}\":{secs}");
+    }
+    line.push_str("}}\n");
+
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .unwrap_or_else(|e| {
+            eprintln!("history: cannot open {history_path}: {e}");
+            std::process::exit(1);
+        });
+    file.write_all(line.as_bytes()).unwrap_or_else(|e| {
+        eprintln!("history: cannot append to {history_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("appended {sha} to {history_path}");
+}
+
+struct Entry {
+    sha: String,
+    config_fp: String,
+    determinism: Vec<(String, u64)>,
+    wall_secs: Vec<(String, f64)>,
+}
+
+fn parse_entry(line: &str, no: usize) -> Entry {
+    let v = parse_json(line).unwrap_or_else(|e| {
+        eprintln!("history: ledger line {no}: {e}");
+        std::process::exit(1);
+    });
+    let field_map = |key: &str| -> Vec<(String, JsonValue)> {
+        v.get(key)
+            .and_then(JsonValue::as_obj)
+            .map(<[(String, JsonValue)]>::to_vec)
+            .unwrap_or_default()
+    };
+    Entry {
+        sha: v
+            .get("sha")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        config_fp: v
+            .get("config_fp")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| {
+                eprintln!("history: ledger line {no}: missing config_fp");
+                std::process::exit(1);
+            })
+            .to_string(),
+        determinism: field_map("determinism")
+            .into_iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k, n)))
+            .collect(),
+        wall_secs: field_map("wall_secs")
+            .into_iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k, n)))
+            .collect(),
+    }
+}
+
+fn check(args: &[String]) {
+    let history_path =
+        flag_value(args, "--history").unwrap_or_else(|| "BENCH_history.jsonl".into());
+    let band: f64 = flag_value(args, "--band")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--band must be a number, got '{v}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(DEFAULT_BAND);
+    let text = std::fs::read_to_string(&history_path).unwrap_or_else(|e| {
+        eprintln!("history: cannot read {history_path}: {e}");
+        std::process::exit(1);
+    });
+    let entries: Vec<Entry> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_entry(l, i + 1))
+        .collect();
+    let Some(newest) = entries.last() else {
+        eprintln!("history: {history_path} has no entries");
+        std::process::exit(1);
+    };
+    let prior: Vec<&Entry> = entries[..entries.len() - 1]
+        .iter()
+        .filter(|e| e.config_fp == newest.config_fp)
+        .collect();
+    println!(
+        "history: {} entries, newest {} (config {}), {} comparable prior",
+        entries.len(),
+        newest.sha,
+        newest.config_fp,
+        prior.len()
+    );
+
+    let mut failures = Vec::new();
+    // Deterministic outcomes: must be identical across comparable entries.
+    for (name, value) in &newest.determinism {
+        for p in &prior {
+            if let Some((_, prev)) = p.determinism.iter().find(|(n, _)| n == name) {
+                if prev != value {
+                    failures.push(format!(
+                        "deterministic outcome '{name}' drifted: {prev} (at {}) -> {value}",
+                        p.sha
+                    ));
+                }
+            }
+        }
+    }
+    // Wall sections: regression iff newest > band × best prior.
+    for (name, secs) in &newest.wall_secs {
+        let best_prior = prior
+            .iter()
+            .filter_map(|p| p.wall_secs.iter().find(|(n, _)| n == name).map(|(_, s)| *s))
+            .fold(f64::INFINITY, f64::min);
+        if best_prior.is_finite() && *secs > best_prior * band && *secs - best_prior > 0.05 {
+            failures.push(format!(
+                "section '{name}' regressed: {secs:.3}s vs best prior {best_prior:.3}s \
+                 (band {band}x)"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("history: no regressions beyond the {band}x noise band");
+    } else {
+        for f in &failures {
+            eprintln!("history: REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("append") => append(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}

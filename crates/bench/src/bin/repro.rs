@@ -72,6 +72,7 @@ struct BenchReport {
     shards: ex::shards::Report,
     adapt: ex::adapt::Report,
     recovery: ex::recovery::Report,
+    audit: ex::audit::Report,
 }
 
 /// Times per-line execution — the component of sampling wall-clock the
@@ -301,6 +302,33 @@ fn run_adapt_focused(config: &SystemConfig) {
     }
 }
 
+/// The `--audit` mode: runs only the planner-audit calibration sweep
+/// (optionally a single workload via `--audit-workload W`), prints the
+/// predicted-vs-measured table, and exits non-zero if a calibration
+/// invariant fails — the CI smoke gate. Other experiments are skipped
+/// and `BENCH_repro.json` is not written.
+fn run_audit_focused(config: &SystemConfig) {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args
+        .iter()
+        .position(|a| a == "--audit-workload")
+        .and_then(|pos| args.get(pos + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned();
+    let report = match workload.as_deref() {
+        Some(name) => ex::audit::run_one(name, config).unwrap_or_else(|| {
+            eprintln!("--audit-workload '{name}' matched no registered workload");
+            std::process::exit(2);
+        }),
+        None => ex::audit::run(config),
+    };
+    ex::audit::print(&report);
+    if let Err(e) = ex::audit::check(&report) {
+        eprintln!("planner-audit check failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// The `--journal PATH` / `--resume PATH` focused mode: runs the fixed
 /// faulted recovery workload with the execution journal attached.
 /// `--journal` records a fresh journal at PATH (the `ISP_WAL_KILL_AFTER`
@@ -358,6 +386,9 @@ fn usage() {
          \x20   --adapt                run only the adaptation sweep; exits non-zero if its\n\
          \x20                          regret/fingerprint checks fail\n\
          \x20   --adapt-workload W     narrow --adapt to a single workload\n\
+         \x20   --audit                run only the planner-audit calibration sweep; exits\n\
+         \x20                          non-zero if its error-band/flip/fingerprint checks fail\n\
+         \x20   --audit-workload W     narrow --audit to a single workload\n\
          \x20   --journal PATH         run the recovery workload recording an execution\n\
          \x20                          journal at PATH (skips other experiments)\n\
          \x20   --resume PATH          resume the recovery workload from the journal at\n\
@@ -420,6 +451,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--adapt") {
         run_adapt_focused(&config);
+        return;
+    }
+    if std::env::args().any(|a| a == "--audit" || a == "--audit-workload") {
+        run_audit_focused(&config);
         return;
     }
     let cache = PlanCache::new();
@@ -546,6 +581,15 @@ fn main() {
     if let Err(e) = ex::recovery::check(&recovery) {
         eprintln!("recovery benchmark check failed: {e}");
     }
+    println!();
+
+    let t = Instant::now();
+    let audit = ex::audit::run(&config);
+    time("audit", t.elapsed().as_secs_f64());
+    ex::audit::print(&audit);
+    if let Err(e) = ex::audit::check(&audit) {
+        eprintln!("planner-audit check failed: {e}");
+    }
 
     let total_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
@@ -608,6 +652,7 @@ fn main() {
         shards,
         adapt,
         recovery,
+        audit,
         faults: FaultsReport {
             seed: ex::faults::FAULT_SEED,
             fault_migrations: faults.iter().map(|r| r.fault_migrations).sum(),

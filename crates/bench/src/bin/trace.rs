@@ -1,45 +1,32 @@
-//! Summarizes a JSONL event journal written by `repro --trace`.
+//! Analyzes JSONL event journals written by `repro --trace`.
 //!
 //! ```text
-//! trace out.jsonl [--top N]
+//! trace <journal.jsonl> [--top N]      summarize one journal
+//! trace <journal.jsonl> --prom         render its metrics footer as
+//!                                      Prometheus text exposition
+//! trace diff <a.jsonl> <b.jsonl>       align two journals span-by-span;
+//!                                      exit 0 iff identical on the
+//!                                      simulated clock
 //! ```
 //!
-//! Prints the per-phase breakdown on both clocks, the top-N spans by
-//! simulated duration, the migration timeline, and the counter footer.
-//! Only the JSONL format is accepted — the Chrome export targets
-//! Perfetto, not this tool.
+//! The summary prints the per-phase breakdown on both clocks, the top-N
+//! spans by simulated duration, the migration timeline, the counter
+//! footer, and — for audited journals — the calibration-error quantiles
+//! and worst-mispredicted-lines table. Only the JSONL format is
+//! accepted — the Chrome export targets Perfetto, not this tool.
 
-use isp_obs::{parse_journal, summarize};
+use isp_obs::export::prometheus;
+use isp_obs::{diff_journals, footer_snapshot, parse_journal, render_diff, summarize, Journal};
 
 fn usage() -> ! {
-    eprintln!("usage: trace <journal.jsonl> [--top N]");
+    eprintln!(
+        "usage: trace <journal.jsonl> [--top N] [--prom]\n\
+         \x20      trace diff <a.jsonl> <b.jsonl>"
+    );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut path: Option<&str> = None;
-    let mut top_n = 10usize;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--top" => {
-                top_n = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                i += 2;
-            }
-            flag if flag.starts_with("--") => usage(),
-            p => {
-                if path.replace(p).is_some() {
-                    usage();
-                }
-                i += 1;
-            }
-        }
-    }
-    let Some(path) = path else { usage() };
+fn load(path: &str) -> Journal {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("trace: cannot read {path}: {e}");
         std::process::exit(1);
@@ -54,6 +41,62 @@ fn main() {
              (crash-truncated journal?)",
             journal.torn_lines
         );
+    }
+    journal
+}
+
+fn run_diff(args: &[String]) -> ! {
+    let [a, b] = args else { usage() };
+    let diff = diff_journals(&load(a), &load(b));
+    print!("{}", render_diff(&diff));
+    std::process::exit(i32::from(!diff.identical()));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        run_diff(&args[1..]);
+    }
+    let mut path: Option<&str> = None;
+    let mut top_n = 10usize;
+    let mut prom = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                top_n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--prom" => {
+                prom = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => usage(),
+            p => {
+                if path.replace(p).is_some() {
+                    usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else { usage() };
+    let journal = load(path);
+    if prom {
+        let Some(snap) = footer_snapshot(&journal) else {
+            eprintln!("trace: {path} has no metrics footer to export");
+            std::process::exit(1);
+        };
+        let rendered = prometheus::render(&snap);
+        if let Err(e) = prometheus::validate(&rendered) {
+            eprintln!("trace: internal error: exposition failed validation: {e}");
+            std::process::exit(1);
+        }
+        print!("{rendered}");
+        return;
     }
     print!("{}", summarize(&journal, top_n));
 }

@@ -146,6 +146,17 @@ fn run_workload_traced(
             .with_parallelism(policy)
             .with_tracer(tracer.clone()),
     );
+    // Observation-only calibration: join the plan's Eq. 1 terms against
+    // each cell's measured costs and publish into the journal (counters,
+    // error histograms, and the per-line `audit.line` instants the
+    // summarizer's worst-5 table reads back). Disabled tracers skip the
+    // join entirely, so the untraced grid stays calibration-free.
+    let publish_audit = |report: &activepy::RunReport| {
+        if tracer.is_enabled() {
+            activepy::calibrate(w.name(), &plan, report, None).publish_to(tracer);
+        }
+    };
+    publish_audit(&reference.report);
     let rows: Vec<Row> = AVAILABILITY_PCTS
         .iter()
         .map(|&pct| {
@@ -156,6 +167,8 @@ fn run_workload_traced(
             let without_mig = no_mig
                 .execute_plan(&plan, config, scenario)
                 .expect("static run");
+            publish_audit(&with_mig.report);
+            publish_audit(&without_mig.report);
             Row {
                 name: w.name().to_owned(),
                 availability_pct: pct,

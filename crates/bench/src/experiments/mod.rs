@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod adapt;
+pub mod audit;
 pub mod decode;
 pub mod faults;
 pub mod fig2;

@@ -1,0 +1,602 @@
+//! The planner-audit observatory: Eq. 1 predicted-vs-measured calibration.
+//!
+//! Algorithm 1 places lines using Eq. 1 *predictions*; the monitors of
+//! §III-D correct the plan when reality diverges. This module makes the
+//! divergence itself first-class: at plan time every per-line Eq. 1 term
+//! is captured as an [`Eq1Term`] (into [`crate::plan::OffloadPlan::eq1`]
+//! and [`crate::exec::RunReport::eq1`]); after execution, [`calibrate`]
+//! joins the terms against the measured [`alang::LineCost`]s and
+//! per-line wall-clock, and against the [`crate::profile::ProfileStore`]
+//! observations when a profile exists, producing a [`CalibrationReport`]:
+//!
+//! * per-line signed time error and output-volume error,
+//! * per-phase attribution on both clocks (host nanoseconds from
+//!   [`crate::plan::PlanTimings`], simulated seconds from the plan and
+//!   the run),
+//! * log₂ error histograms in parts-per-million
+//!   ([`isp_obs::Histogram`]),
+//! * and the counterfactual question the adapt sweep answers only
+//!   indirectly: **would Algorithm 1 have flipped this line under the
+//!   measured costs?** ([`CounterfactualFlip`]).
+//!
+//! The whole layer is observation-only, like the tracer and the profile
+//! recorder: capture happens on data the planner already produced,
+//! calibration reads a finished report, and publishing goes through a
+//! [`Tracer`] — none of it can perturb the simulated clock, the
+//! `values_fingerprint`, migration decisions, or recovery accounting.
+//!
+//! ## Counterfactual-flip semantics
+//!
+//! The measured estimates replace predictions with observations *where
+//! observations exist*: the engine a line actually ran on gets its
+//! measured duration (wall minus input staging, which Eq. 1 charges
+//! separately through the `D_in` term); the engine it did not run on
+//! keeps its predicted cost; `D_in`/`D_out` become the measured byte
+//! counts. Algorithm 1 then re-runs verbatim
+//! ([`crate::assign::assign_refined`]) and the symmetric difference
+//! against the planned `P_csd` is the flip set. Scaling *both* engines by
+//! the observed ratio would cancel contention out of the comparison and
+//! never flip anything; replacing only the observed side is exactly the
+//! information a re-planner would actually have.
+
+use std::collections::BTreeMap;
+
+use crate::assign::{assign_refined, Assignment};
+use crate::estimate::{net_profit, LineEstimate};
+use crate::exec::{LineOutcome, RunReport};
+use crate::plan::OffloadPlan;
+use crate::profile::WorkloadProfile;
+use csd_sim::EngineKind;
+use isp_obs::{Histogram, SpanKind, Tracer};
+use serde::{Deserialize, Serialize};
+
+/// One line's Eq. 1 terms exactly as Algorithm 1 consumed them.
+///
+/// Captured at plan time into [`OffloadPlan::eq1`] and echoed (from the
+/// assignment actually executed) into [`RunReport::eq1`]. For wire-format
+/// scan lines, `on_csd` *is* the decode placement: decode runs wherever
+/// the scan line runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Eq1Term {
+    /// The line index.
+    pub line: usize,
+    /// Predicted input volume `D_in`, bytes.
+    pub d_in: u64,
+    /// Predicted output volume `D_out`, bytes.
+    pub d_out: u64,
+    /// Predicted host execution time `CT_host`, seconds.
+    pub ct_host: f64,
+    /// Predicted device execution time `CT_device`, seconds.
+    pub ct_device: f64,
+    /// The D2H bandwidth the assignment charged transfers against — the
+    /// shared-link `min(link, budget/N)` term for fleet plans.
+    pub bw_d2h: f64,
+    /// Fleet width the bandwidth term assumed (1 for unsharded plans).
+    pub shards: usize,
+    /// Eq. 1 net profit `S` of running this line on the CSD in
+    /// isolation.
+    pub profit: f64,
+    /// Algorithm 1's decision: whether the line joined `P_csd`.
+    pub on_csd: bool,
+}
+
+/// Captures per-line [`Eq1Term`]s from estimates and an assignment.
+///
+/// `shards` documents the fleet width `bw_d2h` was derived for; pass 1
+/// for single-device plans.
+#[must_use]
+pub fn capture_terms(
+    estimates: &[LineEstimate],
+    assignment: &Assignment,
+    bw_d2h: f64,
+    shards: usize,
+) -> Vec<Eq1Term> {
+    estimates
+        .iter()
+        .map(|e| Eq1Term {
+            line: e.line,
+            d_in: e.d_in,
+            d_out: e.d_out,
+            ct_host: e.ct_host,
+            ct_device: e.ct_device,
+            bw_d2h,
+            shards,
+            profit: net_profit(e.d_in, e.ct_host, e.ct_device, e.d_out, bw_d2h),
+            on_csd: assignment.csd_lines.contains(&e.line),
+        })
+        .collect()
+}
+
+/// The per-line join of an [`Eq1Term`] against the measured outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineAudit {
+    /// The line index.
+    pub line: usize,
+    /// Where Algorithm 1 placed the line.
+    pub planned_csd: bool,
+    /// Where the line actually ran (differs after a migration).
+    pub ran_csd: bool,
+    /// The predicted execution time on the engine that actually ran the
+    /// line, seconds.
+    pub predicted_secs: f64,
+    /// The measured execution time on that engine, seconds: per-line wall
+    /// minus input staging (Eq. 1 charges staging through `D_in`).
+    pub measured_secs: f64,
+    /// Signed time error, `measured − predicted`, seconds.
+    pub err_secs: f64,
+    /// `|err| / max(measured, predicted)`, in `[0, 1]` — the bounded
+    /// relative error both histograms and the CI band use.
+    pub abs_rel_err: f64,
+    /// Predicted output volume, bytes.
+    pub predicted_d_out: u64,
+    /// Measured output volume, bytes.
+    pub measured_d_out: u64,
+    /// Mean output volume over every [`WorkloadProfile`] observation of
+    /// this line (0 when no profile was supplied or the line was never
+    /// observed).
+    pub profile_d_out: u64,
+    /// Whether Algorithm 1 re-run on the measured costs places this line
+    /// on the other engine.
+    pub flipped: bool,
+}
+
+/// One counterfactual placement flip, with the Eq. 1 profits that
+/// explain it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterfactualFlip {
+    /// The line index.
+    pub line: usize,
+    /// Where the plan put it.
+    pub planned_csd: bool,
+    /// Eq. 1 net profit under the predicted terms, seconds.
+    pub predicted_profit: f64,
+    /// Eq. 1 net profit under the measured terms, seconds.
+    pub measured_profit: f64,
+    /// Human-readable account of the flip.
+    pub explanation: String,
+}
+
+/// Host-nanosecond and simulated-second attribution of one pipeline
+/// phase — the dual-clock breakdown of where planning and execution time
+/// went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAttribution {
+    /// Phase name (`sampling`, `fit`, `assign`, `materialize`, `compile`,
+    /// `execute`).
+    pub phase: String,
+    /// Host wall-clock spent, nanoseconds (0 where the phase is charged
+    /// to the simulated clock only).
+    pub wall_nanos: u64,
+    /// Simulated seconds charged (0 for host-only phases).
+    pub sim_secs: f64,
+}
+
+/// The complete predicted-vs-measured calibration of one executed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// The workload the plan belongs to.
+    pub workload: String,
+    /// Per-line audits, ascending line index.
+    pub lines: Vec<LineAudit>,
+    /// Counterfactual flips, ascending line index (empty when Algorithm 1
+    /// stands by its plan under the measured costs).
+    pub flips: Vec<CounterfactualFlip>,
+    /// Dual-clock per-phase attribution.
+    pub phases: Vec<PhaseAttribution>,
+    /// Log₂ histogram of per-line `abs_rel_err`, in parts per million.
+    pub time_err_ppm: Histogram,
+    /// Log₂ histogram of per-line output-volume relative error, in parts
+    /// per million.
+    pub volume_err_ppm: Histogram,
+    /// The profile version joined against (0 when none was supplied).
+    pub profile_version: u64,
+}
+
+impl CalibrationReport {
+    /// Mean of the bounded per-line relative time errors (0 when no line
+    /// did measurable work).
+    #[must_use]
+    pub fn mean_abs_rel_err(&self) -> f64 {
+        if self.lines.is_empty() {
+            return 0.0;
+        }
+        self.lines.iter().map(|l| l.abs_rel_err).sum::<f64>() / self.lines.len() as f64
+    }
+
+    /// The worst `n` lines by `|err_secs|`, descending (ties broken by
+    /// ascending line index for determinism).
+    #[must_use]
+    pub fn worst_lines(&self, n: usize) -> Vec<&LineAudit> {
+        let mut sorted: Vec<&LineAudit> = self.lines.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.err_secs
+                .abs()
+                .partial_cmp(&a.err_secs.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.line.cmp(&b.line))
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Publishes the calibration into `tracer`'s unified registry: the
+    /// `audit.lines` / `audit.flips` counters, the `audit.time_err_ppm`
+    /// and `audit.volume_err_ppm` histograms, and one `audit.line`
+    /// instant per audited line (the summarizer's worst-5 table reads
+    /// these back from the journal). No-op when the tracer is disabled.
+    pub fn publish_to(&self, tracer: &Tracer) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.counter_add("audit.lines", self.lines.len() as u64);
+        tracer.counter_add("audit.flips", self.flips.len() as u64);
+        for l in &self.lines {
+            let time_ppm = ppm(l.abs_rel_err);
+            tracer.observe("audit.time_err_ppm", time_ppm);
+            tracer.observe(
+                "audit.volume_err_ppm",
+                ppm(rel_err(l.predicted_d_out as f64, l.measured_d_out as f64)),
+            );
+            tracer.instant(
+                "audit.line",
+                SpanKind::Monitor,
+                None,
+                vec![
+                    ("workload".into(), self.workload.as_str().into()),
+                    ("line".into(), l.line.into()),
+                    ("predicted_secs".into(), l.predicted_secs.into()),
+                    ("measured_secs".into(), l.measured_secs.into()),
+                    ("err_ppm".into(), (time_ppm as usize).into()),
+                    ("flipped".into(), l.flipped.into()),
+                ],
+            );
+        }
+    }
+}
+
+/// `|a − b| / max(a, b)`, bounded to `[0, 1]`; 0 when both sides are
+/// negligible.
+fn rel_err(predicted: f64, measured: f64) -> f64 {
+    let denom = predicted.max(measured);
+    if denom <= 1e-12 {
+        0.0
+    } else {
+        (measured - predicted).abs() / denom
+    }
+}
+
+/// A `[0, 1]` relative error as integral parts per million.
+fn ppm(rel: f64) -> u64 {
+    (rel * 1e6).round() as u64
+}
+
+/// Measured Eq. 1 execution time of one line outcome: wall-clock minus
+/// the input-staging transfer (charged separately through `D_in`),
+/// clamped at zero.
+fn measured_ct(outcome: &LineOutcome, bw_d2h: f64) -> f64 {
+    let staging = if bw_d2h > 0.0 {
+        outcome.staged_bytes as f64 / bw_d2h
+    } else {
+        0.0
+    };
+    (outcome.end_secs - outcome.start_secs - staging).max(0.0)
+}
+
+/// Joins a plan's captured [`Eq1Term`]s against a finished run's measured
+/// outcomes (and the workload's [`WorkloadProfile`], when one exists)
+/// into a [`CalibrationReport`].
+///
+/// Prefers the terms echoed into `report.eq1` (they reflect the
+/// assignment that actually executed, e.g. a forced-placement variant);
+/// falls back to `plan.eq1`. Lines the run never reached are skipped.
+#[must_use]
+pub fn calibrate(
+    workload: &str,
+    plan: &OffloadPlan,
+    report: &RunReport,
+    profile: Option<&WorkloadProfile>,
+) -> CalibrationReport {
+    let terms: &[Eq1Term] = if report.eq1.is_empty() {
+        &plan.eq1
+    } else {
+        &report.eq1
+    };
+    // Last outcome per line wins: a reclaim may revisit a boundary, and
+    // the final visit is the one that produced the line's lasting cost.
+    let mut by_line: BTreeMap<usize, &LineOutcome> = BTreeMap::new();
+    for l in &report.lines {
+        by_line.insert(l.line, l);
+    }
+
+    // The counterfactual estimates: observations where we have them,
+    // predictions elsewhere (see the module docs for why only the
+    // observed engine is replaced).
+    let mut measured_est = plan.estimates.clone();
+    for est in &mut measured_est {
+        let Some(outcome) = by_line.get(&est.line) else {
+            continue;
+        };
+        let bw = terms
+            .iter()
+            .find(|t| t.line == est.line)
+            .map_or(0.0, |t| t.bw_d2h);
+        let m = measured_ct(outcome, bw);
+        match outcome.engine {
+            EngineKind::Cse => est.ct_device = m,
+            EngineKind::Host => est.ct_host = m,
+        }
+        est.d_in = outcome.cost.bytes_in;
+        est.d_out = outcome.cost.bytes_out;
+    }
+    let bw = terms.first().map_or(0.0, |t| t.bw_d2h);
+    let counterfactual = if bw > 0.0 {
+        assign_refined(&plan.program, &measured_est, bw)
+    } else {
+        plan.assignment.clone()
+    };
+
+    let mut lines = Vec::with_capacity(terms.len());
+    let mut flips = Vec::new();
+    let mut time_err_ppm = Histogram::default();
+    let mut volume_err_ppm = Histogram::default();
+    for t in terms {
+        let Some(outcome) = by_line.get(&t.line) else {
+            continue;
+        };
+        let ran_csd = outcome.engine == EngineKind::Cse;
+        let predicted_secs = if ran_csd { t.ct_device } else { t.ct_host };
+        let measured_secs = measured_ct(outcome, t.bw_d2h);
+        let abs_rel = rel_err(predicted_secs, measured_secs);
+        let flipped = counterfactual.csd_lines.contains(&t.line) != t.on_csd;
+        let profile_d_out = profile
+            .and_then(|p| p.observation(t.line))
+            .map_or(0, |o| o.mean_cost().bytes_out);
+        time_err_ppm.observe(ppm(abs_rel));
+        volume_err_ppm.observe(ppm(rel_err(t.d_out as f64, outcome.cost.bytes_out as f64)));
+        lines.push(LineAudit {
+            line: t.line,
+            planned_csd: t.on_csd,
+            ran_csd,
+            predicted_secs,
+            measured_secs,
+            err_secs: measured_secs - predicted_secs,
+            abs_rel_err: abs_rel,
+            predicted_d_out: t.d_out,
+            measured_d_out: outcome.cost.bytes_out,
+            profile_d_out,
+            flipped,
+        });
+        if flipped {
+            let m = &measured_est[t.line.min(measured_est.len().saturating_sub(1))];
+            let measured_profit = net_profit(m.d_in, m.ct_host, m.ct_device, m.d_out, t.bw_d2h);
+            let target = plan
+                .program
+                .lines()
+                .get(t.line)
+                .map_or_else(|| "?".to_string(), |l| l.target.clone());
+            flips.push(CounterfactualFlip {
+                line: t.line,
+                planned_csd: t.on_csd,
+                predicted_profit: t.profit,
+                measured_profit,
+                explanation: format!(
+                    "line {} (`{}`): planned {}, measured costs favor {} \
+                     (predicted S {:+.4}s, measured S {:+.4}s)",
+                    t.line,
+                    target,
+                    if t.on_csd { "CSD" } else { "host" },
+                    if t.on_csd { "host" } else { "CSD" },
+                    t.profit,
+                    measured_profit,
+                ),
+            });
+        }
+    }
+
+    CalibrationReport {
+        workload: workload.to_string(),
+        lines,
+        flips,
+        phases: phase_attribution(plan, report),
+        time_err_ppm,
+        volume_err_ppm,
+        profile_version: profile.map_or(0, |p| p.version),
+    }
+}
+
+/// The dual-clock phase breakdown: host nanoseconds from
+/// [`crate::plan::PlanTimings`], simulated seconds from the plan's
+/// charged overheads and the run's remainder.
+fn phase_attribution(plan: &OffloadPlan, report: &RunReport) -> Vec<PhaseAttribution> {
+    let exec_sim = (report.total_secs - plan.sampling_secs - plan.compile_secs).max(0.0);
+    let phase = |name: &str, wall_nanos: u64, sim_secs: f64| PhaseAttribution {
+        phase: name.to_string(),
+        wall_nanos,
+        sim_secs,
+    };
+    vec![
+        phase("sampling", plan.timings.sampling_nanos, plan.sampling_secs),
+        phase("fit", plan.timings.fit_nanos, 0.0),
+        phase("assign", plan.timings.assign_nanos, 0.0),
+        phase("materialize", plan.timings.materialize_nanos, 0.0),
+        phase("compile", 0, plan.compile_secs),
+        phase("execute", 0, exec_sim),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanCache;
+    use crate::runtime::ActivePy;
+    use crate::sampling::InputSource;
+    use alang::builtins::Storage;
+    use alang::parser::parse;
+    use alang::value::ArrayVal;
+    use alang::Value;
+    use csd_sim::{ContentionScenario, SystemConfig};
+
+    fn input() -> impl InputSource {
+        |scale: f64| {
+            let logical = (scale * 1e9).round().max(100.0) as u64;
+            let actual = (((logical / 100_000).clamp(100, 8000) / 100) * 100) as usize;
+            let data: Vec<f64> = (0..actual).map(|i| (i % 100) as f64).collect();
+            let mut st = Storage::new();
+            st.insert("v", Value::Array(ArrayVal::with_logical(data, logical)));
+            st
+        }
+    }
+
+    const SRC: &str = "a = scan('v')\nm = a < 50\nb = select(a, m)\ns = sum(b)\n";
+
+    fn plan_and_run(
+        scenario: ContentionScenario,
+    ) -> (
+        std::sync::Arc<OffloadPlan>,
+        RunReport,
+        ActivePy,
+        SystemConfig,
+    ) {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let plan = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("plan");
+        let outcome = rt.execute_plan(&plan, &config, scenario).expect("execute");
+        (plan, outcome.report, rt, config)
+    }
+
+    #[test]
+    fn plans_capture_one_term_per_line_with_consistent_profit_sign() {
+        let (plan, report, _, _) = plan_and_run(ContentionScenario::none());
+        assert_eq!(plan.eq1.len(), 4);
+        assert_eq!(report.eq1.len(), 4);
+        for t in &plan.eq1 {
+            assert_eq!(t.shards, 1);
+            assert!(t.bw_d2h > 0.0);
+            let direct = net_profit(t.d_in, t.ct_host, t.ct_device, t.d_out, t.bw_d2h);
+            assert!((t.profit - direct).abs() < 1e-12);
+        }
+        // Algorithm 1 offloads the scan; its *isolated* Eq. 1 profit is
+        // negative (the full 8 GB D_out is charged as crossing until the
+        // filter joins — the lookahead hump), which is exactly why the
+        // term captures the raw ingredients rather than only the sign.
+        assert!(plan.eq1[0].on_csd);
+        assert!(plan.eq1[0].d_out > 1_000_000_000);
+    }
+
+    #[test]
+    fn uncontended_calibration_is_tight_and_flip_free() {
+        let (plan, report, _, _) = plan_and_run(ContentionScenario::none());
+        let audit = calibrate("w", &plan, &report, None);
+        assert_eq!(audit.lines.len(), 4);
+        assert!(
+            audit.mean_abs_rel_err() < 0.35,
+            "uncontended predictions should be close: {}",
+            audit.mean_abs_rel_err()
+        );
+        assert!(
+            audit.flips.is_empty(),
+            "no contention, no reason to flip: {:?}",
+            audit.flips
+        );
+        assert_eq!(audit.time_err_ppm.count(), 4);
+        assert_eq!(audit.volume_err_ppm.count(), 4);
+        // Both clocks are attributed and the execute phase dominates sim
+        // time.
+        let exec = audit
+            .phases
+            .iter()
+            .find(|p| p.phase == "execute")
+            .expect("execute phase");
+        assert!(exec.sim_secs > 0.0);
+        assert!(audit.phases.iter().any(|p| p.wall_nanos > 0));
+    }
+
+    #[test]
+    fn contended_run_flips_the_offloaded_lines() {
+        // Drop the CSE to 10 % availability from the start: measured
+        // device time balloons ~10x and Algorithm 1, shown those costs,
+        // must pull work back to the host.
+        let (plan, report, _, _) = plan_and_run(ContentionScenario::at_time(
+            csd_sim::units::SimTime::from_secs(0.0),
+            0.1,
+        ));
+        let audit = calibrate("w", &plan, &report, None);
+        assert!(
+            !audit.flips.is_empty(),
+            "10% availability must flip at least one planned-CSD line"
+        );
+        let flip = &audit.flips[0];
+        assert!(flip.planned_csd, "the flip pulls work back to the host");
+        assert!(
+            flip.measured_profit < flip.predicted_profit,
+            "measured profit must have collapsed: {flip:?}"
+        );
+        assert!(flip.explanation.contains("measured costs favor host"));
+        // The flip is also flagged on the per-line join.
+        assert!(audit.lines.iter().any(|l| l.line == flip.line && l.flipped));
+    }
+
+    #[test]
+    fn worst_lines_sort_by_absolute_error() {
+        let (plan, report, _, _) = plan_and_run(ContentionScenario::none());
+        let audit = calibrate("w", &plan, &report, None);
+        let worst = audit.worst_lines(2);
+        assert_eq!(worst.len(), 2);
+        assert!(worst[0].err_secs.abs() >= worst[1].err_secs.abs());
+    }
+
+    #[test]
+    fn profile_join_records_version_and_mean_volume() {
+        let program = parse(SRC).expect("parse");
+        let config = SystemConfig::paper_default();
+        let rt = ActivePy::new();
+        let cache = PlanCache::new();
+        let plan = cache
+            .plan_for(&rt, "w", &program, &input(), &config)
+            .expect("plan");
+        let recorder = cache.recorder_for(&rt, "w", &input(), &config);
+        let rt_rec = ActivePy::with_options(
+            crate::runtime::ActivePyOptions::default().with_profile(recorder),
+        );
+        let outcome = rt_rec
+            .execute_plan(&plan, &config, ContentionScenario::none())
+            .expect("execute");
+        let key = PlanCache::key_for(&rt, "w", &input(), &config);
+        let profile = cache.profiles().profile(&key);
+        assert_eq!(profile.version, 1);
+        let audit = calibrate("w", &plan, &outcome.report, Some(&profile));
+        assert_eq!(audit.profile_version, 1);
+        for l in &audit.lines {
+            assert_eq!(
+                l.profile_d_out, l.measured_d_out,
+                "one recorded run: the profile mean is the measurement"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_is_observation_only() {
+        // Publishing an audit to a live tracer must not perturb anything:
+        // run twice, audit one of them, reports stay identical.
+        let (plan, report, rt, config) = plan_and_run(ContentionScenario::none());
+        let audit = calibrate("w", &plan, &report, None);
+        let (tracer, _sink) = Tracer::to_memory();
+        audit.publish_to(&tracer);
+        audit.publish_to(&Tracer::disabled());
+        let again = rt
+            .execute_plan(&plan, &config, ContentionScenario::none())
+            .expect("re-execute");
+        assert_eq!(report, again.report);
+        let reg = tracer.metrics_snapshot().expect("enabled");
+        assert_eq!(reg.counter("audit.lines"), Some(4));
+        assert_eq!(reg.counter("audit.flips"), Some(0));
+        assert_eq!(
+            reg.histogram("audit.time_err_ppm").map(|h| h.count),
+            Some(4)
+        );
+    }
+}

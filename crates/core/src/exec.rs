@@ -395,6 +395,13 @@ pub struct RunReport {
     /// Appended after `metrics` so the serialized prefix the golden
     /// journals predate is unchanged.
     pub migrations: Vec<MigrationEvent>,
+    /// The per-line Eq. 1 terms of the assignment that executed —
+    /// empty for raw `execute` calls, filled by
+    /// [`crate::runtime::ActivePy::execute_plan`] and the fleet plan
+    /// executor so the audit layer can join predictions against this
+    /// report without the plan in hand. Appended after `migrations` to
+    /// keep the serialized prefix stable.
+    pub eq1: Vec<crate::audit::Eq1Term>,
 }
 
 impl RunReport {
@@ -1006,6 +1013,7 @@ fn execute_impl(
         recovery: recov.stats,
         par: eval.par_stats(),
         plan_cache_refits: 0,
+        audit: crate::metrics::AuditStats::default(),
     };
     metrics.publish_to(&opts.tracer);
     opts.tracer.end_with(
@@ -1044,6 +1052,7 @@ fn execute_impl(
         parallel: opts.parallel,
         metrics,
         migrations,
+        eq1: Vec::new(),
     })
 }
 

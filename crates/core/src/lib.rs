@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod assign;
+pub mod audit;
 pub mod error;
 pub mod estimate;
 pub mod exec;
@@ -72,10 +73,14 @@ pub mod sampling;
 pub mod shard;
 
 pub use assign::Assignment;
+pub use audit::{
+    calibrate, capture_terms, CalibrationReport, CounterfactualFlip, Eq1Term, LineAudit,
+    PhaseAttribution,
+};
 pub use error::ActivePyError;
 pub use estimate::{Calibration, LineEstimate};
 pub use exec::{ExecOptions, MigrationCause, MigrationReason, RunReport};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{AuditStats, MetricsSnapshot};
 pub use monitor::MonitorConfig;
 pub use plan::{OffloadPlan, PlanCache, PlanCacheStats, PlanTimings};
 pub use profile::{LineObservation, ProfileKey, ProfileRecorder, ProfileStore, WorkloadProfile};

@@ -22,6 +22,20 @@ use csd_sim::fault::FaultCounters;
 use isp_obs::Tracer;
 use serde::{Deserialize, Serialize};
 
+/// Deterministic audit-layer accumulators: how many lines a calibration
+/// pass joined, how many counterfactual placement flips it found, and
+/// the mean absolute relative time error (integral parts per million so
+/// snapshot equality stays exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AuditStats {
+    /// Lines joined by [`crate::audit::calibrate`] (0 for unaudited runs).
+    pub lines_audited: u64,
+    /// Counterfactual Algorithm-1 flips detected.
+    pub counterfactual_flips: u64,
+    /// Mean absolute relative time error, parts per million.
+    pub mean_abs_err_ppm: u64,
+}
+
 /// One deterministic snapshot of every counter family a run touches.
 ///
 /// Serialized field order is the declaration order and is part of the
@@ -42,6 +56,9 @@ pub struct MetricsSnapshot {
     /// uncached runs). Appended after `par` so the serialized prefix the
     /// golden journals predate is unchanged.
     pub plan_cache_refits: u64,
+    /// Calibration-audit accumulators (all zero for unaudited runs).
+    /// Appended after `plan_cache_refits`, same stable-prefix contract.
+    pub audit: AuditStats,
 }
 
 impl MetricsSnapshot {
@@ -56,30 +73,64 @@ impl MetricsSnapshot {
         self
     }
 
-    /// Publishes the fault and recovery counters into `tracer`'s registry
-    /// under the unified `fault.*` / `recovery.*` namespaces. The other
-    /// two families stream live at their source — `plan_cache.*` from
-    /// [`crate::plan::PlanCache::plan_for`] and `kernel.*` from the
-    /// engine's chunked path — so they are not re-published here.
+    /// Folds a calibration report's aggregates into the snapshot.
+    #[must_use]
+    pub fn with_audit(mut self, report: &crate::audit::CalibrationReport) -> Self {
+        self.audit.lines_audited = report.lines.len() as u64;
+        self.audit.counterfactual_flips = report.flips.len() as u64;
+        self.audit.mean_abs_err_ppm = (report.mean_abs_rel_err() * 1e6).round() as u64;
+        self
+    }
+
+    /// The snapshot's publishable counter families as `(name, value)`
+    /// rows, in the unified registry namespaces and stable declaration
+    /// order — the one fold every consumer shares (tracer publication
+    /// here, the timeline footer in [`crate::report`], exporter gauges in
+    /// the bench layer), so a new family is added in exactly one place.
+    ///
+    /// `plan_cache.*` and `kernel.*` stream live at their sources and are
+    /// deliberately absent.
+    #[must_use]
+    pub fn counter_families(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("fault.flash_read_errors", self.faults.flash_read_errors),
+            ("fault.nvme_command_errors", self.faults.nvme_command_errors),
+            ("fault.dma_transfer_errors", self.faults.dma_transfer_errors),
+            ("fault.cse_crashes", self.faults.cse_crashes),
+            ("recovery.transient_faults", self.recovery.transient_faults),
+            ("recovery.retries", self.recovery.retries),
+            ("recovery.recovered_ops", self.recovery.recovered_ops),
+            ("recovery.hard_faults", self.recovery.hard_faults),
+            ("recovery.fault_migrations", self.recovery.fault_migrations),
+            // Simulated seconds, scaled to whole microseconds so the
+            // counter stays integral and deterministic.
+            (
+                "recovery.backoff_us",
+                (self.recovery.backoff_secs * 1e6).round() as u64,
+            ),
+            ("audit.lines_audited", self.audit.lines_audited),
+            (
+                "audit.counterfactual_flips",
+                self.audit.counterfactual_flips,
+            ),
+            ("audit.mean_abs_err_ppm", self.audit.mean_abs_err_ppm),
+        ]
+    }
+
+    /// Publishes the fault, recovery, and audit counters into `tracer`'s
+    /// registry under the unified `fault.*` / `recovery.*` / `audit.*`
+    /// namespaces — one walk over [`MetricsSnapshot::counter_families`].
+    /// The other two families stream live at their source —
+    /// `plan_cache.*` from [`crate::plan::PlanCache::plan_for`] and
+    /// `kernel.*` from the engine's chunked path — so they are not
+    /// re-published here.
     pub fn publish_to(&self, tracer: &Tracer) {
         if !tracer.is_enabled() {
             return;
         }
-        tracer.counter_add("fault.flash_read_errors", self.faults.flash_read_errors);
-        tracer.counter_add("fault.nvme_command_errors", self.faults.nvme_command_errors);
-        tracer.counter_add("fault.dma_transfer_errors", self.faults.dma_transfer_errors);
-        tracer.counter_add("fault.cse_crashes", self.faults.cse_crashes);
-        tracer.counter_add("recovery.transient_faults", self.recovery.transient_faults);
-        tracer.counter_add("recovery.retries", self.recovery.retries);
-        tracer.counter_add("recovery.recovered_ops", self.recovery.recovered_ops);
-        tracer.counter_add("recovery.hard_faults", self.recovery.hard_faults);
-        tracer.counter_add("recovery.fault_migrations", self.recovery.fault_migrations);
-        // Simulated seconds, scaled to whole microseconds so the counter
-        // stays integral and deterministic.
-        tracer.counter_add(
-            "recovery.backoff_us",
-            (self.recovery.backoff_secs * 1e6).round() as u64,
-        );
+        for (name, value) in self.counter_families() {
+            tracer.counter_add(name, value);
+        }
     }
 }
 
@@ -107,6 +158,7 @@ mod tests {
             "recovery",
             "par",
             "plan_cache_refits",
+            "audit",
         ]
         .iter()
         .map(|k| json.find(&format!("\"{k}\"")).expect("key present"))
@@ -136,7 +188,24 @@ mod tests {
         assert_eq!(reg.counter("recovery.transient_faults"), Some(3));
         assert_eq!(reg.counter("recovery.backoff_us"), Some(600));
         assert_eq!(reg.counter("fault.cse_crashes"), Some(0));
+        assert_eq!(reg.counter("audit.lines_audited"), Some(0));
         // Disabled tracers swallow everything for free.
         MetricsSnapshot::default().publish_to(&Tracer::disabled());
+    }
+
+    #[test]
+    fn counter_families_cover_every_published_name_once() {
+        let families = MetricsSnapshot::default().counter_families();
+        let mut names: Vec<&str> = families.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate family name");
+        for prefix in ["fault.", "recovery.", "audit."] {
+            assert!(
+                families.iter().any(|(n, _)| n.starts_with(prefix)),
+                "missing family prefix {prefix}"
+            );
+        }
     }
 }

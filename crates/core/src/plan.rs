@@ -97,6 +97,10 @@ pub struct OffloadPlan {
     pub full_storage: Storage,
     /// Host wall-clock spent building this plan.
     pub timings: PlanTimings,
+    /// Per-line Eq. 1 terms exactly as Algorithm 1 consumed them — the
+    /// audit layer's capture ([`crate::audit::capture_terms`]). Appended
+    /// last so the field prefix existing constructors name is unchanged.
+    pub eq1: Vec<crate::audit::Eq1Term>,
 }
 
 /// Snapshot of a [`PlanCache`]'s counters.

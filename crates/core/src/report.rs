@@ -100,6 +100,32 @@ pub fn render_timeline(program: &Program, report: &RunReport) -> String {
         fmt_bytes(report.h2d_bytes),
         fmt_bytes(report.peak_device_bytes),
     );
+    out.push_str(&render_counters(&report.metrics));
+    out
+}
+
+/// Renders the non-zero counter families of a metrics snapshot as a
+/// timeline footer — the same
+/// [`MetricsSnapshot::counter_families`](crate::metrics::MetricsSnapshot::counter_families)
+/// fold the tracer publication and the bench exporters walk, so the
+/// footer can never drift from the registry namespace. Empty (no
+/// header) when every family is zero — the common fault-free,
+/// unaudited run.
+#[must_use]
+pub fn render_counters(metrics: &crate::metrics::MetricsSnapshot) -> String {
+    let nonzero: Vec<(&'static str, u64)> = metrics
+        .counter_families()
+        .into_iter()
+        .filter(|(_, v)| *v > 0)
+        .collect();
+    let mut out = String::new();
+    if nonzero.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "counters:");
+    for (name, value) in nonzero {
+        let _ = writeln!(out, "  {name:<32} {value}");
+    }
     out
 }
 
@@ -143,6 +169,24 @@ mod tests {
         assert!(text.contains("CSD"));
         assert!(text.contains("host"));
         assert!(text.contains("peak device DRAM"));
+    }
+
+    #[test]
+    fn counter_footer_shows_only_nonzero_families() {
+        let (_, report) = run_report();
+        // Fault-free, unaudited run: no footer at all.
+        assert_eq!(render_counters(&report.metrics), "");
+
+        let mut metrics = report.metrics;
+        metrics.recovery.retries = 2;
+        metrics.audit.lines_audited = 3;
+        metrics.audit.mean_abs_err_ppm = 41_000;
+        let text = render_counters(&metrics);
+        assert!(text.starts_with("counters:"), "{text}");
+        assert!(text.contains("recovery.retries"), "{text}");
+        assert!(text.contains("audit.lines_audited"), "{text}");
+        assert!(text.contains("audit.mean_abs_err_ppm"), "{text}");
+        assert!(!text.contains("fault.cse_crashes"), "{text}");
     }
 
     #[test]

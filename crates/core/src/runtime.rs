@@ -382,6 +382,12 @@ impl ActivePy {
         );
         timings.assign_nanos = phase_nanos(phase);
 
+        let eq1 = crate::audit::capture_terms(
+            &estimates,
+            &assignment,
+            config.d2h_bandwidth().as_bytes_per_sec(),
+            1,
+        );
         Ok(OffloadPlan {
             program: program.clone(),
             lowered,
@@ -395,6 +401,7 @@ impl ActivePy {
             compile_secs,
             full_storage,
             timings,
+            eq1,
         })
     }
 
@@ -460,6 +467,7 @@ impl ActivePy {
             None,
             vec![("csd_lines".into(), csd_line_count.into())],
         );
+        let eq1 = crate::audit::capture_terms(&estimates, &assignment, bw, 1);
         Ok(OffloadPlan {
             program: prior.program.clone(),
             lowered: prior.lowered.clone(),
@@ -473,6 +481,7 @@ impl ActivePy {
             compile_secs,
             full_storage: prior.full_storage.clone(),
             timings: prior.timings,
+            eq1,
         })
     }
 
@@ -526,7 +535,7 @@ impl ActivePy {
             shard_fp: 0,
         })?;
         let placements = plan.assignment.placements(plan.program.len());
-        let report = match self.options.backend {
+        let mut report = match self.options.backend {
             // The plan carries the lowering; don't re-lower per scenario.
             ExecBackend::Vm => execute_lowered(
                 &plan.program,
@@ -547,6 +556,15 @@ impl ActivePy {
                 &plan.copy_elim,
             )?,
         };
+        // Echo the Eq. 1 terms of the assignment that actually executed
+        // (recomputed rather than copied from `plan.eq1`, so callers that
+        // force placements on a cloned plan still audit what ran).
+        report.eq1 = crate::audit::capture_terms(
+            &plan.estimates,
+            &plan.assignment,
+            config.d2h_bandwidth().as_bytes_per_sec(),
+            1,
+        );
 
         Ok(ActivePyOutcome {
             report,

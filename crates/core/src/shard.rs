@@ -79,6 +79,10 @@ pub struct ShardedPlan {
     /// The effective per-shard D2H bandwidth the assignments assumed:
     /// `min(link, budget / N)`.
     pub shard_bandwidth: Bandwidth,
+    /// Per shard: the Eq. 1 terms its assignment consumed, with the
+    /// shared-link bandwidth and fleet width baked in — the fleet side of
+    /// the audit capture ([`crate::audit::capture_terms`]).
+    pub shard_eq1: Vec<Vec<crate::audit::Eq1Term>>,
 }
 
 impl ShardedPlan {
@@ -147,6 +151,11 @@ pub fn derive_sharded_plan(
             a
         })
         .collect();
+    let shard_eq1 = shard_estimates
+        .iter()
+        .zip(&shard_assignments)
+        .map(|(est, a)| crate::audit::capture_terms(est, a, bw.as_bytes_per_sec(), n))
+        .collect();
     ShardedPlan {
         base: Arc::clone(base),
         map,
@@ -154,6 +163,7 @@ pub fn derive_sharded_plan(
         shard_estimates,
         shard_assignments,
         shard_bandwidth: bw,
+        shard_eq1,
     }
 }
 
@@ -596,7 +606,7 @@ pub fn execute_sharded_plan(
         lead_in_secs,
     };
     let shard_placements: Vec<Vec<EngineKind>> = (0..n).map(|s| plan.shard_placements(s)).collect();
-    execute_sharded(
+    let mut report = execute_sharded(
         &run,
         &shard_placements,
         Some(&plan.shard_estimates),
@@ -604,7 +614,14 @@ pub fn execute_sharded_plan(
         config,
         &opts,
         shard_faults,
-    )
+    )?;
+    // Echo each shard's Eq. 1 terms so the audit layer can join fleet
+    // reports without the plan in hand (observation-only: every simulated
+    // quantity above is already final).
+    for (s, sr) in report.shards.iter_mut().enumerate() {
+        sr.report.eq1 = plan.shard_eq1[s].clone();
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //! scaled to microseconds), so Perfetto shows host cost and modelled
 //! cost side by side.
 
+pub mod prometheus;
+
 use std::fmt::Write as _;
 
 use crate::metrics::RegistrySnapshot;

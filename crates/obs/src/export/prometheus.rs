@@ -1,0 +1,259 @@
+//! Prometheus text-format exposition of a [`RegistrySnapshot`].
+//!
+//! The render is a pure function of the snapshot: names are sanitized
+//! (`.` → `_`, anything outside `[a-zA-Z0-9_:]` → `_`) under an `isp_`
+//! prefix, counters come before histograms, each group in the
+//! snapshot's lexicographic order, every sample carries `# HELP` and
+//! `# TYPE` headers, and the only label (`le`) is emitted in ascending
+//! bucket order. Two equal snapshots therefore render byte-identical
+//! expositions — the property the committed golden
+//! (`tests/golden/fig5_tpch6_metrics.prom`) pins in CI.
+//!
+//! Histogram buckets follow the registry's log₂ grid. Observations are
+//! integers, so bucket `i` (values in `[2^(i-1), 2^i)`) is rendered as
+//! the *inclusive* bound `le="2^i - 1"`, which makes the cumulative
+//! counts exact rather than conservative. Zero-increment buckets are
+//! skipped (the cumulative value at each emitted bound is unaffected);
+//! the mandatory `le="+Inf"` bucket, `_sum`, and `_count` always
+//! appear.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, RegistrySnapshot, HISTOGRAM_BUCKETS};
+
+/// Sanitize a registry metric name into a Prometheus metric name:
+/// `isp_` prefix, `.` and any other character outside `[a-zA-Z0-9_:]`
+/// replaced by `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("isp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Inclusive `le` bound of log₂ bucket `i` for integer observations:
+/// bucket 0 holds only 0, bucket `i` holds `[2^(i-1), 2^i)` so its
+/// largest integer member is `2^i - 1`; the top bucket saturates.
+fn bucket_le(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i == HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let m = sanitize_name(name);
+    let _ = writeln!(out, "# HELP {m} log2-bucket histogram {name}.");
+    let _ = writeln!(out, "# TYPE {m} histogram");
+    let mut cumulative = 0u64;
+    for (i, n) in h.buckets.iter().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let _ = writeln!(out, "{m}_bucket{{le=\"{}\"}} {cumulative}", bucket_le(i));
+    }
+    let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{m}_sum {}", h.sum);
+    let _ = writeln!(out, "{m}_count {}", h.count);
+}
+
+/// Render the full snapshot as Prometheus text exposition format.
+///
+/// Counters first, then histograms, each in the snapshot's sorted
+/// order; deterministic byte-for-byte for equal snapshots.
+pub fn render(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let m = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {m} monotonic counter {name}.");
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        render_histogram(&mut out, name, h);
+    }
+    out
+}
+
+/// Structural validation of a Prometheus text exposition, sufficient
+/// for the CI gate: every non-comment line is `name value` or
+/// `name{le="bound"} value`; every sample's base name was declared by
+/// a preceding `# TYPE`; histogram cumulative bucket counts are
+/// non-decreasing and end with a `+Inf` bucket matching `_count`.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut bucket_state: Option<(String, u64)> = None; // (metric, last cumulative)
+    let mut inf_seen: Option<(String, u64)> = None;
+    for (no, line) in text.lines().enumerate() {
+        let no = no + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {no}: TYPE without name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {no}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {no}: unknown TYPE kind '{kind}'"));
+            }
+            typed.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {no}: sample without value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {no}: non-numeric value '{value}'"))?;
+        let (name, label) = match series.split_once('{') {
+            Some((n, l)) => {
+                let l = l
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {no}: unterminated label set"))?;
+                (n, Some(l))
+            }
+            None => (series, None),
+        };
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.iter().any(|(n, k)| n == b && k == "histogram"))
+            .unwrap_or(name);
+        let Some((_, kind)) = typed.iter().find(|(n, _)| n == base) else {
+            return Err(format!("line {no}: sample '{name}' has no TYPE header"));
+        };
+        if kind == "histogram" && name.ends_with("_bucket") {
+            let label =
+                label.ok_or_else(|| format!("line {no}: histogram bucket without le label"))?;
+            let le = label
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("line {no}: malformed le label '{label}'"))?;
+            let cumulative = value as u64;
+            if let Some((prev_base, prev)) = &bucket_state {
+                if prev_base == base && cumulative < *prev {
+                    return Err(format!("line {no}: bucket counts decreased for {base}"));
+                }
+            }
+            bucket_state = Some((base.to_string(), cumulative));
+            if le == "+Inf" {
+                inf_seen = Some((base.to_string(), cumulative));
+            }
+        }
+        if kind == "histogram" && name.ends_with("_count") {
+            match &inf_seen {
+                Some((b, c)) if b == base => {
+                    if *c != value as u64 {
+                        return Err(format!(
+                            "line {no}: {base}_count {value} != +Inf bucket {c}"
+                        ));
+                    }
+                }
+                _ => return Err(format!("line {no}: {base}_count before +Inf bucket")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        let reg = MetricsRegistry::default();
+        reg.counter_add("audit.lines_audited", 4);
+        reg.counter_add("plan_cache.hits", 2);
+        reg.observe("audit.time_err_ppm", 0);
+        reg.observe("audit.time_err_ppm", 1500);
+        reg.observe("audit.time_err_ppm", 1700);
+        reg.observe("exec.chunk_sim_ns", 512);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn sanitization_prefixes_and_replaces_dots() {
+        assert_eq!(
+            sanitize_name("audit.lines_audited"),
+            "isp_audit_lines_audited"
+        );
+        assert_eq!(sanitize_name("a-b c"), "isp_a_b_c");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_validates() {
+        let snap = sample_snapshot();
+        let a = render(&snap);
+        let b = render(&snap);
+        assert_eq!(a, b);
+        validate(&a).expect("exposition validates");
+        // Counters precede histograms; both sorted by name.
+        let audit = a.find("isp_audit_lines_audited ").expect("counter");
+        let cache = a.find("isp_plan_cache_hits ").expect("counter");
+        let hist = a
+            .find("# TYPE isp_audit_time_err_ppm histogram")
+            .expect("hist");
+        assert!(audit < cache && cache < hist);
+        assert!(a.contains("# HELP isp_plan_cache_hits monotonic counter plan_cache.hits."));
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_inclusive_bounds() {
+        let snap = sample_snapshot();
+        let out = render(&snap);
+        // 0 -> bucket 0 (le="0"); 1500/1700 -> bucket 11 ([1024, 2048),
+        // le="2047"), cumulative 3.
+        assert!(
+            out.contains("isp_audit_time_err_ppm_bucket{le=\"0\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("isp_audit_time_err_ppm_bucket{le=\"2047\"} 3"),
+            "{out}"
+        );
+        assert!(
+            out.contains("isp_audit_time_err_ppm_bucket{le=\"+Inf\"} 3"),
+            "{out}"
+        );
+        assert!(out.contains("isp_audit_time_err_ppm_sum 3200"), "{out}");
+        assert!(out.contains("isp_audit_time_err_ppm_count 3"), "{out}");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_expositions() {
+        assert!(validate("isp_orphan 1\n").is_err());
+        assert!(validate("# TYPE isp_x counter\nisp_x notanumber\n").is_err());
+        assert!(validate(
+            "# TYPE isp_h histogram\nisp_h_bucket{le=\"1\"} 5\nisp_h_bucket{le=\"3\"} 2\n"
+        )
+        .is_err());
+        let missing_inf =
+            "# TYPE isp_h histogram\nisp_h_bucket{le=\"1\"} 1\nisp_h_sum 1\nisp_h_count 1\n";
+        assert!(validate(missing_inf).is_err());
+        assert!(validate("").is_ok());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&RegistrySnapshot::default()), "");
+    }
+}

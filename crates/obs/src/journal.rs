@@ -481,6 +481,250 @@ fn histogram_from_json(v: &JsonValue) -> Histogram {
     h
 }
 
+/// Reconstruct a [`crate::metrics::RegistrySnapshot`] from a journal's
+/// metrics footer, or `None` when the journal has no footer. Counter and
+/// histogram names keep the footer's (sorted) order, so exporting the
+/// reconstruction — e.g. through
+/// [`crate::export::prometheus::render`] — is byte-deterministic.
+#[must_use]
+pub fn footer_snapshot(journal: &Journal) -> Option<crate::metrics::RegistrySnapshot> {
+    let metrics = journal.metrics.as_ref()?;
+    let counters = metrics
+        .get("counters")
+        .and_then(JsonValue::as_obj)
+        .map(|fields| {
+            fields
+                .iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let histograms = metrics
+        .get("histograms")
+        .and_then(JsonValue::as_obj)
+        .map(|fields| {
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), histogram_from_json(v)))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(crate::metrics::RegistrySnapshot {
+        counters,
+        histograms,
+    })
+}
+
+/// Per-phase aggregate pair from two journals, for [`diff_journals`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Phase-span name.
+    pub name: String,
+    /// Occurrences in journal A.
+    pub count_a: u64,
+    /// Occurrences in journal B.
+    pub count_b: u64,
+    /// Summed wall duration in A (ns).
+    pub wall_a_ns: u64,
+    /// Summed wall duration in B (ns).
+    pub wall_b_ns: u64,
+    /// Summed simulated duration in A (seconds).
+    pub sim_a_secs: f64,
+    /// Summed simulated duration in B (seconds).
+    pub sim_b_secs: f64,
+}
+
+impl PhaseDelta {
+    /// Signed wall delta, B − A, in nanoseconds.
+    pub fn wall_delta_ns(&self) -> i128 {
+        self.wall_b_ns as i128 - self.wall_a_ns as i128
+    }
+
+    /// Signed simulated delta, B − A, in seconds.
+    pub fn sim_delta_secs(&self) -> f64 {
+        self.sim_b_secs - self.sim_a_secs
+    }
+}
+
+/// Structural comparison of two journals from [`diff_journals`].
+///
+/// Spans are aligned by `(name, occurrence index)` — the i-th span
+/// named `n` in A pairs with the i-th span named `n` in B — which is
+/// stable across runs because emission order is part of the tracer's
+/// determinism contract. Wall clocks are reported (signed, B − A) but
+/// never participate in [`JournalDiff::identical`]: two runs of the
+/// same seed agree on everything except wall time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalDiff {
+    /// Per-phase aggregates for every phase name in either journal.
+    pub phases: Vec<PhaseDelta>,
+    /// Aligned span pairs whose simulated durations disagree:
+    /// `(name, occurrence, sim_a, sim_b)`.
+    pub sim_mismatches: Vec<(String, usize, f64, f64)>,
+    /// `name ×count` for span names with more occurrences in A.
+    pub only_in_a: Vec<String>,
+    /// `name ×count` for span names with more occurrences in B.
+    pub only_in_b: Vec<String>,
+    /// Metrics-footer counters that differ: `(name, a, b)` with `None`
+    /// for absent.
+    pub counter_deltas: Vec<(String, Option<u64>, Option<u64>)>,
+    /// Total spans in A / B.
+    pub span_counts: (usize, usize),
+}
+
+impl JournalDiff {
+    /// True when the journals agree on structure, the simulated clock,
+    /// and counters — everything except wall time.
+    pub fn identical(&self) -> bool {
+        self.sim_mismatches.is_empty()
+            && self.only_in_a.is_empty()
+            && self.only_in_b.is_empty()
+            && self.counter_deltas.is_empty()
+    }
+}
+
+fn footer_counters(journal: &Journal) -> BTreeMap<String, u64> {
+    journal
+        .metrics
+        .as_ref()
+        .and_then(|m| m.get("counters"))
+        .and_then(JsonValue::as_obj)
+        .map(|fields| {
+            fields
+                .iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare two parsed journals span-by-span (see [`JournalDiff`]).
+pub fn diff_journals(a: &Journal, b: &Journal) -> JournalDiff {
+    let mut by_name: BTreeMap<&str, (Vec<&JournalSpan>, Vec<&JournalSpan>)> = BTreeMap::new();
+    for s in &a.spans {
+        by_name.entry(s.name.as_str()).or_default().0.push(s);
+    }
+    for s in &b.spans {
+        by_name.entry(s.name.as_str()).or_default().1.push(s);
+    }
+
+    let mut diff = JournalDiff {
+        span_counts: (a.spans.len(), b.spans.len()),
+        ..JournalDiff::default()
+    };
+    let mut phases: BTreeMap<String, PhaseDelta> = BTreeMap::new();
+    for (name, (in_a, in_b)) in &by_name {
+        for (occ, (sa, sb)) in in_a.iter().zip(in_b.iter()).enumerate() {
+            let da = sa.sim_dur_secs.unwrap_or(0.0);
+            let db = sb.sim_dur_secs.unwrap_or(0.0);
+            if da != db || sa.kind != sb.kind {
+                diff.sim_mismatches.push((name.to_string(), occ, da, db));
+            }
+        }
+        if in_a.len() > in_b.len() {
+            diff.only_in_a
+                .push(format!("{name} ×{}", in_a.len() - in_b.len()));
+        }
+        if in_b.len() > in_a.len() {
+            diff.only_in_b
+                .push(format!("{name} ×{}", in_b.len() - in_a.len()));
+        }
+        let is_phase = in_a
+            .first()
+            .or(in_b.first())
+            .map(|s| s.kind == SpanKind::Phase.as_str())
+            .unwrap_or(false);
+        if is_phase {
+            phases.insert(
+                name.to_string(),
+                PhaseDelta {
+                    name: name.to_string(),
+                    count_a: in_a.len() as u64,
+                    count_b: in_b.len() as u64,
+                    wall_a_ns: in_a.iter().map(|s| s.wall_dur_ns).sum(),
+                    wall_b_ns: in_b.iter().map(|s| s.wall_dur_ns).sum(),
+                    sim_a_secs: in_a.iter().filter_map(|s| s.sim_dur_secs).sum(),
+                    sim_b_secs: in_b.iter().filter_map(|s| s.sim_dur_secs).sum(),
+                },
+            );
+        }
+    }
+    diff.phases = phases.into_values().collect();
+
+    let ca = footer_counters(a);
+    let cb = footer_counters(b);
+    let names: std::collections::BTreeSet<&String> = ca.keys().chain(cb.keys()).collect();
+    for name in names {
+        let va = ca.get(name).copied();
+        let vb = cb.get(name).copied();
+        if va != vb {
+            diff.counter_deltas.push((name.clone(), va, vb));
+        }
+    }
+    diff
+}
+
+/// Render a [`JournalDiff`] as the human report behind `trace diff`:
+/// per-phase signed deltas on both clocks, then any structural or
+/// simulated-clock divergences.
+pub fn render_diff(diff: &JournalDiff) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace diff: {} spans (A) vs {} spans (B)",
+        diff.span_counts.0, diff.span_counts.1
+    );
+    if !diff.phases.is_empty() {
+        let _ = writeln!(out, "\nper-phase deltas (B - A):");
+        for p in &diff.phases {
+            let _ = writeln!(
+                out,
+                "  {:<24} n={}/{} wall={:+.3}ms sim={:+.9}s",
+                p.name,
+                p.count_a,
+                p.count_b,
+                p.wall_delta_ns() as f64 / 1e6,
+                p.sim_delta_secs(),
+            );
+        }
+    }
+    const CAP: usize = 20;
+    if !diff.sim_mismatches.is_empty() {
+        let _ = writeln!(out, "\nsim-clock mismatches: {}", diff.sim_mismatches.len());
+        for (name, occ, da, db) in diff.sim_mismatches.iter().take(CAP) {
+            let _ = writeln!(out, "  {name}#{occ}: sim {da:.9}s -> {db:.9}s");
+        }
+        if diff.sim_mismatches.len() > CAP {
+            let _ = writeln!(out, "  … {} more", diff.sim_mismatches.len() - CAP);
+        }
+    }
+    for (label, list) in [
+        ("only in A", &diff.only_in_a),
+        ("only in B", &diff.only_in_b),
+    ] {
+        if !list.is_empty() {
+            let _ = writeln!(out, "\n{label}: {}", list.join(", "));
+        }
+    }
+    if !diff.counter_deltas.is_empty() {
+        let _ = writeln!(out, "\ncounter deltas:");
+        let fmt = |v: Option<u64>| v.map_or("-".to_string(), |n| n.to_string());
+        for (name, va, vb) in &diff.counter_deltas {
+            let _ = writeln!(out, "  {name:<32} {} -> {}", fmt(*va), fmt(*vb));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nverdict: {}",
+        if diff.identical() {
+            "identical (structure, sim clock, counters)"
+        } else {
+            "DIVERGED"
+        }
+    );
+    out
+}
+
 /// Render the human summary of a journal: per-phase breakdown on both
 /// clocks, top-N spans by simulated (then wall) duration, the migration
 /// timeline, and the counter footer.
@@ -634,6 +878,70 @@ pub fn summarize(journal: &Journal, top_n: usize) -> String {
             }
         }
     }
+
+    // Calibration-audit footer: quantiles of the per-line Eq. 1 time
+    // error published by `activepy::audit::CalibrationReport::publish_to`
+    // plus the worst-mispredicted-lines table from `audit.line`
+    // instants. Absent entirely for unaudited journals.
+    let audit_err = journal
+        .metrics
+        .as_ref()
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get("audit.time_err_ppm"))
+        .map(histogram_from_json)
+        .filter(|h| h.count > 0);
+    if let Some(h) = audit_err {
+        let _ = writeln!(out, "\ncalibration error (|measured-predicted|, ppm):");
+        if let (Some(p50), Some(p95), Some(p99)) =
+            (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
+        {
+            let _ = writeln!(
+                out,
+                "  lines={} mean={:.0}ppm p50≤{p50} p95≤{p95} p99≤{p99}",
+                h.count(),
+                h.mean()
+            );
+        }
+    }
+    let mut audited: Vec<&JournalInstant> = journal
+        .instants
+        .iter()
+        .filter(|i| i.name == "audit.line")
+        .collect();
+    if !audited.is_empty() {
+        let attr_u64 = |i: &JournalInstant, key: &str| -> u64 {
+            i.attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or(0)
+        };
+        audited.sort_by(|a, b| {
+            attr_u64(b, "err_ppm")
+                .cmp(&attr_u64(a, "err_ppm"))
+                .then(a.seq.cmp(&b.seq))
+        });
+        let _ = writeln!(out, "\nworst {} mispredicted lines:", audited.len().min(5));
+        for i in audited.iter().take(5) {
+            let attr = |key: &str| -> String {
+                i.attrs
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| attr_display(v))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} line {:<3} predicted={}s measured={}s err={}ppm flipped={}",
+                attr("workload"),
+                attr("line"),
+                attr("predicted_secs"),
+                attr("measured_secs"),
+                attr("err_ppm"),
+                attr("flipped"),
+            );
+        }
+    }
     out
 }
 
@@ -741,6 +1049,117 @@ mod tests {
         );
         let plain = parse_journal(&text).expect("journal parses");
         assert!(!summarize(&plain, 5).contains("decode kernels:"));
+    }
+
+    fn audited_journal() -> String {
+        let (t, sink) = Tracer::to_memory();
+        let run = t.begin("phase.execute", SK::Phase, Some(0.0));
+        for (line, err) in [(0u64, 120_000u64), (1, 900), (2, 45_000)] {
+            t.instant(
+                "audit.line",
+                SK::Monitor,
+                Some(0.0),
+                vec![
+                    ("workload".to_string(), "TPC-H-6".into()),
+                    ("line".to_string(), line.into()),
+                    ("predicted_secs".to_string(), 1.5f64.into()),
+                    ("measured_secs".to_string(), 1.7f64.into()),
+                    ("err_ppm".to_string(), err.into()),
+                    ("flipped".to_string(), (err > 100_000).into()),
+                ],
+            );
+        }
+        t.end(run, Some(1.0));
+        let reg = MetricsRegistry::default();
+        reg.counter_add("audit.lines_audited", 3);
+        for err in [120_000u64, 900, 45_000] {
+            reg.observe("audit.time_err_ppm", err);
+        }
+        jsonl(&sink.events(), Some(&reg.snapshot()), true)
+    }
+
+    #[test]
+    fn summary_renders_the_calibration_footer() {
+        let journal = parse_journal(&audited_journal()).expect("parses");
+        let summary = summarize(&journal, 5);
+        assert!(
+            summary.contains("calibration error (|measured-predicted|, ppm):"),
+            "{summary}"
+        );
+        assert!(summary.contains("lines=3"), "{summary}");
+        assert!(summary.contains("worst 3 mispredicted lines:"), "{summary}");
+        // Sorted by err_ppm descending: line 0 (120000) first.
+        let l0 = summary.find("line 0").expect("line 0 row");
+        let l2 = summary.find("line 2").expect("line 2 row");
+        let l1 = summary.find("line 1").expect("line 1 row");
+        assert!(l0 < l2 && l2 < l1, "{summary}");
+        assert!(summary.contains("flipped=true"), "{summary}");
+
+        // Unaudited journals render no calibration footer.
+        let (t, sink) = Tracer::to_memory();
+        let a = t.begin("phase.a", SK::Phase, Some(0.0));
+        t.end(a, Some(0.5));
+        let plain = parse_journal(&jsonl(&sink.events(), None, true)).expect("parses");
+        assert!(!summarize(&plain, 5).contains("calibration error"));
+    }
+
+    #[test]
+    fn footer_snapshot_round_trips_the_registry() {
+        let journal = parse_journal(&audited_journal()).expect("parses");
+        let snap = footer_snapshot(&journal).expect("footer present");
+        assert_eq!(snap.counter("audit.lines_audited"), Some(3));
+        let h = snap.histogram("audit.time_err_ppm").expect("histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 120_000 + 900 + 45_000);
+        // Footerless journals yield no snapshot.
+        let (t, sink) = Tracer::to_memory();
+        let a = t.begin("phase.a", SK::Phase, Some(0.0));
+        t.end(a, Some(0.5));
+        let plain = parse_journal(&jsonl(&sink.events(), None, true)).expect("parses");
+        assert!(footer_snapshot(&plain).is_none());
+    }
+
+    #[test]
+    fn diff_of_identical_journals_is_identical() {
+        let text = audited_journal();
+        let j = parse_journal(&text).expect("parses");
+        let diff = diff_journals(&j, &j);
+        assert!(diff.identical(), "{diff:?}");
+        let rendered = render_diff(&diff);
+        assert!(rendered.contains("identical (structure, sim clock, counters)"));
+        assert!(rendered.contains("per-phase deltas"));
+    }
+
+    #[test]
+    fn diff_flags_sim_and_counter_divergence_but_not_wall() {
+        let mk = |sim_end: f64, retries: u64, extra_span: bool, wall_mask: bool| {
+            let (t, sink) = Tracer::to_memory();
+            let run = t.begin("phase.execute", SK::Phase, Some(0.0));
+            if extra_span {
+                let s = t.begin("exec.region", SK::Device, Some(0.0));
+                t.end(s, Some(0.1));
+            }
+            t.end(run, Some(sim_end));
+            let reg = MetricsRegistry::default();
+            reg.counter_add("recovery.retries", retries);
+            parse_journal(&jsonl(&sink.events(), Some(&reg.snapshot()), wall_mask)).expect("parses")
+        };
+        // Wall-clock differences alone (masked vs unmasked) stay identical.
+        let a = mk(1.0, 3, false, true);
+        assert!(diff_journals(&a, &mk(1.0, 3, false, false)).identical());
+
+        let diff = diff_journals(&a, &mk(2.0, 5, true, true));
+        assert!(!diff.identical());
+        assert_eq!(diff.sim_mismatches.len(), 1);
+        assert_eq!(diff.sim_mismatches[0].0, "phase.execute");
+        assert_eq!(diff.only_in_b, vec!["exec.region ×1".to_string()]);
+        assert_eq!(
+            diff.counter_deltas,
+            vec![("recovery.retries".to_string(), Some(3), Some(5))]
+        );
+        let rendered = render_diff(&diff);
+        assert!(rendered.contains("DIVERGED"), "{rendered}");
+        assert!(rendered.contains("recovery.retries"), "{rendered}");
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod metrics;
 pub mod span;
 pub mod wal;
 
-pub use journal::{parse_journal, summarize, Journal};
+pub use journal::{
+    diff_journals, footer_snapshot, parse_journal, render_diff, summarize, Journal, JournalDiff,
+    PhaseDelta,
+};
 pub use metrics::{Histogram, MetricsRegistry, RegistrySnapshot};
 pub use span::{
     AttrValue, Attrs, InstantEvent, MemorySink, Span, SpanHandle, SpanKind, TraceEvent, TraceSink,

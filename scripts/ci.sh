@@ -48,6 +48,22 @@ cargo run --release -q -p isp-bench --bin repro -- \
 cargo run --release -q -p isp-bench --bin trace -- "$TRACE_TMP/fig5_tpch6.jsonl" --top 5
 diff -u tests/golden/fig5_tpch6_trace.jsonl "$TRACE_TMP/fig5_tpch6.jsonl"
 
+echo "== trace diff self-identity (span-aligned diff of the golden against the fresh run) =="
+# The diff subcommand must call a journal identical to itself (and to a
+# byte-identical regeneration) identical: structure, sim clock, and
+# counters. Exit 1 here means the aligner itself is nondeterministic.
+cargo run --release -q -p isp-bench --bin trace -- diff \
+  tests/golden/fig5_tpch6_trace.jsonl tests/golden/fig5_tpch6_trace.jsonl > /dev/null
+cargo run --release -q -p isp-bench --bin trace -- diff \
+  tests/golden/fig5_tpch6_trace.jsonl "$TRACE_TMP/fig5_tpch6.jsonl"
+
+echo "== Prometheus exposition golden (byte-identical on masked clocks) =="
+# The exposition rendered from the fresh journal's metrics footer must
+# match the committed golden byte for byte; regenerate via
+# REGEN_TRACE_GOLDEN=1 cargo test --test audit_determinism.
+cargo run --release -q -p isp-bench --bin trace -- "$TRACE_TMP/fig5_tpch6.jsonl" --prom \
+  | diff -u tests/golden/fig5_tpch6_metrics.prom -
+
 echo "== fig5 golden byte-identity (rows untouched by the obs layer) =="
 # Untraced rows must match tests/golden/fig5_rows.json byte for byte,
 # and the traced serial grid must produce the same rows as the untraced
@@ -103,6 +119,23 @@ echo "== adaptation smoke (regret(replan) < regret(static), >= 1 reclaim, 0 dive
 # fails to reduce total regret, no workload reclaims work back to the
 # CSD, or any cell's values_fingerprint diverges from the reference.
 cargo run --release -q -p isp-bench --bin repro -- --adapt
+
+echo "== planner-audit smoke (Eq. 1 calibration, 0 divergences, >= 1 explained flip) =="
+# The full calibration grid: every workload's clean-cell error inside the
+# pinned bands, audit observation-only (fingerprints unmoved), and the
+# contended cell produces at least one explained counterfactual flip.
+cargo run --release -q -p isp-bench --bin repro -- --audit
+
+echo "== bench-history regression check (committed report vs committed ledger) =="
+# Appending the committed BENCH_repro.json to a scratch copy of the
+# committed ledger and re-checking proves (a) the ledger parses, (b) the
+# committed report's deterministic outcomes match the committed history,
+# and (c) the tooling itself still round-trips its own line format.
+cp BENCH_history.jsonl "$TRACE_TMP/history.jsonl"
+cargo run --release -q -p isp-bench --bin history -- append \
+  --report BENCH_repro.json --history "$TRACE_TMP/history.jsonl" --sha ci-smoke
+cargo run --release -q -p isp-bench --bin history -- check \
+  --history "$TRACE_TMP/history.jsonl"
 
 echo "== cargo bench --no-run =="
 cargo bench --no-run
